@@ -1,0 +1,90 @@
+//! PERF3 — adversary game throughput: how many Theorem 1 rounds per second
+//! each TM sustains against Algorithm 1 / Algorithm 2, and the model
+//! checker's schedule-exploration rate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tm_core::TVarId;
+use tm_sim::{explore_schedules, ClientScript};
+use tm_stm::{nonblocking_catalog, BoxedTm, FgpTm};
+use tm_adversary::{run_game, Algorithm1, Algorithm2, GameConfig};
+
+const X: TVarId = TVarId(0);
+const STEPS: usize = 10_000;
+
+fn bench_adversary_games(c: &mut Criterion) {
+    let mut group = c.benchmark_group("adversary_rounds");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(STEPS as u64));
+    let names: Vec<String> = nonblocking_catalog(2, 1)
+        .iter()
+        .map(|tm| tm.name().to_string())
+        .collect();
+    for (idx, name) in names.iter().enumerate() {
+        group.bench_with_input(
+            BenchmarkId::new("algorithm1", name),
+            &idx,
+            |b, &idx| {
+                b.iter(|| {
+                    let mut tm = nonblocking_catalog(2, 1).remove(idx);
+                    let mut adv = Algorithm1::new(X);
+                    run_game(tm.as_mut(), &mut adv, GameConfig::steps(STEPS)).rounds
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("algorithm2", name),
+            &idx,
+            |b, &idx| {
+                b.iter(|| {
+                    let mut tm = nonblocking_catalog(2, 1).remove(idx);
+                    let mut adv = Algorithm2::new(X);
+                    run_game(tm.as_mut(), &mut adv, GameConfig::steps(STEPS)).rounds
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("algorithm1_checked", name),
+            &idx,
+            |b, &idx| {
+                b.iter(|| {
+                    let mut tm = nonblocking_catalog(2, 1).remove(idx);
+                    let mut adv = Algorithm1::new(X);
+                    run_game(
+                        tm.as_mut(),
+                        &mut adv,
+                        GameConfig::steps(STEPS).check_opacity(),
+                    )
+                    .rounds
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_model_checker(c: &mut Criterion) {
+    let mut group = c.benchmark_group("model_checker");
+    group.sample_size(10);
+    for &depth in &[8usize, 10] {
+        group.throughput(Throughput::Elements(1u64 << depth));
+        group.bench_with_input(
+            BenchmarkId::new("fgp_2proc", depth),
+            &depth,
+            |b, &depth| {
+                let scripts = vec![ClientScript::increment(X), ClientScript::increment(X)];
+                b.iter(|| {
+                    explore_schedules(
+                        || Box::new(FgpTm::new(2, 1, tm_automata::FgpVariant::CpOnly)) as BoxedTm,
+                        &scripts,
+                        depth,
+                    )
+                    .schedules
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_adversary_games, bench_model_checker);
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! PERF2 — cost of the safety checkers: the exact witness-search opacity
+//! checker vs transaction count, and the incremental commit-order
+//! certifier's per-event throughput on long adversary-shaped histories.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tm_core::{History, HistoryBuilder, ProcessId, TVarId};
+use tm_safety::{check_opacity, IncrementalChecker, Mode};
+
+const X: TVarId = TVarId(0);
+
+/// A sequential chain of committed increments by alternating processes —
+/// the friendly case for the exact checker (one witness order).
+fn chain_history(txs: usize) -> History {
+    let mut b = HistoryBuilder::new();
+    for i in 0..txs {
+        let p = ProcessId(i % 2);
+        b.read(p, X, i as u64)
+            .write_ok(p, X, i as u64 + 1)
+            .commit(p);
+    }
+    b.build().unwrap()
+}
+
+/// Concurrent snapshot readers around committed writers — forces witness
+/// reordering (the expensive case).
+fn contended_history(txs: usize) -> History {
+    let (p1, p2) = (ProcessId(0), ProcessId(1));
+    let mut b = HistoryBuilder::new();
+    for i in 0..txs {
+        let v = i as u64;
+        // Reader observes the pre-write state while the writer commits.
+        b.read(p1, X, v)
+            .write_ok(p2, X, v + 1)
+            .commit(p2)
+            .abort_on_try_commit(p1);
+    }
+    b.build().unwrap()
+}
+
+/// The Algorithm 1 round pattern, used to measure the online certifier.
+fn adversary_history(rounds: usize) -> History {
+    let (p1, p2) = (ProcessId(0), ProcessId(1));
+    let mut b = HistoryBuilder::new();
+    for i in 0..rounds {
+        let v = i as u64;
+        b.read(p1, X, v)
+            .read(p2, X, v)
+            .write_ok(p2, X, v + 1)
+            .commit(p2)
+            .write_ok(p1, X, v + 1)
+            .abort_on_try_commit(p1);
+    }
+    b.build().unwrap()
+}
+
+fn bench_exact_checker(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exact_opacity");
+    for &txs in &[4usize, 8, 16, 32, 64] {
+        let chain = chain_history(txs);
+        group.bench_with_input(BenchmarkId::new("chain", txs), &chain, |b, h| {
+            b.iter(|| check_opacity(h).unwrap().holds())
+        });
+        let contended = contended_history(txs / 2);
+        group.bench_with_input(
+            BenchmarkId::new("contended", txs),
+            &contended,
+            |b, h| b.iter(|| check_opacity(h).unwrap().holds()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_incremental_checker(c: &mut Criterion) {
+    let mut group = c.benchmark_group("incremental_opacity");
+    group.sample_size(20);
+    for &rounds in &[1_000usize, 10_000, 100_000] {
+        let h = adversary_history(rounds);
+        group.throughput(Throughput::Elements(h.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(rounds), &h, |b, h| {
+            b.iter(|| {
+                let mut checker = IncrementalChecker::new(Mode::Opacity);
+                checker.push_all(h.iter().copied()).unwrap();
+                checker.commits()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_exact_checker, bench_incremental_checker);
+criterion_main!(benches);

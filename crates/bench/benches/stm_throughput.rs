@@ -1,0 +1,82 @@
+//! PERF1 — committed-transaction throughput of the concurrent TMs across
+//! thread counts and contention levels (the paper's footnote-1 shape:
+//! resilient fine-grained TMs scale, the global lock does not).
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tm_core::TVarId;
+use tm_stm::concurrent::{
+    atomically, ConcurrentGlobalLock, ConcurrentNOrec, ConcurrentTl2, ConcurrentTm,
+    Transaction as _,
+};
+
+const TXNS_PER_THREAD: usize = 2_000;
+
+/// Runs `threads` workers, each committing `TXNS_PER_THREAD` transfer
+/// transactions over `accounts` accounts.
+fn run<T: ConcurrentTm + 'static>(tm: &Arc<T>, threads: usize, accounts: usize) {
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let tm = Arc::clone(tm);
+            std::thread::spawn(move || {
+                let mut s = 0x9E3779B97F4A7C15u64 ^ (t as u64).wrapping_mul(0x2545F4914F6CDD1D);
+                for _ in 0..TXNS_PER_THREAD {
+                    s ^= s << 13;
+                    s ^= s >> 7;
+                    s ^= s << 17;
+                    let from = (s % accounts as u64) as usize;
+                    let to = ((s >> 17) % accounts as u64) as usize;
+                    atomically(&*tm, |tx| {
+                        let a = tx.read(TVarId(from))?;
+                        let b = tx.read(TVarId(to))?;
+                        tx.write(TVarId(from), a.wrapping_sub(1))?;
+                        tx.write(TVarId(to), b.wrapping_add(1))
+                    });
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+}
+
+fn bench_throughput(c: &mut Criterion) {
+    // Two contention levels: 4 accounts (hot) and 1024 accounts (cold).
+    for &accounts in &[4usize, 1024] {
+        let mut group = c.benchmark_group(format!("stm_throughput/accounts={accounts}"));
+        group.sample_size(10);
+        for &threads in &[1usize, 2, 4] {
+            group.throughput(Throughput::Elements((threads * TXNS_PER_THREAD) as u64));
+            group.bench_with_input(
+                BenchmarkId::new("global-lock", threads),
+                &threads,
+                |b, &threads| {
+                    let tm = Arc::new(ConcurrentGlobalLock::new(accounts));
+                    b.iter(|| run(&tm, threads, accounts));
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new("tl2", threads),
+                &threads,
+                |b, &threads| {
+                    let tm = Arc::new(ConcurrentTl2::new(accounts));
+                    b.iter(|| run(&tm, threads, accounts));
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new("norec", threads),
+                &threads,
+                |b, &threads| {
+                    let tm = Arc::new(ConcurrentNOrec::new(accounts));
+                    b.iter(|| run(&tm, threads, accounts));
+                },
+            );
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_throughput);
+criterion_main!(benches);

@@ -1,0 +1,112 @@
+//! ABL1 — ablation: the global-lock TM (the paper's §1.1/§3.2.1 example).
+//!
+//! Without faults it ensures local progress (everyone commits, nobody
+//! aborts — the possibility half of §3.2.1). Inject a single crash while
+//! the lock is held and **every other process commits exactly zero
+//! transactions afterwards** — the Amdahl's-law argument of footnote 1.
+//! For contrast, every non-blocking TM in the catalogue sails through the
+//! same fault.
+//!
+//! Run: `cargo run -p bench --release --bin abl1_global_lock_crash [steps]`
+
+use bench::{row, section, Outcome};
+use tm_core::{ProcessId, TVarId};
+use tm_sim::{simulate, Client, ClientScript, FaultPlan, RoundRobin, SimConfig};
+use tm_stm::{nonblocking_catalog, GlobalLock};
+
+const X: TVarId = TVarId(0);
+
+fn clients(n: usize) -> Vec<Client> {
+    (0..n)
+        .map(|_| Client::new(ClientScript::increment(X)))
+        .collect()
+}
+
+fn main() {
+    let steps: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(30_000);
+    let n = 4;
+    let mut out = Outcome::new();
+
+    section("Fault-free: the global lock gives local progress");
+    let mut tm = GlobalLock::new(n, 1);
+    let mut cs = clients(n);
+    let report = simulate(
+        &mut tm,
+        &mut cs,
+        &mut RoundRobin::new(),
+        &FaultPlan::none(),
+        SimConfig::steps(steps).check_opacity(),
+    );
+    row(
+        "commits per process",
+        format!("{:?}", report.commits),
+    );
+    out.check(
+        "everyone commits, nobody aborts",
+        report.commits.iter().all(|&c| c > 100) && report.aborts.iter().all(|&a| a == 0),
+    );
+    out.check("opacity holds", report.safety_ok);
+
+    section("One crash while holding the lock");
+    let faults = FaultPlan::none().crash(ProcessId(0), 5);
+    let mut tm = GlobalLock::new(n, 1);
+    let mut cs = clients(n);
+    let report = simulate(
+        &mut tm,
+        &mut cs,
+        &mut RoundRobin::new(),
+        &faults,
+        SimConfig::steps(steps),
+    );
+    let commits_after_crash = report
+        .commit_log
+        .iter()
+        .filter(|&&(s, _)| s >= 5)
+        .count();
+    row("commits after the crash", commits_after_crash);
+    row("total stalled polls", report.stalls.iter().sum::<usize>());
+    out.check(
+        "zero commits by anyone after the crash",
+        commits_after_crash == 0,
+    );
+
+    section("Every non-blocking TM under the same crash");
+    // §3.2.3: deferred-update TMs (TL2, NOrec, OSTM, Fgp) shrug the crash
+    // off; DSTM's aggressive contention manager *steals* the dead writer's
+    // ownership; TinySTM's encounter-time lock is orphaned and its timid
+    // contention manager can only abort itself — survivors starve.
+    for mut tm in nonblocking_catalog(n, 1) {
+        let mut cs = clients(n);
+        let report = simulate(
+            tm.as_mut(),
+            &mut cs,
+            &mut RoundRobin::new(),
+            &faults,
+            SimConfig::steps(steps).check_opacity(),
+        );
+        let survivors: usize = report.commits.iter().skip(1).sum();
+        row(
+            report.tm_name.as_str(),
+            format!("survivor_commits={survivors} opacity={}", report.safety_ok),
+        );
+        // TinySTM and SwissTM hold encounter-time write locks; a crashed
+        // holder orphans them and conflicting survivors starve (§3.2.3).
+        let expect_starved = report.tm_name == "tinystm" || report.tm_name == "swisstm";
+        out.check(
+            &format!(
+                "{}: survivors {} after the crash",
+                report.tm_name,
+                if expect_starved {
+                    "starve behind the orphaned encounter-time lock"
+                } else {
+                    "keep committing"
+                }
+            ),
+            report.safety_ok && if expect_starved { survivors == 0 } else { survivors > 100 },
+        );
+    }
+    out.finish("ABL1");
+}

@@ -1,0 +1,100 @@
+//! ABL2 — ablation: obstruction freedom (DSTM-style, aggressive contention
+//! manager) vs lock-free commit ordering (OSTM-style).
+//!
+//! The paper (§3.2.3) credits obstruction-free TMs with solo progress in
+//! parasitic-free systems — but obstruction freedom allows **livelock**
+//! when transactions contend: under the alternating-steal schedule both
+//! writers doom each other forever on DSTM, while OSTM (first committer
+//! wins, nobody is ever doomed mid-flight) keeps one side committing, and
+//! Fgp does too. Running alone, all of them commit every transaction.
+//!
+//! Run: `cargo run -p bench --release --bin abl2_obstruction_freedom [rounds]`
+
+use bench::{row, section, Outcome};
+use tm_core::{Invocation as Inv, ProcessId, Response, TVarId};
+use tm_stm::{Dstm, FgpTm, Ostm, SteppedTm};
+
+const P1: ProcessId = ProcessId(0);
+const P2: ProcessId = ProcessId(1);
+const X: TVarId = TVarId(0);
+
+fn resp(tm: &mut dyn SteppedTm, p: ProcessId, inv: Inv) -> Response {
+    tm.invoke(p, inv).response().expect("non-blocking TM")
+}
+
+/// The adversarial alternating-steal schedule: each process writes (which
+/// on DSTM steals ownership and dooms the other) before the other's commit
+/// attempt. Returns total commits of both processes.
+fn alternating_steal(tm: &mut dyn SteppedTm, rounds: usize) -> (usize, usize) {
+    let mut commits = (0, 0);
+    let _ = resp(tm, P1, Inv::Write(X, 1));
+    let _ = resp(tm, P2, Inv::Write(X, 2));
+    for _ in 0..rounds {
+        if resp(tm, P1, Inv::TryCommit) == Response::Committed {
+            commits.0 += 1;
+        }
+        let _ = resp(tm, P1, Inv::Write(X, 1));
+        if resp(tm, P2, Inv::TryCommit) == Response::Committed {
+            commits.1 += 1;
+        }
+        let _ = resp(tm, P2, Inv::Write(X, 2));
+    }
+    commits
+}
+
+/// Solo run: one process repeatedly increments, alone.
+fn solo(tm: &mut dyn SteppedTm, rounds: usize) -> usize {
+    let mut commits = 0;
+    let mut v = 0u64;
+    for _ in 0..rounds {
+        if resp(tm, P1, Inv::Read(X)) == Response::Value(v) {
+            let _ = resp(tm, P1, Inv::Write(X, v + 1));
+            if resp(tm, P1, Inv::TryCommit) == Response::Committed {
+                commits += 1;
+                v += 1;
+            }
+        }
+    }
+    commits
+}
+
+fn main() {
+    let rounds: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10_000);
+    let mut out = Outcome::new();
+
+    section(&format!("Alternating-steal contention ({rounds} rounds)"));
+    let mut dstm = Dstm::new(2, 1);
+    let (a, b) = alternating_steal(&mut dstm, rounds);
+    row("dstm (obstruction-free, aggressive CM)", format!("p1={a} p2={b} — livelock"));
+    out.check("dstm livelocks (zero commits)", a == 0 && b == 0);
+
+    let mut ostm = Ostm::new(2, 1);
+    let (a, b) = alternating_steal(&mut ostm, rounds);
+    row("ostm (lock-free)", format!("p1={a} p2={b}"));
+    out.check("ostm: somebody keeps committing", a + b > rounds / 2);
+
+    let mut fgp = FgpTm::new(2, 1, tm_automata::FgpVariant::CpOnly);
+    let (a, b) = alternating_steal(&mut fgp, rounds);
+    row("fgp (global progress)", format!("p1={a} p2={b}"));
+    out.check("fgp: somebody keeps committing", a + b > rounds / 2);
+
+    section(&format!("Solo execution ({rounds} transactions)"));
+    for (name, commits) in [
+        ("dstm", solo(&mut Dstm::new(2, 1), rounds)),
+        ("ostm", solo(&mut Ostm::new(2, 1), rounds)),
+        (
+            "fgp",
+            solo(&mut FgpTm::new(2, 1, tm_automata::FgpVariant::CpOnly), rounds),
+        ),
+    ] {
+        row(name, format!("{commits}/{rounds} committed"));
+        out.check(
+            &format!("{name}: solo progress (every transaction commits)"),
+            commits == rounds,
+        );
+    }
+    out.finish("ABL2");
+}

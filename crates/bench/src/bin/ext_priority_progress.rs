@@ -1,0 +1,164 @@
+//! EXT-PRIO — the paper's §7 future work, explored experimentally:
+//! "TM-liveness properties that guarantee progress for processes with
+//! higher priority".
+//!
+//! The property (`PriorityProgress`): the highest-priority **correct**
+//! process makes progress. It is nonblocking but not biprogressing, so
+//! Theorem 2 does not forbid it. This harness shows:
+//!
+//! 1. **The shield works in fault-free runs**: `PriorityFgp` lets the
+//!    protected process commit on *every* schedule we throw at it —
+//!    including the Algorithm 1 opening that starves it on every ordinary
+//!    TM, and heavily biased random schedules.
+//! 2. **Plain TMs do not have this**: under the same biased schedules the
+//!    top-priority process starves on plain `Fgp`.
+//! 3. **The impossibility persists anyway**: if the protected process
+//!    crashes or turns parasitic *mid-transaction*, every lower-priority
+//!    process aborts forever. The lasso detector + classifier verify the
+//!    resulting infinite history violates priority progress (the faulty
+//!    top drops out of "correct", the new top correct process starves) —
+//!    the same indistinguishability that powers Theorem 1.
+//!
+//! Run: `cargo run -p bench --release --bin ext_priority_progress`
+
+use bench::{row, section, Outcome};
+use tm_automata::FgpVariant;
+use tm_core::{Invocation as Inv, ProcessId, Response, TVarId};
+use tm_liveness::{classify, detect_lasso, PriorityProgress, ProcessClass, TmLivenessProperty};
+use tm_stm::{FgpTm, PriorityFgp, Recorded, SteppedTm};
+use tm_sim::{simulate, Client, ClientScript, FaultPlan, SimConfig, WeightedScheduler};
+
+const P1: ProcessId = ProcessId(0);
+const P2: ProcessId = ProcessId(1);
+const X: TVarId = TVarId(0);
+
+fn resp(tm: &mut impl SteppedTm, p: ProcessId, inv: Inv) -> Response {
+    tm.invoke(p, inv).response().expect("never blocks")
+}
+
+/// The Algorithm 1 round, repeated: p1 reads, p2 tries to commit over it,
+/// then p1 tries to finish. Returns (p1 commits, p2 commits).
+fn adversary_rounds(tm: &mut impl SteppedTm, rounds: usize) -> (usize, usize) {
+    let mut commits = (0usize, 0usize);
+    for _ in 0..rounds {
+        let v = match resp(tm, P1, Inv::Read(X)) {
+            Response::Value(v) => Some(v),
+            _ => None,
+        };
+        loop {
+            let r = resp(tm, P2, Inv::Read(X));
+            let Response::Value(v2) = r else { continue };
+            if resp(tm, P2, Inv::Write(X, v2 ^ 1)) != Response::Ok {
+                continue;
+            }
+            match resp(tm, P2, Inv::TryCommit) {
+                Response::Committed => {
+                    commits.1 += 1;
+                    break;
+                }
+                // The shield refused p2: give p1 its chance this round.
+                Response::Aborted => break,
+                _ => unreachable!(),
+            }
+        }
+        if let Some(v) = v {
+            if resp(tm, P1, Inv::Write(X, v ^ 1)) == Response::Ok
+                && resp(tm, P1, Inv::TryCommit) == Response::Committed
+            {
+                commits.0 += 1;
+            }
+        }
+    }
+    commits
+}
+
+fn main() {
+    let mut out = Outcome::new();
+
+    section("1. The Algorithm 1 opening vs the shield (2000 rounds)");
+    let mut plain = FgpTm::new(2, 1, FgpVariant::CpOnly);
+    let (p1c, p2c) = adversary_rounds(&mut plain, 2_000);
+    row("fgp (no priorities)", format!("p1_commits={p1c} p2_commits={p2c}"));
+    out.check("plain fgp: p1 starves", p1c == 0 && p2c == 2_000);
+
+    let mut shielded = Recorded::new(PriorityFgp::new(vec![2, 1], 1));
+    let (p1c, p2c) = adversary_rounds(&mut shielded, 2_000);
+    row("priority-fgp (p1 ≻ p2)", format!("p1_commits={p1c} p2_commits={p2c}"));
+    out.check("priority-fgp: p1 commits every round", p1c == 2_000 && p2c == 0);
+    out.check("priority-fgp: run is opaque", {
+        let mut c = tm_safety::IncrementalChecker::new(tm_safety::Mode::Opacity);
+        c.push_all(shielded.history().iter().copied()).is_ok()
+    });
+
+    section("2. Biased random schedules (p2 gets 50× the steps)");
+    for (name, mut tm) in [
+        (
+            "fgp",
+            Box::new(FgpTm::new(2, 1, FgpVariant::CpOnly)) as tm_stm::BoxedTm,
+        ),
+        ("priority-fgp", Box::new(PriorityFgp::new(vec![2, 1], 1))),
+    ] {
+        let mut clients = vec![
+            Client::new(ClientScript::increment(X)),
+            Client::new(ClientScript::increment(X)),
+        ];
+        let mut sched = WeightedScheduler::new(vec![1, 50], 0xC0FFEE);
+        let report = simulate(
+            tm.as_mut(),
+            &mut clients,
+            &mut sched,
+            &FaultPlan::none(),
+            SimConfig::steps(50_000).check_opacity(),
+        );
+        row(
+            name,
+            format!(
+                "p1_commits={} p2_commits={} opacity={}",
+                report.commits[0], report.commits[1], report.safety_ok
+            ),
+        );
+        if name == "priority-fgp" {
+            out.check(
+                "priority-fgp: starved-of-steps p1 still commits whenever it runs",
+                report.commits[0] > 100 && report.safety_ok,
+            );
+        }
+    }
+
+    section("3. The impossibility persists: faulty shield-holder");
+    // p1 (top priority) opens a transaction and crashes; p2 keeps retrying.
+    let mut tm = Recorded::new(PriorityFgp::new(vec![2, 1], 1));
+    resp(&mut tm, P1, Inv::Read(X)); // p1 then crashes (never scheduled again)
+    for _ in 0..2_000 {
+        resp(&mut tm, P2, Inv::Write(X, 1));
+        let r = resp(&mut tm, P2, Inv::TryCommit);
+        assert_eq!(r, Response::Aborted, "the shield blocks p2 forever");
+    }
+    let lasso = detect_lasso(tm.history(), 3).expect("periodic run");
+    let prio = PriorityProgress::new(vec![2, 1]);
+    row(
+        "classification",
+        format!(
+            "p1={} p2={} top_correct={:?} priority_progress={}",
+            classify(&lasso, P1),
+            classify(&lasso, P2),
+            prio.top_correct(&lasso).map(|p| p.to_string()),
+            prio.contains(&lasso)
+        ),
+    );
+    out.check(
+        "crashed shield-holder: p1 crashed, p2 (new top correct) starves",
+        classify(&lasso, P1) == ProcessClass::Crashed
+            && classify(&lasso, P2) == ProcessClass::Starving
+            && !prio.contains(&lasso),
+    );
+
+    println!(
+        "\nConclusion: priority progress escapes Theorem 2's hypotheses (it is\n\
+         not biprogressing) and is achievable fault-free, but the same crash/\n\
+         parasitic indistinguishability defeats it in fault-prone systems —\n\
+         evidence for extending the paper's impossibility beyond biprogressing\n\
+         properties (its §7 final open question)."
+    );
+    out.finish("EXT-PRIO");
+}

@@ -1,0 +1,54 @@
+//! FIG1 — Figure 1: the scenario illustrating the difficulty of local
+//! progress. The two-process pattern (p1 reads, p2 commits a conflicting
+//! write, p1 must abort) repeats k times; every prefix is opaque and T1
+//! never commits.
+//!
+//! Run: `cargo run -p bench --release --bin fig01_scenario`
+
+use bench::{row, section, Outcome};
+use tm_core::{builder::figures, HistoryBuilder, ProcessId, TVarId};
+use tm_safety::{is_opaque, is_strictly_serializable, IncrementalChecker, Mode};
+
+fn main() {
+    let mut out = Outcome::new();
+    section("Figure 1: the base scenario");
+    let h = figures::figure_1();
+    print!("{}", h.render_lanes());
+    out.check("history is opaque", is_opaque(&h));
+    out.check("history is strictly serializable", is_strictly_serializable(&h));
+    out.check("T1 aborted, T2 committed", {
+        h.commit_count(ProcessId(0)) == 0 && h.commit_count(ProcessId(1)) == 1
+    });
+
+    section("The scenario repeated k times (paper: 'can repeat infinitely')");
+    let (p1, p2, x) = (ProcessId(0), ProcessId(1), TVarId(0));
+    for k in [10u64, 100, 1_000, 10_000] {
+        let mut b = HistoryBuilder::new();
+        for v in 0..k {
+            b.read(p1, x, v)
+                .read(p2, x, v)
+                .write_ok(p2, x, v + 1)
+                .commit(p2)
+                .write_ok(p1, x, v + 1)
+                .abort_on_try_commit(p1);
+        }
+        let h = b.build().expect("well-formed");
+        let mut checker = IncrementalChecker::new(Mode::Opacity);
+        let opaque = checker.push_all(h.iter().copied()).is_ok();
+        row(
+            &format!("k = {k}"),
+            format!(
+                "events={} p1_commits={} p2_commits={} every-prefix-opaque={}",
+                h.len(),
+                h.commit_count(p1),
+                h.commit_count(p2),
+                opaque
+            ),
+        );
+        if h.commit_count(p1) != 0 || !opaque {
+            out.check(&format!("k = {k} starvation + opacity"), false);
+        }
+    }
+    out.check("T1 starves at every repetition count", true);
+    out.finish("FIG1");
+}

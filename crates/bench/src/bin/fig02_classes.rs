@@ -1,0 +1,73 @@
+//! FIG2 — Figure 2: the process-class lattice. Classifies every process of
+//! every infinite-history figure and validates each arrow of the lattice
+//! (crashed → faulty, parasitic → faulty, starving → pending ∧ correct,
+//! crashed → pending, …) over the whole corpus.
+//!
+//! Run: `cargo run -p bench --release --bin fig02_classes`
+
+use bench::{row, section, Outcome};
+use tm_liveness::{
+    classify_all, figures, is_correct, is_crashed, is_faulty, is_parasitic, is_pending,
+    is_starving, makes_progress,
+};
+
+fn main() {
+    let mut out = Outcome::new();
+
+    section("Per-figure classification");
+    let named = [
+        ("figure 5", figures::figure_5()),
+        ("figure 6", figures::figure_6()),
+        ("figure 7", figures::figure_7()),
+        ("figure 9", figures::figure_9()),
+        ("figure 10", figures::figure_10()),
+        ("figure 12", figures::figure_12()),
+        ("figure 13", figures::figure_13()),
+        ("figure 14", figures::figure_14()),
+    ];
+    for (name, h) in &named {
+        let classes: Vec<String> = classify_all(h)
+            .into_iter()
+            .map(|(p, c)| format!("{p}:{c}"))
+            .collect();
+        row(name, classes.join("  "));
+    }
+
+    section("Lattice arrows over the corpus");
+    let corpus = figures::all_figures();
+    let mut crashed_faulty = true;
+    let mut parasitic_faulty = true;
+    let mut crashed_pending = true;
+    let mut starving_pending_correct = true;
+    let mut progress_correct_not_pending = true;
+    let mut crashed_xor_parasitic = true;
+    for h in &corpus {
+        for p in h.processes() {
+            if is_crashed(h, p) && !is_faulty(h, p) {
+                crashed_faulty = false;
+            }
+            if is_parasitic(h, p) && !is_faulty(h, p) {
+                parasitic_faulty = false;
+            }
+            if is_crashed(h, p) && !is_pending(h, p) {
+                crashed_pending = false;
+            }
+            if is_starving(h, p) && !(is_pending(h, p) && is_correct(h, p)) {
+                starving_pending_correct = false;
+            }
+            if makes_progress(h, p) && (!is_correct(h, p) || is_pending(h, p)) {
+                progress_correct_not_pending = false;
+            }
+            if is_crashed(h, p) && is_parasitic(h, p) {
+                crashed_xor_parasitic = false;
+            }
+        }
+    }
+    out.check("crashed → faulty", crashed_faulty);
+    out.check("parasitic → faulty", parasitic_faulty);
+    out.check("crashed → pending", crashed_pending);
+    out.check("starving → pending ∧ correct", starving_pending_correct);
+    out.check("makes-progress → correct ∧ ¬pending", progress_correct_not_pending);
+    out.check("crashed and parasitic are disjoint", crashed_xor_parasitic);
+    out.finish("FIG2");
+}

@@ -1,0 +1,46 @@
+//! FIG3/FIG4 — Figures 3 and 4: the paper's safety verdict table.
+//!
+//! | history  | opaque | strictly serializable |
+//! |----------|--------|-----------------------|
+//! | Figure 1 | yes    | yes                   |
+//! | Figure 3 | no     | no                    |
+//! | Figure 4 | no     | yes                   |
+//!
+//! Run: `cargo run -p bench --release --bin fig03_fig04_verdicts`
+
+use bench::{section, Outcome};
+use tm_core::builder::figures;
+use tm_safety::{check_opacity, check_strict_serializability};
+
+fn main() {
+    let mut out = Outcome::new();
+    let table = [
+        ("figure 1", figures::figure_1(), true, true),
+        ("figure 3", figures::figure_3(), false, false),
+        ("figure 4", figures::figure_4(), false, true),
+    ];
+    for (name, h, expect_opaque, expect_ss) in table {
+        section(name);
+        print!("{}", h.render_lanes());
+        let opaque = check_opacity(&h).expect("small history").holds();
+        let ss = check_strict_serializability(&h).expect("small history").holds();
+        out.check(
+            &format!("opaque = {expect_opaque}"),
+            opaque == expect_opaque,
+        );
+        out.check(
+            &format!("strictly serializable = {expect_ss}"),
+            ss == expect_ss,
+        );
+    }
+
+    section("Figure 8 (the adversary's would-be terminating history)");
+    for v in [0, 3, 10] {
+        let h = figures::figure_8(v);
+        let opaque = check_opacity(&h).expect("small history").holds();
+        let ss = check_strict_serializability(&h).expect("small history").holds();
+        out.check(&format!("v = {v}: not opaque"), !opaque);
+        out.check(&format!("v = {v}: not strictly serializable"), !ss);
+    }
+    out.finish("FIG3/FIG4");
+}

@@ -1,0 +1,80 @@
+//! FIG5/FIG6/FIG7/FIG14 — the TM-liveness property examples of §3.2 and
+//! the nonblocking/biprogressing classes of §5.1.
+//!
+//! Expected table (paper §3.2, §5.1):
+//!
+//! | history   | local | global | solo | nonblocking-cond | biprogressing-cond |
+//! |-----------|-------|--------|------|------------------|--------------------|
+//! | figure 5  | yes   | yes    | yes  | yes              | yes                |
+//! | figure 6  | no    | yes    | yes  | yes              | no                 |
+//! | figure 7  | yes   | yes    | yes  | yes              | yes                |
+//! | figure 14 | no    | no     | no   | no               | yes                |
+//!
+//! Run: `cargo run -p bench --release --bin fig05_07_14_liveness`
+
+use bench::{row, section, Outcome};
+use tm_liveness::{
+    figures, meta, GlobalProgress, LocalProgress, SoloProgress, TmLivenessProperty,
+};
+
+fn main() {
+    let mut out = Outcome::new();
+    section("Per-history property membership");
+    // (name, history, local, global, solo, nonblocking-cond, biprogressing-cond)
+    let expected = [
+        ("figure 5", figures::figure_5(), true, true, true, true, true),
+        ("figure 6", figures::figure_6(), false, true, true, true, false),
+        ("figure 7", figures::figure_7(), true, true, true, true, true),
+        ("figure 14", figures::figure_14(), false, false, false, false, true),
+    ];
+    for (name, h, local, global, solo, nb, bp) in &expected {
+        row(
+            name,
+            format!(
+                "local={} global={} solo={} nonblocking-cond={} biprogressing-cond={}",
+                LocalProgress.contains(h),
+                GlobalProgress.contains(h),
+                SoloProgress.contains(h),
+                meta::satisfies_nonblocking_condition(h),
+                meta::satisfies_biprogressing_condition(h),
+            ),
+        );
+        out.check(
+            &format!("{name} matches the paper"),
+            LocalProgress.contains(h) == *local
+                && GlobalProgress.contains(h) == *global
+                && SoloProgress.contains(h) == *solo
+                && meta::satisfies_nonblocking_condition(h) == *nb
+                && meta::satisfies_biprogressing_condition(h) == *bp,
+        );
+    }
+
+    section("Property classes over the figure corpus (§5.1)");
+    let corpus = figures::all_figures();
+    out.check(
+        "local progress is nonblocking",
+        meta::nonblocking_counterexample(&LocalProgress, &corpus).is_none(),
+    );
+    out.check(
+        "local progress is biprogressing",
+        meta::biprogressing_counterexample(&LocalProgress, &corpus).is_none(),
+    );
+    out.check(
+        "global progress is NOT biprogressing (figure 6 refutes)",
+        meta::biprogressing_counterexample(&GlobalProgress, &corpus).is_some(),
+    );
+    out.check(
+        "solo progress is nonblocking",
+        meta::nonblocking_counterexample(&SoloProgress, &corpus).is_none(),
+    );
+    out.check(
+        "solo progress is NOT biprogressing (figure 6 refutes)",
+        meta::biprogressing_counterexample(&SoloProgress, &corpus).is_some(),
+    );
+    out.check(
+        "every example property contains L_local (Definition 1)",
+        meta::weakening_counterexample(&GlobalProgress, &corpus).is_none()
+            && meta::weakening_counterexample(&SoloProgress, &corpus).is_none(),
+    );
+    out.finish("FIG5/6/7/14");
+}

@@ -1,0 +1,77 @@
+//! THM1/ALG1 — Theorem 1 with Algorithm 1 (parasitic-free systems,
+//! crash-flavoured environment): for every opaque TM in the catalogue the
+//! adversary starves `p1` forever while `p2` commits every round and every
+//! prefix of the history stays opaque. The global-lock TM "escapes" by
+//! blocking everyone — which is exactly why it cannot ensure progress in a
+//! crash-prone world.
+//!
+//! Also regenerates the Figure 8 argument: the would-be terminating
+//! history is not opaque.
+//!
+//! Run: `cargo run -p bench --release --bin thm1_algorithm1 [steps]`
+
+use bench::{row, section, Outcome};
+use tm_adversary::{run_game, Algorithm1, GameConfig};
+use tm_core::{builder::figures, TVarId};
+use tm_safety::is_opaque;
+use tm_stm::{nonblocking_catalog, GlobalLock};
+
+fn main() {
+    let steps: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(50_000);
+    let x = TVarId(0);
+    let mut out = Outcome::new();
+
+    section("Figure 8: the terminating history is not opaque");
+    out.check("figure 8 violates opacity", !is_opaque(&figures::figure_8(0)));
+
+    section(&format!("Algorithm 1 vs the catalogue ({steps} steps)"));
+    for mut tm in nonblocking_catalog(2, 1) {
+        let mut adversary = Algorithm1::new(x);
+        let report = run_game(
+            tm.as_mut(),
+            &mut adversary,
+            GameConfig::steps(steps).check_opacity(),
+        );
+        row("", report.row());
+        out.check(
+            &format!("{}: p1 starves, p2 progresses, opacity holds", report.tm_name),
+            report.commits[0] == 0
+                && report.commits[1] > 0
+                && !report.terminated
+                && report.safety_ok,
+        );
+    }
+
+    section("Global-lock TM: blocks instead of aborting");
+    let mut tm = GlobalLock::new(2, 1);
+    let mut adversary = Algorithm1::new(x);
+    let report = run_game(&mut tm, &mut adversary, GameConfig::steps(steps));
+    row("", report.row());
+    out.check(
+        "global-lock: nobody commits, p2 stalls forever",
+        report.commits == vec![0, 0] && report.stalled_steps > steps / 2,
+    );
+
+    section("The literal Fgp variant violates opacity under attack");
+    let mut tm = tm_stm::literal_fgp(2, 1);
+    let mut adversary = Algorithm1::with_victim_offset(x, 2);
+    let report = run_game(
+        tm.as_mut(),
+        &mut adversary,
+        GameConfig::steps(steps).check_opacity(),
+    );
+    row("", report.row());
+    row(
+        "violation",
+        report
+            .safety_violation
+            .as_deref()
+            .unwrap_or("none detected"),
+    );
+    out.check("fgp-literal: opacity violation detected", !report.safety_ok);
+
+    out.finish("THM1/ALG1");
+}

@@ -1,0 +1,54 @@
+//! THM1/ALG2 — Theorem 1 with Algorithm 2 (crash-free systems,
+//! parasitic-flavoured environment): `p1` re-reads at every round (it
+//! never crashes), yet every opaque TM starves it forever while `p2`
+//! commits every round.
+//!
+//! Run: `cargo run -p bench --release --bin thm1_algorithm2 [steps]`
+
+use bench::{row, section, Outcome};
+use tm_adversary::{run_game, Algorithm2, GameConfig};
+use tm_core::{ProcessId, TVarId};
+use tm_stm::{nonblocking_catalog, Recorded, Tl2};
+
+fn main() {
+    let steps: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(50_000);
+    let x = TVarId(0);
+    let mut out = Outcome::new();
+
+    section(&format!("Algorithm 2 vs the catalogue ({steps} steps)"));
+    for mut tm in nonblocking_catalog(2, 1) {
+        let mut adversary = Algorithm2::new(x);
+        let report = run_game(
+            tm.as_mut(),
+            &mut adversary,
+            GameConfig::steps(steps).check_opacity(),
+        );
+        row("", report.row());
+        out.check(
+            &format!("{}: p1 starves, p2 progresses, opacity holds", report.tm_name),
+            report.commits[0] == 0
+                && report.commits[1] > 0
+                && !report.terminated
+                && report.safety_ok,
+        );
+    }
+
+    section("Crash-freeness of the run (p1 keeps taking steps)");
+    let mut tm = Recorded::new(Tl2::new(2, 1));
+    let mut adversary = Algorithm2::new(x);
+    let report = run_game(&mut tm, &mut adversary, GameConfig::steps(steps));
+    let p1_events = tm.history().project(ProcessId(0)).len();
+    let p2_events = tm.history().project(ProcessId(1)).len();
+    row("p1 events", p1_events);
+    row("p2 events", p2_events);
+    row("p1/p2 activity ratio", format!("{:.2}", p1_events as f64 / p2_events as f64));
+    out.check(
+        "p1 stays active forever (> 20% of p2's events)",
+        p1_events * 5 > p2_events,
+    );
+    out.check("p1 still starves", report.commits[0] == 0);
+    out.finish("THM1/ALG2");
+}

@@ -1,0 +1,54 @@
+//! THM2/LEM1 — the generalized impossibility: for n = 2…8 processes, the
+//! rotating-committers adversary produces runs in which **all n processes
+//! are correct** yet only n−1 make progress — the Lemma 1 shape ("at least
+//! two correct, at most one… " scaled out: one correct process can always
+//! be denied) for every strictly-serializable-safe TM in the catalogue.
+//!
+//! Run: `cargo run -p bench --release --bin thm2_generalized [steps]`
+
+use bench::{row, section, Outcome};
+use tm_adversary::{run_game, GameConfig, RotatingStarver};
+use tm_core::TVarId;
+use tm_stm::nonblocking_catalog;
+
+fn main() {
+    let steps: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(30_000);
+    let x = TVarId(0);
+    let mut out = Outcome::new();
+
+    for n in 2..=8 {
+        section(&format!("n = {n} processes ({steps} steps)"));
+        for mut tm in nonblocking_catalog(n, 1) {
+            let mut adversary = RotatingStarver::new(x, n);
+            let report = run_game(
+                tm.as_mut(),
+                &mut adversary,
+                GameConfig::steps(steps).check_strict_serializability(),
+            );
+            let progressing = report.commits.iter().filter(|&&c| c > 0).count();
+            row(
+                &report.tm_name,
+                format!(
+                    "victim_commits={} victim_aborts={} progressing={}/{} rounds={} ss_ok={}",
+                    report.commits[0],
+                    report.aborts[0],
+                    progressing,
+                    n,
+                    report.rounds,
+                    report.safety_ok
+                ),
+            );
+            out.check(
+                &format!("{} n={n}: exactly n-1 of n correct processes progress", report.tm_name),
+                report.commits[0] == 0
+                    && progressing == n - 1
+                    && report.aborts[0] > 0
+                    && report.safety_ok,
+            );
+        }
+    }
+    out.finish("THM2/LEM1");
+}

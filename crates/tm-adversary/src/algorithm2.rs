@@ -1,0 +1,223 @@
+//! Algorithm 2 of the paper (Theorem 1, crash-free systems).
+//!
+//! Two processes, one t-variable `x`:
+//!
+//! * **Step 1** — `p1` reads `x` (value `v` or `A1`); then `p2` reads `x`;
+//!   on `A2` repeat Step 1; else `p2` writes `v2 + 1`; on `A2` repeat
+//!   Step 1; else `p2` invokes `tryC`; on `C2` go to Step 2, else repeat
+//!   Step 1.
+//! * **Step 2** — if `p1`'s last response was `A1`, go to Step 1; else
+//!   `p1` writes `v + 1`; on `A1` go to Step 1; else `p1` invokes `tryC`;
+//!   on `C1` **stop** (impossible for an opaque TM — Figure 11), else go
+//!   to Step 1.
+//!
+//! The crucial difference from Algorithm 1: `p1` re-reads `x` at **every**
+//! iteration of Step 1, so `p1` never crashes. If the TM keeps `p2`
+//! looping, `p1` executes infinitely many reads without `tryC` — it is
+//! parasitic (Figure 12); if `p2` keeps committing, `p1` keeps aborting —
+//! it starves (Figure 13).
+
+use tm_core::{Invocation, ProcessId, Response, TVarId, Value};
+
+use crate::strategy::{Strategy, ValueMode};
+
+const P1: ProcessId = ProcessId(0);
+const P2: ProcessId = ProcessId(1);
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    P1ReadDue,
+    AwaitP1Read,
+    P2ReadDue,
+    AwaitP2Read,
+    P2WriteDue,
+    AwaitP2Write,
+    P2TryCDue,
+    AwaitP2TryC,
+    Step2Due,
+    AwaitP1Write,
+    P1TryCDue,
+    AwaitP1TryC,
+    Finished,
+}
+
+/// The Algorithm 2 adversary.
+#[derive(Debug, Clone)]
+pub struct Algorithm2 {
+    x: TVarId,
+    state: State,
+    /// `p1`'s most recent read response (`None` = aborted).
+    p1_read: Option<Value>,
+    /// Whether `p1` has an open transaction (its Step-1 read succeeded
+    /// without a terminating abort since).
+    p2_read: Value,
+    mode: ValueMode,
+    rounds: usize,
+}
+
+impl Algorithm2 {
+    /// Creates the adversary playing on t-variable `x`.
+    pub fn new(x: TVarId) -> Self {
+        Algorithm2 {
+            x,
+            state: State::P1ReadDue,
+            p1_read: None,
+            p2_read: 0,
+            mode: ValueMode::Increment,
+            rounds: 0,
+        }
+    }
+
+    /// Binary-domain variant (writes `1 − v`): eventually periodic runs
+    /// for the lasso detector.
+    pub fn binary(x: TVarId) -> Self {
+        let mut a = Self::new(x);
+        a.mode = ValueMode::Binary;
+        a
+    }
+}
+
+impl Strategy for Algorithm2 {
+    fn name(&self) -> &'static str {
+        "algorithm-2"
+    }
+
+    fn next(&mut self) -> (ProcessId, Invocation) {
+        match self.state {
+            State::P1ReadDue => {
+                self.state = State::AwaitP1Read;
+                (P1, Invocation::Read(self.x))
+            }
+            State::P2ReadDue => {
+                self.state = State::AwaitP2Read;
+                (P2, Invocation::Read(self.x))
+            }
+            State::P2WriteDue => {
+                self.state = State::AwaitP2Write;
+                (P2, Invocation::Write(self.x, self.mode.next(self.p2_read)))
+            }
+            State::P2TryCDue => {
+                self.state = State::AwaitP2TryC;
+                (P2, Invocation::TryCommit)
+            }
+            State::Step2Due => match self.p1_read {
+                None => {
+                    self.state = State::AwaitP1Read;
+                    (P1, Invocation::Read(self.x))
+                }
+                Some(v) => {
+                    self.state = State::AwaitP1Write;
+                    (P1, Invocation::Write(self.x, self.mode.next(v)))
+                }
+            },
+            State::P1TryCDue => {
+                self.state = State::AwaitP1TryC;
+                (P1, Invocation::TryCommit)
+            }
+            State::AwaitP1Read
+            | State::AwaitP2Read
+            | State::AwaitP2Write
+            | State::AwaitP2TryC
+            | State::AwaitP1Write
+            | State::AwaitP1TryC => unreachable!("next() while awaiting a response"),
+            State::Finished => unreachable!("next() after finish"),
+        }
+    }
+
+    fn observe(&mut self, process: ProcessId, response: Response) {
+        self.state = match (self.state, process, response) {
+            (State::AwaitP1Read, p, Response::Value(v)) if p == P1 => {
+                self.p1_read = Some(v);
+                State::P2ReadDue
+            }
+            (State::AwaitP1Read, p, Response::Aborted) if p == P1 => {
+                self.p1_read = None;
+                State::P2ReadDue
+            }
+            (State::AwaitP2Read, p, Response::Value(v)) if p == P2 => {
+                self.p2_read = v;
+                State::P2WriteDue
+            }
+            (State::AwaitP2Read, p, Response::Aborted) if p == P2 => State::P1ReadDue,
+            (State::AwaitP2Write, p, Response::Ok) if p == P2 => State::P2TryCDue,
+            (State::AwaitP2Write, p, Response::Aborted) if p == P2 => State::P1ReadDue,
+            (State::AwaitP2TryC, p, Response::Committed) if p == P2 => {
+                self.rounds += 1;
+                State::Step2Due
+            }
+            (State::AwaitP2TryC, p, Response::Aborted) if p == P2 => State::P1ReadDue,
+            (State::AwaitP1Write, p, Response::Ok) if p == P1 => State::P1TryCDue,
+            (State::AwaitP1Write, p, Response::Aborted) if p == P1 => State::P1ReadDue,
+            (State::AwaitP1TryC, p, Response::Committed) if p == P1 => State::Finished,
+            (State::AwaitP1TryC, p, Response::Aborted) if p == P1 => State::P1ReadDue,
+            (state, p, r) => unreachable!("unexpected response {r:?} from {p} in {state:?}"),
+        };
+    }
+
+    fn finished(&self) -> bool {
+        self.state == State::Finished
+    }
+
+    fn rounds(&self) -> usize {
+        self.rounds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::game::{run_game, GameConfig};
+    use tm_stm::nonblocking_catalog;
+
+    const X: TVarId = TVarId(0);
+
+    #[test]
+    fn starves_p1_against_every_opaque_tm() {
+        for mut tm in nonblocking_catalog(2, 1) {
+            let mut strategy = Algorithm2::new(X);
+            let report = run_game(tm.as_mut(), &mut strategy, GameConfig::steps(5_000));
+            assert!(
+                !report.terminated,
+                "{}: adversary must not terminate",
+                tm.name()
+            );
+            assert_eq!(
+                report.commits[P1.index()],
+                0,
+                "{}: p1 must never commit",
+                tm.name()
+            );
+            assert!(
+                report.commits[P2.index()] >= 100,
+                "{}: p2 should commit (got {})",
+                tm.name(),
+                report.commits[P2.index()]
+            );
+        }
+    }
+
+    #[test]
+    fn p1_keeps_invoking_and_never_crashes() {
+        // In Algorithm 2, p1 issues a read every round: in the produced
+        // history p1's projection keeps growing (it is never silent
+        // forever, i.e. the run is crash-free).
+        let mut tm = tm_stm::Recorded::new(tm_stm::Tl2::new(2, 1));
+        let mut strategy = Algorithm2::new(X);
+        let _ = run_game(&mut tm, &mut strategy, GameConfig::steps(2_000));
+        let p1_events = tm.history().project(P1).len();
+        assert!(p1_events >= 500, "p1 stayed active (got {p1_events})");
+    }
+
+    #[test]
+    fn histories_remain_opaque_throughout() {
+        for mut tm in nonblocking_catalog(2, 1) {
+            let mut strategy = Algorithm2::new(X);
+            let report = run_game(
+                tm.as_mut(),
+                &mut strategy,
+                GameConfig::steps(2_000).check_opacity(),
+            );
+            assert!(report.safety_ok, "{}: opacity violated", tm.name());
+        }
+    }
+}

@@ -1,0 +1,251 @@
+//! The game driver: environment strategy × TM implementation.
+//!
+//! Runs a [`Strategy`] against any [`SteppedTm`] for a bounded number of
+//! steps, collecting per-process commit/abort counts, stall statistics
+//! (for blocking TMs) and — optionally — an online opacity certificate
+//! over the produced history.
+
+use serde::{Deserialize, Serialize};
+
+use tm_core::{Event, ProcessId, Response};
+use tm_safety::{IncrementalChecker, Mode};
+use tm_stm::{Outcome, SteppedTm};
+
+use crate::strategy::Strategy;
+
+/// Configuration for [`run_game`].
+#[derive(Debug, Clone, Copy)]
+pub struct GameConfig {
+    /// Maximum number of driver steps (each step is one invocation, one
+    /// delivered response, or one stalled poll).
+    pub max_steps: usize,
+    /// Online safety certification of the produced history.
+    pub check: Option<Mode>,
+}
+
+impl GameConfig {
+    /// A configuration running `max_steps` steps without safety checking.
+    pub fn steps(max_steps: usize) -> Self {
+        GameConfig {
+            max_steps,
+            check: None,
+        }
+    }
+
+    /// Enables online opacity certification.
+    pub fn check_opacity(mut self) -> Self {
+        self.check = Some(Mode::Opacity);
+        self
+    }
+
+    /// Enables online strict-serializability certification.
+    pub fn check_strict_serializability(mut self) -> Self {
+        self.check = Some(Mode::StrictSerializability);
+        self
+    }
+}
+
+/// The outcome of an adversary game.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GameReport {
+    /// TM algorithm name.
+    pub tm_name: String,
+    /// Strategy name.
+    pub strategy_name: String,
+    /// Driver steps executed.
+    pub steps: usize,
+    /// Steps wasted polling a withheld response (blocking TMs only).
+    pub stalled_steps: usize,
+    /// Commit events per process.
+    pub commits: Vec<usize>,
+    /// Abort events per process.
+    pub aborts: Vec<usize>,
+    /// Completed adversary rounds.
+    pub rounds: usize,
+    /// Whether the strategy terminated (the victim committed) — Theorem 1
+    /// says this never happens against an opaque TM.
+    pub terminated: bool,
+    /// Whether the (optional) online safety check passed.
+    pub safety_ok: bool,
+    /// Description of the safety violation, if one was detected.
+    pub safety_violation: Option<String>,
+}
+
+impl GameReport {
+    /// Renders the report as a one-line experiment row.
+    pub fn row(&self) -> String {
+        format!(
+            "{:<12} {:<14} rounds={:<8} p1_commits={:<3} p2+_commits={:<8} p1_aborts={:<8} \
+             stalls={:<8} terminated={:<5} safety_ok={}",
+            self.tm_name,
+            self.strategy_name,
+            self.rounds,
+            self.commits.first().copied().unwrap_or(0),
+            self.commits.iter().skip(1).sum::<usize>(),
+            self.aborts.first().copied().unwrap_or(0),
+            self.stalled_steps,
+            self.terminated,
+            self.safety_ok,
+        )
+    }
+}
+
+/// Runs `strategy` against `tm` for at most `config.max_steps` steps.
+///
+/// The driver issues the strategy's invocations one at a time. If the TM
+/// withholds a response (a blocking TM), subsequent steps poll until it
+/// arrives — each fruitless poll counts as a *stalled step*, so a
+/// permanently blocked game is visible in the report rather than hanging.
+pub fn run_game(
+    tm: &mut dyn SteppedTm,
+    strategy: &mut dyn Strategy,
+    config: GameConfig,
+) -> GameReport {
+    let n = tm.process_count();
+    let mut commits = vec![0usize; n];
+    let mut aborts = vec![0usize; n];
+    let mut checker = config.check.map(IncrementalChecker::new);
+    let mut safety_ok = true;
+    let mut safety_violation = None;
+    let mut blocked: Option<ProcessId> = None;
+    let mut steps = 0;
+    let mut stalled_steps = 0;
+
+    let observe = |p: ProcessId,
+                       r: Response,
+                       commits: &mut Vec<usize>,
+                       aborts: &mut Vec<usize>,
+                       checker: &mut Option<IncrementalChecker>,
+                       safety_ok: &mut bool,
+                       safety_violation: &mut Option<String>| {
+        match r {
+            Response::Committed => commits[p.index()] += 1,
+            Response::Aborted => aborts[p.index()] += 1,
+            _ => {}
+        }
+        if let Some(c) = checker {
+            if *safety_ok {
+                if let Err(v) = c.push(Event::response(p, r)) {
+                    *safety_ok = false;
+                    *safety_violation = Some(v.to_string());
+                }
+            }
+        }
+    };
+
+    while steps < config.max_steps && !strategy.finished() {
+        steps += 1;
+        if let Some(p) = blocked {
+            match tm.poll(p) {
+                Some(r) => {
+                    blocked = None;
+                    observe(
+                        p,
+                        r,
+                        &mut commits,
+                        &mut aborts,
+                        &mut checker,
+                        &mut safety_ok,
+                        &mut safety_violation,
+                    );
+                    strategy.observe(p, r);
+                }
+                None => stalled_steps += 1,
+            }
+            continue;
+        }
+        let (p, inv) = strategy.next();
+        if let Some(c) = &mut checker {
+            if safety_ok {
+                if let Err(v) = c.push(Event::invocation(p, inv)) {
+                    safety_ok = false;
+                    safety_violation = Some(v.to_string());
+                }
+            }
+        }
+        match tm.invoke(p, inv) {
+            Outcome::Response(r) => {
+                observe(
+                    p,
+                    r,
+                    &mut commits,
+                    &mut aborts,
+                    &mut checker,
+                    &mut safety_ok,
+                    &mut safety_violation,
+                );
+                strategy.observe(p, r);
+            }
+            Outcome::Pending => blocked = Some(p),
+        }
+    }
+
+    GameReport {
+        tm_name: tm.name().to_string(),
+        strategy_name: strategy.name().to_string(),
+        steps,
+        stalled_steps,
+        commits,
+        aborts,
+        rounds: strategy.rounds(),
+        terminated: strategy.finished(),
+        safety_ok,
+        safety_violation,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm1::Algorithm1;
+    use tm_core::TVarId;
+    use tm_stm::{literal_fgp, Tl2};
+
+    const X: TVarId = TVarId(0);
+
+    #[test]
+    fn report_row_is_printable() {
+        let mut tm = Tl2::new(2, 1);
+        let mut s = Algorithm1::new(X);
+        let report = run_game(&mut tm, &mut s, GameConfig::steps(500));
+        let row = report.row();
+        assert!(row.contains("tl2"));
+        assert!(row.contains("algorithm-1"));
+    }
+
+    #[test]
+    fn zero_steps_yields_empty_report() {
+        let mut tm = Tl2::new(2, 1);
+        let mut s = Algorithm1::new(X);
+        let report = run_game(&mut tm, &mut s, GameConfig::steps(0));
+        assert_eq!(report.steps, 0);
+        assert_eq!(report.commits, vec![0, 0]);
+        assert!(!report.terminated);
+    }
+
+    #[test]
+    fn literal_fgp_fails_the_online_opacity_check() {
+        // The literal Fgp leaks aborted writes. With the paper's exact
+        // `v + 1` the leak happens to coincide with the committed value, so
+        // we have the victim write `v + 2`: its doomed write then pollutes
+        // its next transaction's read with a never-committed value, and the
+        // online checker flags the violation.
+        let mut tm = literal_fgp(2, 1);
+        let mut s = Algorithm1::with_victim_offset(X, 2);
+        let report = run_game(tm.as_mut(), &mut s, GameConfig::steps(5_000).check_opacity());
+        assert!(
+            !report.safety_ok,
+            "literal Fgp should violate opacity under the adversary"
+        );
+        assert!(report.safety_violation.is_some());
+    }
+
+    #[test]
+    fn corrected_fgp_passes_the_same_attack() {
+        let mut tm = tm_stm::FgpTm::new(2, 1, tm_automata::FgpVariant::CpOnly);
+        let mut s = Algorithm1::with_victim_offset(X, 2);
+        let report = run_game(&mut tm, &mut s, GameConfig::steps(5_000).check_opacity());
+        assert!(report.safety_ok);
+        assert!(!report.terminated);
+    }
+}

@@ -1,0 +1,227 @@
+//! The n-process generalization (Lemma 1 / Theorem 2 flavour).
+//!
+//! Lemma 1 exhibits, for every TM ensuring a strictly serializable safety
+//! property and a nonblocking liveness property, an infinite history with
+//! at least two correct processes of which at most one makes progress.
+//! This strategy generalizes Algorithm 1's shape to `n` processes: a
+//! single victim `p1` and committers `p2 … pn` that take turns playing
+//! the Step-2 role. Every committer stays correct and commits infinitely
+//! often; the victim stays correct (it is aborted infinitely often) and
+//! never commits — so `n − 1` of `n` correct processes make progress and
+//! one starves, for arbitrary `n`.
+
+use tm_core::{Invocation, ProcessId, Response, TVarId, Value};
+
+use crate::strategy::Strategy;
+
+const VICTIM: ProcessId = ProcessId(0);
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    VictimReadDue,
+    AwaitVictimRead,
+    CommitterReadDue,
+    AwaitCommitterRead,
+    CommitterWriteDue,
+    AwaitCommitterWrite,
+    CommitterTryCDue,
+    AwaitCommitterTryC,
+    VictimAttackDue,
+    AwaitVictimWrite,
+    VictimTryCDue,
+    AwaitVictimTryC,
+    Finished,
+}
+
+/// A rotating-committers generalization of Algorithm 1 for `n ≥ 2`
+/// processes.
+#[derive(Debug, Clone)]
+pub struct RotatingStarver {
+    x: TVarId,
+    processes: usize,
+    state: State,
+    /// Which committer (index into `1..processes`) plays Step 2 this
+    /// round.
+    committer: usize,
+    victim_read: Option<Value>,
+    committer_read: Value,
+    rounds: usize,
+}
+
+impl RotatingStarver {
+    /// Creates the strategy for `processes` processes playing on `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `processes < 2`.
+    pub fn new(x: TVarId, processes: usize) -> Self {
+        assert!(processes >= 2, "need a victim and at least one committer");
+        RotatingStarver {
+            x,
+            processes,
+            state: State::VictimReadDue,
+            committer: 1,
+            victim_read: None,
+            committer_read: 0,
+            rounds: 0,
+        }
+    }
+
+    fn committer_id(&self) -> ProcessId {
+        ProcessId(self.committer)
+    }
+
+    fn rotate(&mut self) {
+        self.committer += 1;
+        if self.committer >= self.processes {
+            self.committer = 1;
+        }
+    }
+}
+
+impl Strategy for RotatingStarver {
+    fn name(&self) -> &'static str {
+        "rotating-starver"
+    }
+
+    fn next(&mut self) -> (ProcessId, Invocation) {
+        match self.state {
+            State::VictimReadDue => {
+                self.state = State::AwaitVictimRead;
+                (VICTIM, Invocation::Read(self.x))
+            }
+            State::CommitterReadDue => {
+                self.state = State::AwaitCommitterRead;
+                (self.committer_id(), Invocation::Read(self.x))
+            }
+            State::CommitterWriteDue => {
+                self.state = State::AwaitCommitterWrite;
+                (
+                    self.committer_id(),
+                    Invocation::Write(self.x, self.committer_read + 1),
+                )
+            }
+            State::CommitterTryCDue => {
+                self.state = State::AwaitCommitterTryC;
+                (self.committer_id(), Invocation::TryCommit)
+            }
+            State::VictimAttackDue => match self.victim_read {
+                None => {
+                    self.state = State::AwaitVictimRead;
+                    (VICTIM, Invocation::Read(self.x))
+                }
+                Some(v) => {
+                    self.state = State::AwaitVictimWrite;
+                    (VICTIM, Invocation::Write(self.x, v + 1))
+                }
+            },
+            State::VictimTryCDue => {
+                self.state = State::AwaitVictimTryC;
+                (VICTIM, Invocation::TryCommit)
+            }
+            _ => unreachable!("next() in awaiting/finished state"),
+        }
+    }
+
+    fn observe(&mut self, process: ProcessId, response: Response) {
+        let committer = self.committer_id();
+        self.state = match (self.state, process, response) {
+            (State::AwaitVictimRead, p, Response::Value(v)) if p == VICTIM => {
+                self.victim_read = Some(v);
+                State::CommitterReadDue
+            }
+            (State::AwaitVictimRead, p, Response::Aborted) if p == VICTIM => {
+                self.victim_read = None;
+                State::CommitterReadDue
+            }
+            (State::AwaitCommitterRead, p, Response::Value(v)) if p == committer => {
+                self.committer_read = v;
+                State::CommitterWriteDue
+            }
+            (State::AwaitCommitterRead, p, Response::Aborted) if p == committer => {
+                State::CommitterReadDue
+            }
+            (State::AwaitCommitterWrite, p, Response::Ok) if p == committer => {
+                State::CommitterTryCDue
+            }
+            (State::AwaitCommitterWrite, p, Response::Aborted) if p == committer => {
+                State::CommitterReadDue
+            }
+            (State::AwaitCommitterTryC, p, Response::Committed) if p == committer => {
+                self.rounds += 1;
+                State::VictimAttackDue
+            }
+            (State::AwaitCommitterTryC, p, Response::Aborted) if p == committer => {
+                State::CommitterReadDue
+            }
+            (State::AwaitVictimWrite, p, Response::Ok) if p == VICTIM => State::VictimTryCDue,
+            (State::AwaitVictimWrite, p, Response::Aborted) if p == VICTIM => {
+                self.rotate();
+                State::VictimReadDue
+            }
+            (State::AwaitVictimTryC, p, Response::Committed) if p == VICTIM => State::Finished,
+            (State::AwaitVictimTryC, p, Response::Aborted) if p == VICTIM => {
+                self.rotate();
+                State::VictimReadDue
+            }
+            (state, p, r) => unreachable!("unexpected response {r:?} from {p} in {state:?}"),
+        };
+    }
+
+    fn finished(&self) -> bool {
+        self.state == State::Finished
+    }
+
+    fn rounds(&self) -> usize {
+        self.rounds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::game::{run_game, GameConfig};
+    use tm_stm::nonblocking_catalog;
+
+    const X: TVarId = TVarId(0);
+
+    #[test]
+    fn all_committers_progress_victim_starves() {
+        for n in [2, 3, 5, 8] {
+            for mut tm in nonblocking_catalog(n, 1) {
+                let mut strategy = RotatingStarver::new(X, n);
+                let report = run_game(tm.as_mut(), &mut strategy, GameConfig::steps(8_000));
+                assert!(!report.terminated, "{} n={n}", tm.name());
+                assert_eq!(report.commits[0], 0, "{} n={n}: victim committed", tm.name());
+                for k in 1..n {
+                    assert!(
+                        report.commits[k] > 0,
+                        "{} n={n}: committer p{} never committed",
+                        tm.name(),
+                        k + 1
+                    );
+                }
+                assert!(report.aborts[0] > 0, "{} n={n}: victim never aborted", tm.name());
+            }
+        }
+    }
+
+    #[test]
+    fn histories_remain_opaque() {
+        for mut tm in nonblocking_catalog(4, 1) {
+            let mut strategy = RotatingStarver::new(X, 4);
+            let report = run_game(
+                tm.as_mut(),
+                &mut strategy,
+                GameConfig::steps(4_000).check_opacity(),
+            );
+            assert!(report.safety_ok, "{}", tm.name());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "victim")]
+    fn requires_two_processes() {
+        let _ = RotatingStarver::new(X, 1);
+    }
+}

@@ -1,0 +1,40 @@
+//! The impossibility adversaries of *On the Liveness of Transactional
+//! Memory* (PODC 2012), executable against real TM implementations.
+//!
+//! Theorem 1 proves no TM ensures opacity **and** local progress in a
+//! fault-prone system, by giving the environment a winning strategy:
+//! [`Algorithm1`] (for systems where processes may crash) and
+//! [`Algorithm2`] (for systems where processes may turn parasitic) force
+//! any opaque TM to starve process `p1` forever. [`RotatingStarver`]
+//! generalizes the construction to `n` processes (Lemma 1 / Theorem 2).
+//!
+//! [`run_game`] plays a [`Strategy`] against any `SteppedTm`, reporting
+//! per-process commits/aborts, rounds, stalls (for blocking TMs) and an
+//! optional online opacity certificate.
+//!
+//! ```
+//! use tm_adversary::{run_game, Algorithm1, GameConfig};
+//! use tm_core::{ProcessId, TVarId};
+//! use tm_stm::Tl2;
+//!
+//! let mut tm = Tl2::new(2, 1);
+//! let mut adversary = Algorithm1::new(TVarId(0));
+//! let report = run_game(&mut tm, &mut adversary, GameConfig::steps(1_000));
+//! assert_eq!(report.commits[0], 0); // p1 starves — Theorem 1 in action
+//! assert!(report.commits[1] > 0);   // p2 commits every round
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod algorithm1;
+pub mod algorithm2;
+pub mod game;
+pub mod generalized;
+pub mod strategy;
+
+pub use algorithm1::Algorithm1;
+pub use algorithm2::Algorithm2;
+pub use game::{run_game, GameConfig, GameReport};
+pub use generalized::RotatingStarver;
+pub use strategy::{Strategy, ValueMode};

@@ -1,0 +1,77 @@
+//! The environment side of the impossibility game.
+//!
+//! Theorem 1 views each history as a game between the *environment*
+//! (processes + scheduler, deciding invocations) and the *implementation*
+//! (deciding responses). A [`Strategy`] is an environment: asked for the
+//! next invocation, then shown the TM's response. The game driver
+//! ([`crate::game`]) wires a strategy to any `SteppedTm`.
+
+use tm_core::{Invocation, ProcessId, Response, Value};
+
+/// How the adversary computes the "different value" it writes over a read
+/// value `v`.
+///
+/// The paper's algorithms write `v + 1`, which makes the produced infinite
+/// history aperiodic in values. [`ValueMode::Binary`] writes `1 − v`
+/// instead (the paper's argument only needs *some* value different from
+/// `v`), which makes the run **eventually periodic** — so the lasso
+/// detector (`tm_liveness::detect_lasso`) can recover the infinite history
+/// and classify it formally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ValueMode {
+    /// Write `v + 1` (the paper's literal construction).
+    Increment,
+    /// Write `v XOR 1` — binary domain, exactly periodic runs.
+    Binary,
+}
+
+impl ValueMode {
+    /// The value the competitor writes over a read value `v`.
+    pub fn next(self, v: Value) -> Value {
+        match self {
+            ValueMode::Increment => v + 1,
+            ValueMode::Binary => v ^ 1,
+        }
+    }
+}
+
+/// An environment strategy: decides which process invokes what next, and
+/// observes responses.
+pub trait Strategy {
+    /// Human-readable name (used in experiment output).
+    fn name(&self) -> &'static str;
+
+    /// The next invocation to issue. Must not be called after
+    /// [`Strategy::finished`] returns true.
+    fn next(&mut self) -> (ProcessId, Invocation);
+
+    /// Observes the TM's response to the invocation most recently issued
+    /// for `process`.
+    fn observe(&mut self, process: ProcessId, response: Response);
+
+    /// Whether the strategy has terminated. For the paper's adversaries
+    /// this means the TM let the victim commit — Theorem 1 proves that can
+    /// never happen if the TM is opaque, so `true` here is itself an
+    /// experimental finding (it implies a safety violation).
+    fn finished(&self) -> bool;
+
+    /// Number of completed adversary rounds (each round gives the
+    /// competitor process one commit).
+    fn rounds(&self) -> usize;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm1::Algorithm1;
+    use tm_core::TVarId;
+
+    #[test]
+    fn strategy_trait_is_object_safe() {
+        let mut s: Box<dyn Strategy> = Box::new(Algorithm1::new(TVarId(0)));
+        assert!(!s.finished());
+        let (p, inv) = s.next();
+        assert_eq!(p, ProcessId(0));
+        assert!(matches!(inv, Invocation::Read(_)));
+    }
+}

@@ -1,0 +1,75 @@
+//! Graphviz export of reachable-state graphs.
+//!
+//! Figure 15 of the paper is a drawing of `Fgp`'s ten-state graph; this
+//! module renders any [`StateGraph`] in DOT format so the figure can be
+//! regenerated graphically (`dot -Tpdf`), and counterexample automata can
+//! be inspected visually.
+
+use std::fmt::Write as _;
+
+use crate::enumerate::StateGraph;
+
+/// Renders the graph in Graphviz DOT format.
+///
+/// `label` renders each state's node label; the initial state (index 0)
+/// is drawn with a double circle, matching automata convention.
+pub fn to_dot<S>(graph: &StateGraph<S>, name: &str, mut label: impl FnMut(&S) -> String) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph {name} {{");
+    let _ = writeln!(out, "  rankdir=LR;");
+    let _ = writeln!(out, "  node [shape=circle, fontsize=10];");
+    for (i, state) in graph.states.iter().enumerate() {
+        let shape = if i == 0 { "doublecircle" } else { "circle" };
+        let _ = writeln!(
+            out,
+            "  s{i} [shape={shape}, label=\"s{}\\n{}\"];",
+            i + 1,
+            escape(&label(state))
+        );
+    }
+    for (from, event, to) in &graph.edges {
+        let _ = writeln!(
+            out,
+            "  s{from} -> s{to} [label=\"{}\"];",
+            escape(&event.to_string())
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enumerate::enumerate_states;
+    use crate::fgp::{Fgp, FgpVariant};
+
+    #[test]
+    fn figure_15_graph_renders_as_dot() {
+        let graph =
+            enumerate_states(&Fgp::new(1, 1, FgpVariant::CpOnly), &[0, 1], 1_000).unwrap();
+        let dot = to_dot(&graph, "fgp_fig15", |s| format!("val={}", s.val[0][0]));
+        assert!(dot.starts_with("digraph fgp_fig15 {"));
+        assert!(dot.ends_with("}\n"));
+        // Ten states, each with a node declaration line.
+        let node_lines = dot
+            .lines()
+            .filter(|l| l.trim_start().starts_with('s') && l.contains("[shape="))
+            .count();
+        assert_eq!(node_lines, 10);
+        assert!(dot.contains("doublecircle")); // initial state marked
+        assert!(dot.contains("->"));
+    }
+
+    #[test]
+    fn quotes_in_labels_are_escaped() {
+        let graph =
+            enumerate_states(&Fgp::new(1, 1, FgpVariant::CpOnly), &[0], 1_000).unwrap();
+        let dot = to_dot(&graph, "g", |_| "a\"b".to_string());
+        assert!(dot.contains("a\\\"b"));
+    }
+}

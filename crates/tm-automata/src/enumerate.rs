@@ -1,0 +1,183 @@
+//! Reachable-state enumeration of TM automata.
+//!
+//! Figure 15 of the paper depicts the full reachable state graph of `Fgp`
+//! for one process and one binary t-variable — exactly ten states. This
+//! module computes such graphs by breadth-first exploration over a finite
+//! value domain, labelling edges with the triggering event.
+
+use std::collections::HashMap;
+
+use tm_core::{Event, Invocation, ProcessId, TVarId, Value};
+
+use crate::ioa::TmAutomaton;
+
+/// The reachable state graph of an automaton over a finite value domain.
+#[derive(Debug, Clone)]
+pub struct StateGraph<S> {
+    /// Reachable states in BFS discovery order; index 0 is the initial
+    /// state.
+    pub states: Vec<S>,
+    /// Labelled edges `(from, event, to)` between state indices.
+    pub edges: Vec<(usize, Event, usize)>,
+}
+
+impl<S> StateGraph<S> {
+    /// Number of reachable states.
+    pub fn state_count(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Whether any edge is labelled with an abort event.
+    pub fn has_abort_edges(&self) -> bool {
+        self.edges.iter().any(|(_, e, _)| e.is_abort())
+    }
+
+    /// Events labelling the out-edges of state `index`.
+    pub fn out_edges(&self, index: usize) -> impl Iterator<Item = &(usize, Event, usize)> {
+        self.edges.iter().filter(move |(from, _, _)| *from == index)
+    }
+}
+
+/// Error: exploration exceeded the state budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StateBudgetExceeded {
+    /// The configured budget.
+    pub budget: usize,
+}
+
+impl core::fmt::Display for StateBudgetExceeded {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "state enumeration exceeded budget of {}", self.budget)
+    }
+}
+
+impl std::error::Error for StateBudgetExceeded {}
+
+/// Enumerates all states of `automaton` reachable with written values drawn
+/// from `values`.
+///
+/// Every process may, at any state where it has no pending invocation,
+/// invoke a read of any t-variable, a write of any value in `values` to any
+/// t-variable, or `tryC`; pending invocations may receive their enabled
+/// response. Exploration stops with an error if more than `budget` states
+/// are discovered.
+///
+/// # Errors
+///
+/// [`StateBudgetExceeded`] if the reachable graph is larger than `budget`.
+pub fn enumerate_states<A: TmAutomaton>(
+    automaton: &A,
+    values: &[Value],
+    budget: usize,
+) -> Result<StateGraph<A::State>, StateBudgetExceeded> {
+    let mut index: HashMap<A::State, usize> = HashMap::new();
+    let mut states: Vec<A::State> = Vec::new();
+    let mut edges: Vec<(usize, Event, usize)> = Vec::new();
+    let mut queue: std::collections::VecDeque<usize> = Default::default();
+
+    let initial = automaton.initial_state();
+    index.insert(initial.clone(), 0);
+    states.push(initial);
+    queue.push_back(0);
+
+    let mut intern = |state: A::State,
+                      states: &mut Vec<A::State>,
+                      queue: &mut std::collections::VecDeque<usize>|
+     -> Result<usize, StateBudgetExceeded> {
+        if let Some(&i) = index.get(&state) {
+            return Ok(i);
+        }
+        if states.len() >= budget {
+            return Err(StateBudgetExceeded { budget });
+        }
+        let i = states.len();
+        index.insert(state.clone(), i);
+        states.push(state);
+        queue.push_back(i);
+        Ok(i)
+    };
+
+    while let Some(from) = queue.pop_front() {
+        let state = states[from].clone();
+        for k in 0..automaton.process_count() {
+            let p = ProcessId(k);
+            // Response edge, if one is enabled.
+            if let Some((resp, next)) = automaton.enabled_response(&state, p) {
+                let to = intern(next, &mut states, &mut queue)?;
+                edges.push((from, Event::response(p, resp), to));
+            }
+            // Invocation edges.
+            let mut invocations: Vec<Invocation> = vec![Invocation::TryCommit];
+            for j in 0..automaton.tvar_count() {
+                let x = TVarId(j);
+                invocations.push(Invocation::Read(x));
+                for &v in values {
+                    invocations.push(Invocation::Write(x, v));
+                }
+            }
+            for inv in invocations {
+                if let Some(next) = automaton.apply_invocation(&state, p, inv) {
+                    let to = intern(next, &mut states, &mut queue)?;
+                    edges.push((from, Event::invocation(p, inv), to));
+                }
+            }
+        }
+    }
+
+    Ok(StateGraph { states, edges })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fgp::{Fgp, FgpVariant};
+    use crate::global_lock::GlobalLockTm;
+
+    #[test]
+    fn figure_15_fgp_has_exactly_ten_states() {
+        // The paper's Figure 15: Fgp with P = {p1}, X = {x}, V = {0, 1}.
+        for variant in [FgpVariant::Literal, FgpVariant::Strict, FgpVariant::CpOnly] {
+            let graph =
+                enumerate_states(&Fgp::new(1, 1, variant), &[0, 1], 1_000).expect("small graph");
+            assert_eq!(graph.state_count(), 10, "{variant:?}");
+            // "The automaton of Figure 15 has no abort events, since
+            // process p1 has no concurrent processes to it."
+            assert!(!graph.has_abort_edges(), "{variant:?}");
+        }
+    }
+
+    #[test]
+    fn two_process_fgp_has_abort_edges() {
+        let graph = enumerate_states(&Fgp::new(2, 1, FgpVariant::CpOnly), &[0, 1], 100_000)
+            .expect("bounded graph");
+        assert!(graph.has_abort_edges());
+        assert!(graph.state_count() > 10);
+    }
+
+    #[test]
+    fn budget_is_enforced() {
+        let result = enumerate_states(&Fgp::new(2, 1, FgpVariant::CpOnly), &[0, 1], 5);
+        assert_eq!(result.unwrap_err(), StateBudgetExceeded { budget: 5 });
+    }
+
+    #[test]
+    fn global_lock_single_process_graph() {
+        let graph =
+            enumerate_states(&GlobalLockTm::new(1, 1), &[0, 1], 1_000).expect("small graph");
+        // owner ∈ {None, Some(p1)} × val ∈ {0,1} × pending ∈ {⊥, read,
+        // write(0), write(1), tryC}; not all combinations reachable.
+        assert!(graph.state_count() > 2);
+        assert!(!graph.has_abort_edges());
+    }
+
+    #[test]
+    fn initial_state_is_index_zero() {
+        let fgp = Fgp::new(1, 1, FgpVariant::CpOnly);
+        let graph = enumerate_states(&fgp, &[0, 1], 1_000).unwrap();
+        assert_eq!(graph.states[0], fgp.initial_state());
+        // Every edge endpoint is a valid index.
+        for &(a, _, b) in &graph.edges {
+            assert!(a < graph.state_count() && b < graph.state_count());
+        }
+    }
+}

@@ -1,0 +1,519 @@
+//! The paper's `Fgp` automaton (§6): opacity + global progress in any
+//! fault-prone system.
+//!
+//! Each state is a tuple `s = (Status, CP, Val, f)`:
+//!
+//! * `Status[k] ∈ {c, a}` — whether `pk`'s next response may be normal
+//!   (`c`) or must be an abort (`a`, set when another process committed
+//!   while `pk` was concurrent to it);
+//! * `CP ⊆ P` — the current group of mutually concurrent processes none of
+//!   which has committed;
+//! * `Val[k][j]` — the value of t-variable `xj` as seen by `pk`;
+//! * `f(pk)` — `pk`'s pending invocation, or `⊥`.
+//!
+//! # Variants (see DESIGN.md, D2 and D-Fgp-rollback)
+//!
+//! The paper's prose and formal transition rules disagree in two places,
+//! and the formal rules contain an outright bug; we implement all three
+//! readings so the differences are mechanically checkable:
+//!
+//! * [`FgpVariant::Literal`] — the formal transition relation *verbatim*.
+//!   Its write rule updates `Val[k][j]` at invocation time even when
+//!   `Status[k] = a` (the write will be answered by an abort), and nothing
+//!   ever rolls the value back, so the process's **next** transaction can
+//!   read its own aborted write. This variant is **not opaque** — the test
+//!   suite and the model checker exhibit concrete non-opaque histories.
+//! * [`FgpVariant::Strict`] — the formal rules with the minimal fix:
+//!   a write invocation updates `Val` only when `Status[k] = c`. Since
+//!   `Status[k] = a` can only be set by a commit, and every commit
+//!   overwrites all rows of `Val`, no aborted write can survive into a
+//!   later transaction. Commits abort **every** other process, per the
+//!   formal `C_k` rule.
+//! * [`FgpVariant::CpOnly`] — the prose semantics: processes join `CP`
+//!   only when `Status[k] = c`, and a commit aborts only the members of
+//!   `CP`, not every process. This matches the example history of
+//!   Figure 16. Default.
+//!
+//! All variants produce exactly the 10-state reachable graph of Figure 15
+//! for one process and one binary t-variable (a single process never has
+//! `Status = a`, where the variants differ).
+
+use std::collections::BTreeSet;
+
+use serde::{Deserialize, Serialize};
+
+use tm_core::{Invocation, ProcessId, Response, TVarId, Value, INITIAL_VALUE};
+
+use crate::ioa::TmAutomaton;
+
+/// Which reading of the paper's `Fgp` definition to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FgpVariant {
+    /// The formal transition rules verbatim — **known non-opaque** (aborted
+    /// writes leak into the next transaction's reads).
+    Literal,
+    /// Formal rules + status-gated writes; commit aborts all other
+    /// processes.
+    Strict,
+    /// Prose rules: commit aborts only the concurrent group `CP`. Default.
+    CpOnly,
+}
+
+impl Default for FgpVariant {
+    fn default() -> Self {
+        FgpVariant::CpOnly
+    }
+}
+
+/// Per-process status: `c` (may receive normal responses) or `a` (next
+/// response is an abort).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PStatus {
+    /// `c` in the paper.
+    Clear,
+    /// `a` in the paper.
+    Doomed,
+}
+
+/// A state `(Status, CP, Val, f)` of the `Fgp` automaton.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FgpState {
+    /// `Status[k]` for each process.
+    pub status: Vec<PStatus>,
+    /// The concurrent group `CP` (process indices, ordered).
+    pub cp: BTreeSet<usize>,
+    /// `Val[k][j]`: the view of each t-variable per process.
+    pub val: Vec<Vec<Value>>,
+    /// `f(pk)`: pending invocation per process.
+    pub pending: Vec<Option<Invocation>>,
+}
+
+/// The `Fgp` TM automaton for a fixed number of processes and t-variables.
+///
+/// # Examples
+///
+/// ```
+/// use tm_automata::{Fgp, FgpVariant, Runner};
+/// use tm_core::{Invocation, ProcessId, Response, TVarId};
+///
+/// let mut r = Runner::new(Fgp::new(2, 1, FgpVariant::CpOnly));
+/// let (p1, p2, x) = (ProcessId(0), ProcessId(1), TVarId(0));
+/// // p1 reads, p2 reads+writes+commits, then p1's write must abort.
+/// assert_eq!(r.invoke_and_deliver(p1, Invocation::Read(x)).unwrap(), Some(Response::Value(0)));
+/// assert_eq!(r.invoke_and_deliver(p2, Invocation::Read(x)).unwrap(), Some(Response::Value(0)));
+/// assert_eq!(r.invoke_and_deliver(p2, Invocation::Write(x, 1)).unwrap(), Some(Response::Ok));
+/// assert_eq!(r.invoke_and_deliver(p2, Invocation::TryCommit).unwrap(), Some(Response::Committed));
+/// assert_eq!(r.invoke_and_deliver(p1, Invocation::Write(x, 1)).unwrap(), Some(Response::Aborted));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fgp {
+    processes: usize,
+    tvars: usize,
+    variant: FgpVariant,
+}
+
+impl Fgp {
+    /// Creates an `Fgp` automaton for `processes` processes and `tvars`
+    /// t-variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `processes` or `tvars` is zero.
+    pub fn new(processes: usize, tvars: usize, variant: FgpVariant) -> Self {
+        assert!(processes > 0, "need at least one process");
+        assert!(tvars > 0, "need at least one t-variable");
+        Fgp {
+            processes,
+            tvars,
+            variant,
+        }
+    }
+
+    /// The variant in use.
+    pub fn variant(&self) -> FgpVariant {
+        self.variant
+    }
+}
+
+impl TmAutomaton for Fgp {
+    type State = FgpState;
+
+    fn initial_state(&self) -> FgpState {
+        FgpState {
+            status: vec![PStatus::Clear; self.processes],
+            cp: BTreeSet::new(),
+            val: vec![vec![INITIAL_VALUE; self.tvars]; self.processes],
+            pending: vec![None; self.processes],
+        }
+    }
+
+    fn process_count(&self) -> usize {
+        self.processes
+    }
+
+    fn tvar_count(&self) -> usize {
+        self.tvars
+    }
+
+    fn apply_invocation(
+        &self,
+        state: &FgpState,
+        process: ProcessId,
+        invocation: Invocation,
+    ) -> Option<FgpState> {
+        let k = process.index();
+        if k >= self.processes || state.pending[k].is_some() {
+            return None;
+        }
+        if let Some(x) = invocation.tvar() {
+            if x.index() >= self.tvars {
+                return None;
+            }
+        }
+        let mut s = state.clone();
+        s.pending[k] = Some(invocation);
+        // CP joining: the formal rules add on every invocation; the prose
+        // adds only processes whose status is `c`.
+        let joins = match self.variant {
+            FgpVariant::Literal | FgpVariant::Strict => true,
+            FgpVariant::CpOnly => state.status[k] == PStatus::Clear,
+        };
+        if joins {
+            s.cp.insert(k);
+        }
+        // The formal write rule updates Val at invocation time. Literal
+        // does so unconditionally (the documented bug); the fixed variants
+        // gate it on Status[k] = c so an aborted write cannot pollute the
+        // process's view.
+        if let Invocation::Write(x, v) = invocation {
+            let applies = match self.variant {
+                FgpVariant::Literal => true,
+                FgpVariant::Strict | FgpVariant::CpOnly => state.status[k] == PStatus::Clear,
+            };
+            if applies {
+                s.val[k][x.index()] = v;
+            }
+        }
+        Some(s)
+    }
+
+    fn enabled_response(
+        &self,
+        state: &FgpState,
+        process: ProcessId,
+    ) -> Option<(Response, FgpState)> {
+        let k = process.index();
+        let inv = (*state.pending.get(k)?)?;
+        let mut s = state.clone();
+        s.pending[k] = None;
+        match state.status[k] {
+            PStatus::Doomed => {
+                // A_k: the only enabled response; status resets to c.
+                s.status[k] = PStatus::Clear;
+                Some((Response::Aborted, s))
+            }
+            PStatus::Clear => match inv {
+                Invocation::Read(x) => Some((Response::Value(state.val[k][x.index()]), s)),
+                Invocation::Write(..) => Some((Response::Ok, s)),
+                Invocation::TryCommit => {
+                    // C_k: doom the losers, sync every view to the
+                    // committer's, empty CP.
+                    match self.variant {
+                        FgpVariant::Literal | FgpVariant::Strict => {
+                            for k2 in 0..self.processes {
+                                if k2 != k {
+                                    s.status[k2] = PStatus::Doomed;
+                                }
+                            }
+                        }
+                        FgpVariant::CpOnly => {
+                            for &k2 in &state.cp {
+                                if k2 != k {
+                                    s.status[k2] = PStatus::Doomed;
+                                }
+                            }
+                        }
+                    }
+                    let committed_row = state.val[k].clone();
+                    for row in &mut s.val {
+                        row.clone_from(&committed_row);
+                    }
+                    s.cp.clear();
+                    Some((Response::Committed, s))
+                }
+            },
+        }
+    }
+}
+
+/// Convenience: the committed view of a t-variable at a state (the row of
+/// any process is the committed state immediately after a commit; between
+/// commits the rows of non-writers remain the committed state).
+pub fn view_of(state: &FgpState, process: ProcessId, x: TVarId) -> Value {
+    state.val[process.index()][x.index()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ioa::Runner;
+    use tm_core::{Invocation as Inv, TVarId};
+    use tm_safety::{is_opaque, IncrementalChecker, Mode};
+
+    const P1: ProcessId = ProcessId(0);
+    const P2: ProcessId = ProcessId(1);
+    const P3: ProcessId = ProcessId(2);
+    const X: TVarId = TVarId(0);
+    const Y: TVarId = TVarId(1);
+
+    fn runner(n: usize, m: usize, variant: FgpVariant) -> Runner<Fgp> {
+        Runner::new(Fgp::new(n, m, variant))
+    }
+
+    #[test]
+    fn sequential_transactions_commit() {
+        for variant in [FgpVariant::Literal, FgpVariant::Strict, FgpVariant::CpOnly] {
+            let mut r = runner(1, 1, variant);
+            assert_eq!(
+                r.invoke_and_deliver(P1, Inv::Read(X)).unwrap(),
+                Some(Response::Value(0))
+            );
+            assert_eq!(
+                r.invoke_and_deliver(P1, Inv::Write(X, 1)).unwrap(),
+                Some(Response::Ok)
+            );
+            assert_eq!(
+                r.invoke_and_deliver(P1, Inv::TryCommit).unwrap(),
+                Some(Response::Committed)
+            );
+            assert_eq!(
+                r.invoke_and_deliver(P1, Inv::Read(X)).unwrap(),
+                Some(Response::Value(1))
+            );
+            assert!(is_opaque(r.history()));
+        }
+    }
+
+    #[test]
+    fn first_committer_wins_concurrent_group() {
+        for variant in [FgpVariant::Strict, FgpVariant::CpOnly] {
+            let mut r = runner(2, 1, variant);
+            r.invoke_and_deliver(P1, Inv::Read(X)).unwrap();
+            r.invoke_and_deliver(P2, Inv::Read(X)).unwrap();
+            r.invoke_and_deliver(P2, Inv::Write(X, 1)).unwrap();
+            assert_eq!(
+                r.invoke_and_deliver(P2, Inv::TryCommit).unwrap(),
+                Some(Response::Committed)
+            );
+            // p1 was concurrent: its next operation aborts.
+            assert_eq!(
+                r.invoke_and_deliver(P1, Inv::Write(X, 1)).unwrap(),
+                Some(Response::Aborted)
+            );
+            // p1's fresh transaction then sees the committed value.
+            assert_eq!(
+                r.invoke_and_deliver(P1, Inv::Read(X)).unwrap(),
+                Some(Response::Value(1))
+            );
+            assert!(is_opaque(r.history()));
+        }
+    }
+
+    #[test]
+    fn own_writes_are_visible_before_commit() {
+        let mut r = runner(2, 2, FgpVariant::CpOnly);
+        r.invoke_and_deliver(P1, Inv::Write(X, 7)).unwrap();
+        assert_eq!(
+            r.invoke_and_deliver(P1, Inv::Read(X)).unwrap(),
+            Some(Response::Value(7))
+        );
+        // ...but invisible to p2.
+        assert_eq!(
+            r.invoke_and_deliver(P2, Inv::Read(X)).unwrap(),
+            Some(Response::Value(0))
+        );
+    }
+
+    #[test]
+    fn literal_variant_leaks_aborted_write() {
+        // The documented bug in the paper's formal rules: p1's *aborted*
+        // write persists in Val[1] and is read by p1's next transaction.
+        let mut r = runner(2, 1, FgpVariant::Literal);
+        r.invoke_and_deliver(P1, Inv::Read(X)).unwrap(); // p1 joins CP
+        r.invoke_and_deliver(P2, Inv::Read(X)).unwrap();
+        r.invoke_and_deliver(P2, Inv::Write(X, 1)).unwrap();
+        r.invoke_and_deliver(P2, Inv::TryCommit).unwrap(); // commit: x = 1
+        // p1 is doomed; its write invocation still updates Val[1][x] = 5.
+        assert_eq!(
+            r.invoke_and_deliver(P1, Inv::Write(X, 5)).unwrap(),
+            Some(Response::Aborted)
+        );
+        // p1's *new* transaction reads 5 — a value no one ever committed.
+        assert_eq!(
+            r.invoke_and_deliver(P1, Inv::Read(X)).unwrap(),
+            Some(Response::Value(5))
+        );
+        assert_eq!(
+            r.invoke_and_deliver(P1, Inv::TryCommit).unwrap(),
+            Some(Response::Committed)
+        );
+        assert!(!is_opaque(r.history()), "literal Fgp must violate opacity");
+    }
+
+    #[test]
+    fn fixed_variants_do_not_leak_aborted_writes() {
+        for variant in [FgpVariant::Strict, FgpVariant::CpOnly] {
+            let mut r = runner(2, 1, variant);
+            r.invoke_and_deliver(P1, Inv::Read(X)).unwrap();
+            r.invoke_and_deliver(P2, Inv::Read(X)).unwrap();
+            r.invoke_and_deliver(P2, Inv::Write(X, 1)).unwrap();
+            r.invoke_and_deliver(P2, Inv::TryCommit).unwrap();
+            assert_eq!(
+                r.invoke_and_deliver(P1, Inv::Write(X, 5)).unwrap(),
+                Some(Response::Aborted)
+            );
+            assert_eq!(
+                r.invoke_and_deliver(P1, Inv::Read(X)).unwrap(),
+                Some(Response::Value(1)),
+                "{variant:?} must not leak the aborted write"
+            );
+            assert!(is_opaque(r.history()));
+        }
+    }
+
+    #[test]
+    fn strict_dooms_everyone_cponly_dooms_only_cp() {
+        // p3 has no transaction when p2 commits.
+        let mut strict = runner(3, 1, FgpVariant::Strict);
+        let mut cponly = runner(3, 1, FgpVariant::CpOnly);
+        for r in [&mut strict, &mut cponly] {
+            r.invoke_and_deliver(P2, Inv::Write(X, 1)).unwrap();
+            r.invoke_and_deliver(P2, Inv::TryCommit).unwrap();
+        }
+        // Strict: p3's first-ever operation is aborted.
+        assert_eq!(
+            strict.invoke_and_deliver(P3, Inv::Read(X)).unwrap(),
+            Some(Response::Aborted)
+        );
+        // CpOnly: p3 was not concurrent, so it reads normally.
+        assert_eq!(
+            cponly.invoke_and_deliver(P3, Inv::Read(X)).unwrap(),
+            Some(Response::Value(1))
+        );
+    }
+
+    #[test]
+    fn figure_16_style_history_with_two_tvars() {
+        // Three processes, two t-variables, CpOnly: reconstruct the shape
+        // of the paper's Figure 16 history Hex (see EXPERIMENTS.md for the
+        // exact interleaving we validate).
+        let mut r = runner(3, 2, FgpVariant::CpOnly);
+        // p1: x.read → 0, x.write(1).
+        assert_eq!(
+            r.invoke_and_deliver(P1, Inv::Read(X)).unwrap(),
+            Some(Response::Value(0))
+        );
+        r.invoke_and_deliver(P1, Inv::Write(X, 1)).unwrap();
+        // p3: y.read → 0, y.write(1).
+        assert_eq!(
+            r.invoke_and_deliver(P3, Inv::Read(Y)).unwrap(),
+            Some(Response::Value(0))
+        );
+        r.invoke_and_deliver(P3, Inv::Write(Y, 1)).unwrap();
+        // p1 commits first: p3 (concurrent) is doomed.
+        assert_eq!(
+            r.invoke_and_deliver(P1, Inv::TryCommit).unwrap(),
+            Some(Response::Committed)
+        );
+        // p2 writes y and is aborted? No: p2 starts fresh after the commit,
+        // so it proceeds; p3's pending fate: doomed.
+        assert_eq!(
+            r.invoke_and_deliver(P3, Inv::TryCommit).unwrap(),
+            Some(Response::Aborted)
+        );
+        // p3 retries and commits.
+        assert_eq!(
+            r.invoke_and_deliver(P3, Inv::Read(Y)).unwrap(),
+            Some(Response::Value(0))
+        );
+        r.invoke_and_deliver(P3, Inv::Write(Y, 1)).unwrap();
+        assert_eq!(
+            r.invoke_and_deliver(P3, Inv::TryCommit).unwrap(),
+            Some(Response::Committed)
+        );
+        // p2 reads both committed values.
+        assert_eq!(
+            r.invoke_and_deliver(P2, Inv::Read(Y)).unwrap(),
+            Some(Response::Value(1))
+        );
+        assert_eq!(
+            r.invoke_and_deliver(P2, Inv::Read(X)).unwrap(),
+            Some(Response::Value(1))
+        );
+        assert_eq!(
+            r.invoke_and_deliver(P2, Inv::TryCommit).unwrap(),
+            Some(Response::Committed)
+        );
+        assert!(is_opaque(r.history()));
+    }
+
+    #[test]
+    fn long_random_run_is_commit_order_opaque() {
+        // 3 processes, 2 tvars, fixed pseudo-random schedule: every prefix
+        // certified opaque by the incremental checker.
+        for variant in [FgpVariant::Strict, FgpVariant::CpOnly] {
+            let mut r = runner(3, 2, variant);
+            let mut checker = IncrementalChecker::new(Mode::Opacity);
+            let mut seed = 0x9E3779B97F4A7C15u64;
+            let mut rng = move || {
+                seed ^= seed << 13;
+                seed ^= seed >> 7;
+                seed ^= seed << 17;
+                seed
+            };
+            for _ in 0..3000 {
+                let p = ProcessId((rng() % 3) as usize);
+                let x = TVarId((rng() % 2) as usize);
+                let inv = match rng() % 4 {
+                    0 => Inv::Read(x),
+                    1 | 2 => Inv::Write(x, rng() % 5),
+                    _ => Inv::TryCommit,
+                };
+                let _ = r.invoke_and_deliver(p, inv).unwrap();
+            }
+            checker
+                .push_all(r.history().iter().copied())
+                .expect("every Fgp prefix must be opaque");
+        }
+    }
+
+    #[test]
+    fn doomed_process_aborts_exactly_once() {
+        let mut r = runner(2, 1, FgpVariant::Strict);
+        r.invoke_and_deliver(P1, Inv::Read(X)).unwrap();
+        r.invoke_and_deliver(P2, Inv::Write(X, 1)).unwrap();
+        r.invoke_and_deliver(P2, Inv::TryCommit).unwrap();
+        assert_eq!(
+            r.invoke_and_deliver(P1, Inv::Read(X)).unwrap(),
+            Some(Response::Aborted)
+        );
+        // After the single abort the process is clear again.
+        assert_eq!(
+            r.invoke_and_deliver(P1, Inv::Read(X)).unwrap(),
+            Some(Response::Value(1))
+        );
+    }
+
+    #[test]
+    fn view_of_exposes_val() {
+        let fgp = Fgp::new(2, 1, FgpVariant::CpOnly);
+        let s = fgp.initial_state();
+        assert_eq!(view_of(&s, P1, X), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one process")]
+    fn zero_processes_panics() {
+        let _ = Fgp::new(0, 1, FgpVariant::CpOnly);
+    }
+}

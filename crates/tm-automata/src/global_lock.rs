@@ -1,0 +1,222 @@
+//! The single-global-lock TM as an I/O automaton (§1.1, §3.2.1).
+//!
+//! The paper uses this TM twice: it shows that local progress *is*
+//! achievable in a system that is both crash-free and parasitic-free (the
+//! TM serializes all transactions and never aborts any of them), and that
+//! the very same TM loses all liveness the moment a process can crash or
+//! turn parasitic while holding the lock — the motivation for demanding
+//! independent progress.
+//!
+//! Blocking is expressed by *withholding responses*: a process whose
+//! transaction did not acquire the lock receives no response until the
+//! holder commits ([`crate::ioa::TmAutomaton::enabled_response`] returns
+//! `None`).
+
+use serde::{Deserialize, Serialize};
+
+use tm_core::{Invocation, ProcessId, Response, Value, INITIAL_VALUE};
+
+use crate::ioa::TmAutomaton;
+
+/// State of the global-lock TM: the lock owner, the store, and pending
+/// invocations.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct GlobalLockState {
+    /// Index of the process currently holding the global lock.
+    pub owner: Option<usize>,
+    /// The single-copy store (writes apply in place; the TM never aborts).
+    pub vals: Vec<Value>,
+    /// Pending invocation per process.
+    pub pending: Vec<Option<Invocation>>,
+}
+
+/// The single-global-lock TM automaton. Never aborts; blocks instead.
+///
+/// # Examples
+///
+/// ```
+/// use tm_automata::{GlobalLockTm, Runner};
+/// use tm_core::{Invocation, ProcessId, Response, TVarId};
+///
+/// let mut r = Runner::new(GlobalLockTm::new(2, 1));
+/// let (p1, p2, x) = (ProcessId(0), ProcessId(1), TVarId(0));
+/// // p1 acquires the lock with its first operation.
+/// assert_eq!(r.invoke_and_deliver(p1, Invocation::Read(x)).unwrap(), Some(Response::Value(0)));
+/// // p2 is blocked: the invocation is accepted but no response is enabled.
+/// assert_eq!(r.invoke_and_deliver(p2, Invocation::Read(x)).unwrap(), None);
+/// // p1 commits, releasing the lock; p2's response becomes enabled.
+/// assert_eq!(r.invoke_and_deliver(p1, Invocation::TryCommit).unwrap(), Some(Response::Committed));
+/// assert_eq!(r.deliver(p2), Some(Response::Value(0)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GlobalLockTm {
+    processes: usize,
+    tvars: usize,
+}
+
+impl GlobalLockTm {
+    /// Creates a global-lock TM for `processes` processes and `tvars`
+    /// t-variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `processes` or `tvars` is zero.
+    pub fn new(processes: usize, tvars: usize) -> Self {
+        assert!(processes > 0, "need at least one process");
+        assert!(tvars > 0, "need at least one t-variable");
+        GlobalLockTm { processes, tvars }
+    }
+}
+
+impl TmAutomaton for GlobalLockTm {
+    type State = GlobalLockState;
+
+    fn initial_state(&self) -> GlobalLockState {
+        GlobalLockState {
+            owner: None,
+            vals: vec![INITIAL_VALUE; self.tvars],
+            pending: vec![None; self.processes],
+        }
+    }
+
+    fn process_count(&self) -> usize {
+        self.processes
+    }
+
+    fn tvar_count(&self) -> usize {
+        self.tvars
+    }
+
+    fn apply_invocation(
+        &self,
+        state: &GlobalLockState,
+        process: ProcessId,
+        invocation: Invocation,
+    ) -> Option<GlobalLockState> {
+        let k = process.index();
+        if k >= self.processes || state.pending[k].is_some() {
+            return None;
+        }
+        if let Some(x) = invocation.tvar() {
+            if x.index() >= self.tvars {
+                return None;
+            }
+        }
+        let mut s = state.clone();
+        s.pending[k] = Some(invocation);
+        Some(s)
+    }
+
+    fn enabled_response(
+        &self,
+        state: &GlobalLockState,
+        process: ProcessId,
+    ) -> Option<(Response, GlobalLockState)> {
+        let k = process.index();
+        let inv = (*state.pending.get(k)?)?;
+        // The response is enabled only for the lock holder — or, if the
+        // lock is free, the responding process acquires it.
+        match state.owner {
+            Some(owner) if owner != k => return None,
+            _ => {}
+        }
+        let mut s = state.clone();
+        s.pending[k] = None;
+        let response = match inv {
+            Invocation::Read(x) => {
+                s.owner = Some(k);
+                Response::Value(state.vals[x.index()])
+            }
+            Invocation::Write(x, v) => {
+                s.owner = Some(k);
+                s.vals[x.index()] = v;
+                Response::Ok
+            }
+            Invocation::TryCommit => {
+                s.owner = None;
+                Response::Committed
+            }
+        };
+        Some((response, s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ioa::Runner;
+    use tm_core::{Invocation as Inv, TVarId};
+    use tm_safety::is_opaque;
+
+    const P1: ProcessId = ProcessId(0);
+    const P2: ProcessId = ProcessId(1);
+    const X: TVarId = TVarId(0);
+
+    #[test]
+    fn never_aborts_sequential_transactions() {
+        let mut r = Runner::new(GlobalLockTm::new(2, 1));
+        for p in [P1, P2] {
+            assert_eq!(
+                r.invoke_and_deliver(p, Inv::Write(X, p.index() as u64 + 1))
+                    .unwrap(),
+                Some(Response::Ok)
+            );
+            assert_eq!(
+                r.invoke_and_deliver(p, Inv::TryCommit).unwrap(),
+                Some(Response::Committed)
+            );
+        }
+        assert_eq!(r.history().abort_count(P1), 0);
+        assert_eq!(r.history().abort_count(P2), 0);
+        assert!(is_opaque(r.history()));
+    }
+
+    #[test]
+    fn blocks_concurrent_process_until_commit() {
+        let mut r = Runner::new(GlobalLockTm::new(2, 1));
+        r.invoke_and_deliver(P1, Inv::Read(X)).unwrap();
+        // p2 blocked while p1 holds the lock.
+        assert_eq!(r.invoke_and_deliver(P2, Inv::Read(X)).unwrap(), None);
+        assert_eq!(r.deliver(P2), None);
+        // Crash of p1 here would block p2 forever — the Amdahl scenario.
+        r.invoke_and_deliver(P1, Inv::Write(X, 9)).unwrap();
+        r.invoke_and_deliver(P1, Inv::TryCommit).unwrap();
+        // Lock released; p2 now reads the committed value.
+        assert_eq!(r.deliver(P2), Some(Response::Value(9)));
+    }
+
+    #[test]
+    fn writes_apply_in_place_and_are_observed_after_release() {
+        let mut r = Runner::new(GlobalLockTm::new(2, 1));
+        r.invoke_and_deliver(P1, Inv::Write(X, 3)).unwrap();
+        r.invoke_and_deliver(P1, Inv::TryCommit).unwrap();
+        assert_eq!(
+            r.invoke_and_deliver(P2, Inv::Read(X)).unwrap(),
+            Some(Response::Value(3))
+        );
+    }
+
+    #[test]
+    fn lock_reacquired_after_release() {
+        let mut r = Runner::new(GlobalLockTm::new(2, 1));
+        r.invoke_and_deliver(P1, Inv::Read(X)).unwrap();
+        r.invoke_and_deliver(P1, Inv::TryCommit).unwrap();
+        // p2 acquires next.
+        assert_eq!(
+            r.invoke_and_deliver(P2, Inv::Read(X)).unwrap(),
+            Some(Response::Value(0))
+        );
+        // Now p1 is the blocked one.
+        assert_eq!(r.invoke_and_deliver(P1, Inv::Read(X)).unwrap(), None);
+    }
+
+    #[test]
+    fn histories_with_blocked_processes_are_opaque() {
+        let mut r = Runner::new(GlobalLockTm::new(2, 1));
+        r.invoke_and_deliver(P1, Inv::Write(X, 5)).unwrap();
+        r.invoke_and_deliver(P2, Inv::Read(X)).unwrap(); // blocked forever
+        // p1 "crashes": no more events. The finite history must still be
+        // opaque (p2 has no completed operations).
+        assert!(is_opaque(r.history()));
+    }
+}

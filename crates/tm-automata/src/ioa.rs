@@ -1,0 +1,283 @@
+//! TM implementations as I/O automata.
+//!
+//! The paper models a TM as an I/O automaton `F = (St, I, O, s0, R)` with
+//! invocation events as inputs and response events as outputs. The
+//! [`TmAutomaton`] trait captures the automata used in the paper (and every
+//! TM in this repository): *input-deterministic* and
+//! *output-deterministic-per-process* automata, where
+//!
+//! * an invocation by `pk` is enabled iff `pk` has no pending invocation
+//!   (`f(pk) = ⊥`), and deterministically transforms the state;
+//! * at most one response to `pk` is enabled at any state (the automaton
+//!   may also *withhold* the response — that is how blocking TMs such as
+//!   the global-lock TM are expressed).
+//!
+//! [`Runner`] drives an automaton and records the produced [`History`];
+//! the scheduler (or adversary) decides *when* each process invokes and
+//! when pending responses are delivered.
+
+use tm_core::{Event, History, Invocation, ProcessId, Response};
+
+/// A TM implementation as a (deterministic) I/O automaton.
+pub trait TmAutomaton {
+    /// Automaton state (`St` in the paper).
+    type State: Clone + Eq + std::hash::Hash + std::fmt::Debug;
+
+    /// The initial state `s0`.
+    fn initial_state(&self) -> Self::State;
+
+    /// Number of processes `|K|` this instance is configured for.
+    fn process_count(&self) -> usize;
+
+    /// Number of t-variables `|X|` this instance is configured for.
+    fn tvar_count(&self) -> usize;
+
+    /// Applies an invocation (input action). Returns the successor state,
+    /// or `None` if the invocation is not enabled (the process already has
+    /// a pending invocation, or the ids are out of range).
+    fn apply_invocation(
+        &self,
+        state: &Self::State,
+        process: ProcessId,
+        invocation: Invocation,
+    ) -> Option<Self::State>;
+
+    /// The enabled response to `process`, if any, together with the
+    /// successor state. `None` either because the process has no pending
+    /// invocation or because the automaton withholds the response (a
+    /// blocking TM).
+    fn enabled_response(
+        &self,
+        state: &Self::State,
+        process: ProcessId,
+    ) -> Option<(Response, Self::State)>;
+}
+
+/// Error returned when an invocation is not enabled at the current state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NotEnabled {
+    /// The process whose invocation was rejected.
+    pub process: ProcessId,
+}
+
+impl core::fmt::Display for NotEnabled {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "invocation by {} is not enabled", self.process)
+    }
+}
+
+impl std::error::Error for NotEnabled {}
+
+/// Drives a [`TmAutomaton`], recording the history it produces.
+#[derive(Debug, Clone)]
+pub struct Runner<A: TmAutomaton> {
+    automaton: A,
+    state: A::State,
+    history: History,
+}
+
+impl<A: TmAutomaton> Runner<A> {
+    /// Creates a runner at the automaton's initial state with an empty
+    /// history.
+    pub fn new(automaton: A) -> Self {
+        let state = automaton.initial_state();
+        Runner {
+            automaton,
+            state,
+            history: History::new(),
+        }
+    }
+
+    /// The underlying automaton.
+    pub fn automaton(&self) -> &A {
+        &self.automaton
+    }
+
+    /// The current state.
+    pub fn state(&self) -> &A::State {
+        &self.state
+    }
+
+    /// The history recorded so far.
+    pub fn history(&self) -> &History {
+        &self.history
+    }
+
+    /// Consumes the runner, returning the recorded history.
+    pub fn into_history(self) -> History {
+        self.history
+    }
+
+    /// Applies an invocation (input event).
+    ///
+    /// # Errors
+    ///
+    /// [`NotEnabled`] if the process already has a pending invocation.
+    pub fn invoke(&mut self, process: ProcessId, invocation: Invocation) -> Result<(), NotEnabled> {
+        match self
+            .automaton
+            .apply_invocation(&self.state, process, invocation)
+        {
+            Some(next) => {
+                self.state = next;
+                self.history.push(Event::invocation(process, invocation));
+                Ok(())
+            }
+            None => Err(NotEnabled { process }),
+        }
+    }
+
+    /// Delivers the enabled response to `process`, if any. Returns the
+    /// response, or `None` if the automaton currently withholds it.
+    pub fn deliver(&mut self, process: ProcessId) -> Option<Response> {
+        let (response, next) = self.automaton.enabled_response(&self.state, process)?;
+        self.state = next;
+        self.history.push(Event::response(process, response));
+        Some(response)
+    }
+
+    /// Applies an invocation and immediately delivers the response if one
+    /// is enabled. Non-blocking TMs (such as `Fgp`) always respond.
+    ///
+    /// # Errors
+    ///
+    /// [`NotEnabled`] if the invocation itself is not enabled.
+    pub fn invoke_and_deliver(
+        &mut self,
+        process: ProcessId,
+        invocation: Invocation,
+    ) -> Result<Option<Response>, NotEnabled> {
+        self.invoke(process, invocation)?;
+        Ok(self.deliver(process))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tm_core::{TVarId, Value};
+
+    /// A trivial single-version TM automaton used to test the runner: every
+    /// operation succeeds, commits apply immediately (correct only for
+    /// sequential use, which is all the test needs).
+    #[derive(Debug, Clone)]
+    struct Trivial {
+        processes: usize,
+        tvars: usize,
+    }
+
+    #[derive(Debug, Clone, PartialEq, Eq, Hash)]
+    struct TrivialState {
+        vals: Vec<Value>,
+        pending: Vec<Option<Invocation>>,
+    }
+
+    impl TmAutomaton for Trivial {
+        type State = TrivialState;
+
+        fn initial_state(&self) -> TrivialState {
+            TrivialState {
+                vals: vec![0; self.tvars],
+                pending: vec![None; self.processes],
+            }
+        }
+
+        fn process_count(&self) -> usize {
+            self.processes
+        }
+
+        fn tvar_count(&self) -> usize {
+            self.tvars
+        }
+
+        fn apply_invocation(
+            &self,
+            state: &TrivialState,
+            p: ProcessId,
+            inv: Invocation,
+        ) -> Option<TrivialState> {
+            if p.index() >= self.processes || state.pending[p.index()].is_some() {
+                return None;
+            }
+            let mut s = state.clone();
+            s.pending[p.index()] = Some(inv);
+            Some(s)
+        }
+
+        fn enabled_response(
+            &self,
+            state: &TrivialState,
+            p: ProcessId,
+        ) -> Option<(Response, TrivialState)> {
+            let inv = state.pending.get(p.index())?.as_ref()?;
+            let mut s = state.clone();
+            let resp = match *inv {
+                Invocation::Read(x) => Response::Value(s.vals[x.index()]),
+                Invocation::Write(x, v) => {
+                    s.vals[x.index()] = v;
+                    Response::Ok
+                }
+                Invocation::TryCommit => Response::Committed,
+            };
+            s.pending[p.index()] = None;
+            Some((resp, s))
+        }
+    }
+
+    const P1: ProcessId = ProcessId(0);
+    const X: TVarId = TVarId(0);
+
+    #[test]
+    fn runner_records_history() {
+        let mut r = Runner::new(Trivial {
+            processes: 1,
+            tvars: 1,
+        });
+        assert_eq!(
+            r.invoke_and_deliver(P1, Invocation::Read(X)).unwrap(),
+            Some(Response::Value(0))
+        );
+        assert_eq!(
+            r.invoke_and_deliver(P1, Invocation::Write(X, 5)).unwrap(),
+            Some(Response::Ok)
+        );
+        assert_eq!(
+            r.invoke_and_deliver(P1, Invocation::TryCommit).unwrap(),
+            Some(Response::Committed)
+        );
+        assert_eq!(r.history().len(), 6);
+        assert!(r.history().is_well_formed());
+        assert_eq!(r.history().commit_count(P1), 1);
+    }
+
+    #[test]
+    fn double_invocation_not_enabled() {
+        let mut r = Runner::new(Trivial {
+            processes: 1,
+            tvars: 1,
+        });
+        r.invoke(P1, Invocation::Read(X)).unwrap();
+        assert_eq!(
+            r.invoke(P1, Invocation::Read(X)),
+            Err(NotEnabled { process: P1 })
+        );
+    }
+
+    #[test]
+    fn deliver_without_pending_is_none() {
+        let mut r = Runner::new(Trivial {
+            processes: 1,
+            tvars: 1,
+        });
+        assert_eq!(r.deliver(P1), None);
+    }
+
+    #[test]
+    fn out_of_range_process_not_enabled() {
+        let mut r = Runner::new(Trivial {
+            processes: 1,
+            tvars: 1,
+        });
+        assert!(r.invoke(ProcessId(3), Invocation::Read(X)).is_err());
+    }
+}

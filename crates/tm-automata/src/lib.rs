@@ -1,0 +1,40 @@
+//! I/O automata for transactional memory, including the paper's `Fgp`.
+//!
+//! *On the Liveness of Transactional Memory* (PODC 2012) models TMs as I/O
+//! automata and, in Section 6, constructs the automaton `Fgp` that ensures
+//! **opacity and global progress in any fault-prone system** (Theorem 3).
+//! This crate provides:
+//!
+//! * [`TmAutomaton`] / [`Runner`] — the automaton abstraction and a driver
+//!   that records histories;
+//! * [`Fgp`] — the paper's automaton in three variants ([`FgpVariant`]):
+//!   the literal formal rules (which harbour a bug our tests exhibit), the
+//!   minimally fixed formal rules, and the prose semantics;
+//! * [`GlobalLockTm`] — the single-global-lock TM the paper uses to show
+//!   local progress is possible without faults and lost with them;
+//! * [`enumerate`] — reachable-state enumeration reproducing Figure 15's
+//!   ten-state graph.
+//!
+//! ```
+//! use tm_automata::{enumerate_states, Fgp, FgpVariant};
+//!
+//! // Figure 15: one process, one binary t-variable → exactly 10 states.
+//! let graph = enumerate_states(&Fgp::new(1, 1, FgpVariant::CpOnly), &[0, 1], 1_000)?;
+//! assert_eq!(graph.state_count(), 10);
+//! # Ok::<(), tm_automata::StateBudgetExceeded>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dot;
+pub mod enumerate;
+pub mod fgp;
+pub mod global_lock;
+pub mod ioa;
+
+pub use dot::to_dot;
+pub use enumerate::{enumerate_states, StateBudgetExceeded, StateGraph};
+pub use fgp::{Fgp, FgpState, FgpVariant, PStatus};
+pub use global_lock::{GlobalLockState, GlobalLockTm};
+pub use ioa::{NotEnabled, Runner, TmAutomaton};

@@ -1,0 +1,340 @@
+//! Invocation and response events.
+//!
+//! The paper models a TM as an I/O automaton whose inputs are invocation
+//! events `Inv_k = {x.write_k(v), x.read_k, tryC_k}` and whose outputs are
+//! response events `Res_k = {v_k, ok_k, A_k, C_k}`. A history is a sequence
+//! of such events; the per-process alphabet `Σ_k` constrains which responses
+//! may answer which invocations:
+//!
+//! * `x.write_k(v) · ok_k`
+//! * `x.read_k · v_k`
+//! * `tryC_k · C_k`
+//! * `e · A_k` for any invocation `e` (any operation may be answered by an
+//!   abort).
+
+use core::fmt;
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{ProcessId, TVarId, Value};
+
+/// An invocation event issued by a process (an input of the TM automaton).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Invocation {
+    /// `x.read_k()` — read t-variable `x`.
+    Read(TVarId),
+    /// `x.write_k(v)` — write value `v` to t-variable `x`.
+    Write(TVarId, Value),
+    /// `tryC_k` — request commit of the current transaction.
+    TryCommit,
+}
+
+impl Invocation {
+    /// The t-variable this invocation accesses, if any (`None` for
+    /// [`Invocation::TryCommit`]).
+    pub fn tvar(self) -> Option<TVarId> {
+        match self {
+            Invocation::Read(x) | Invocation::Write(x, _) => Some(x),
+            Invocation::TryCommit => None,
+        }
+    }
+
+    /// Whether this is a read invocation.
+    pub fn is_read(self) -> bool {
+        matches!(self, Invocation::Read(_))
+    }
+
+    /// Whether this is a write invocation.
+    pub fn is_write(self) -> bool {
+        matches!(self, Invocation::Write(..))
+    }
+
+    /// Whether this is a commit request.
+    pub fn is_try_commit(self) -> bool {
+        matches!(self, Invocation::TryCommit)
+    }
+}
+
+impl fmt::Display for Invocation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Invocation::Read(x) => write!(f, "{x}.read"),
+            Invocation::Write(x, v) => write!(f, "{x}.write({v})"),
+            Invocation::TryCommit => write!(f, "tryC"),
+        }
+    }
+}
+
+/// A response event returned by the TM (an output of the TM automaton).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Response {
+    /// `v_k` — the value returned by a read.
+    Value(Value),
+    /// `ok_k` — acknowledgement of a write.
+    Ok,
+    /// `C_k` — the transaction committed.
+    Committed,
+    /// `A_k` — the transaction aborted.
+    Aborted,
+}
+
+impl Response {
+    /// Whether this response is the abort event `A_k`.
+    pub fn is_abort(self) -> bool {
+        matches!(self, Response::Aborted)
+    }
+
+    /// Whether this response is the commit event `C_k`.
+    pub fn is_commit(self) -> bool {
+        matches!(self, Response::Committed)
+    }
+
+    /// Whether this response terminates a transaction (commit or abort).
+    pub fn is_terminal(self) -> bool {
+        self.is_abort() || self.is_commit()
+    }
+
+    /// Whether `self` is a valid response to `invocation` according to the
+    /// per-process alphabet `Σ_k`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use tm_core::{Invocation, Response, TVarId};
+    ///
+    /// let x = TVarId(0);
+    /// assert!(Response::Value(3).answers(Invocation::Read(x)));
+    /// assert!(Response::Aborted.answers(Invocation::Read(x)));
+    /// assert!(!Response::Ok.answers(Invocation::Read(x)));
+    /// assert!(Response::Committed.answers(Invocation::TryCommit));
+    /// assert!(!Response::Committed.answers(Invocation::Write(x, 1)));
+    /// ```
+    pub fn answers(self, invocation: Invocation) -> bool {
+        match (invocation, self) {
+            (_, Response::Aborted) => true,
+            (Invocation::Read(_), Response::Value(_)) => true,
+            (Invocation::Write(..), Response::Ok) => true,
+            (Invocation::TryCommit, Response::Committed) => true,
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for Response {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Response::Value(v) => write!(f, "{v}"),
+            Response::Ok => write!(f, "ok"),
+            Response::Committed => write!(f, "C"),
+            Response::Aborted => write!(f, "A"),
+        }
+    }
+}
+
+/// Either an invocation or a response (the alphabet `Inv ∪ Res`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum EventKind {
+    /// An input event of the TM automaton.
+    Invocation(Invocation),
+    /// An output event of the TM automaton.
+    Response(Response),
+}
+
+impl fmt::Display for EventKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EventKind::Invocation(inv) => write!(f, "{inv}"),
+            EventKind::Response(resp) => write!(f, "→{resp}"),
+        }
+    }
+}
+
+/// A single event of a history: an invocation or response attributed to a
+/// process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Event {
+    /// The process this event belongs to.
+    pub process: ProcessId,
+    /// The invocation or response payload.
+    pub kind: EventKind,
+}
+
+impl Event {
+    /// Creates an invocation event.
+    pub fn invocation(process: ProcessId, invocation: Invocation) -> Self {
+        Event {
+            process,
+            kind: EventKind::Invocation(invocation),
+        }
+    }
+
+    /// Creates a response event.
+    pub fn response(process: ProcessId, response: Response) -> Self {
+        Event {
+            process,
+            kind: EventKind::Response(response),
+        }
+    }
+
+    /// `x.read_k()` invocation.
+    pub fn read(process: ProcessId, x: TVarId) -> Self {
+        Self::invocation(process, Invocation::Read(x))
+    }
+
+    /// `x.write_k(v)` invocation.
+    pub fn write(process: ProcessId, x: TVarId, v: Value) -> Self {
+        Self::invocation(process, Invocation::Write(x, v))
+    }
+
+    /// `tryC_k` invocation.
+    pub fn try_commit(process: ProcessId) -> Self {
+        Self::invocation(process, Invocation::TryCommit)
+    }
+
+    /// `v_k` response.
+    pub fn value(process: ProcessId, v: Value) -> Self {
+        Self::response(process, Response::Value(v))
+    }
+
+    /// `ok_k` response.
+    pub fn ok(process: ProcessId) -> Self {
+        Self::response(process, Response::Ok)
+    }
+
+    /// `C_k` response.
+    pub fn committed(process: ProcessId) -> Self {
+        Self::response(process, Response::Committed)
+    }
+
+    /// `A_k` response.
+    pub fn aborted(process: ProcessId) -> Self {
+        Self::response(process, Response::Aborted)
+    }
+
+    /// Whether this event is an invocation.
+    pub fn is_invocation(&self) -> bool {
+        matches!(self.kind, EventKind::Invocation(_))
+    }
+
+    /// Whether this event is a response.
+    pub fn is_response(&self) -> bool {
+        matches!(self.kind, EventKind::Response(_))
+    }
+
+    /// The invocation payload, if this event is an invocation.
+    pub fn as_invocation(&self) -> Option<Invocation> {
+        match self.kind {
+            EventKind::Invocation(inv) => Some(inv),
+            EventKind::Response(_) => None,
+        }
+    }
+
+    /// The response payload, if this event is a response.
+    pub fn as_response(&self) -> Option<Response> {
+        match self.kind {
+            EventKind::Response(resp) => Some(resp),
+            EventKind::Invocation(_) => None,
+        }
+    }
+
+    /// Whether this event is the commit event `C_k`.
+    pub fn is_commit(&self) -> bool {
+        self.as_response().is_some_and(Response::is_commit)
+    }
+
+    /// Whether this event is the abort event `A_k`.
+    pub fn is_abort(&self) -> bool {
+        self.as_response().is_some_and(Response::is_abort)
+    }
+
+    /// Whether this event is the `tryC_k` invocation.
+    pub fn is_try_commit(&self) -> bool {
+        self.as_invocation().is_some_and(Invocation::is_try_commit)
+    }
+
+    /// The t-variable this event accesses, if any.
+    pub fn tvar(&self) -> Option<TVarId> {
+        self.as_invocation().and_then(Invocation::tvar)
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            EventKind::Invocation(inv) => write!(f, "{}:{inv}", self.process),
+            EventKind::Response(resp) => write!(f, "{}:→{resp}", self.process),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const P1: ProcessId = ProcessId(0);
+    const X: TVarId = TVarId(0);
+
+    #[test]
+    fn responses_answer_matching_invocations() {
+        assert!(Response::Value(0).answers(Invocation::Read(X)));
+        assert!(Response::Ok.answers(Invocation::Write(X, 1)));
+        assert!(Response::Committed.answers(Invocation::TryCommit));
+    }
+
+    #[test]
+    fn abort_answers_every_invocation() {
+        for inv in [
+            Invocation::Read(X),
+            Invocation::Write(X, 7),
+            Invocation::TryCommit,
+        ] {
+            assert!(Response::Aborted.answers(inv));
+        }
+    }
+
+    #[test]
+    fn mismatched_responses_rejected() {
+        assert!(!Response::Ok.answers(Invocation::Read(X)));
+        assert!(!Response::Value(1).answers(Invocation::Write(X, 1)));
+        assert!(!Response::Committed.answers(Invocation::Read(X)));
+        assert!(!Response::Value(0).answers(Invocation::TryCommit));
+        assert!(!Response::Ok.answers(Invocation::TryCommit));
+    }
+
+    #[test]
+    fn event_constructors_set_process_and_kind() {
+        let e = Event::read(P1, X);
+        assert_eq!(e.process, P1);
+        assert_eq!(e.as_invocation(), Some(Invocation::Read(X)));
+        assert!(e.is_invocation() && !e.is_response());
+
+        let e = Event::committed(P1);
+        assert!(e.is_commit() && !e.is_abort());
+        assert_eq!(e.as_response(), Some(Response::Committed));
+    }
+
+    #[test]
+    fn tvar_extraction() {
+        assert_eq!(Event::read(P1, X).tvar(), Some(X));
+        assert_eq!(Event::write(P1, TVarId(3), 5).tvar(), Some(TVarId(3)));
+        assert_eq!(Event::try_commit(P1).tvar(), None);
+        assert_eq!(Event::value(P1, 3).tvar(), None);
+    }
+
+    #[test]
+    fn display_formats_match_paper_style() {
+        assert_eq!(Event::read(P1, X).to_string(), "p1:x.read");
+        assert_eq!(Event::write(P1, X, 1).to_string(), "p1:x.write(1)");
+        assert_eq!(Event::try_commit(P1).to_string(), "p1:tryC");
+        assert_eq!(Event::value(P1, 0).to_string(), "p1:→0");
+        assert_eq!(Event::committed(P1).to_string(), "p1:→C");
+        assert_eq!(Event::aborted(P1).to_string(), "p1:→A");
+    }
+
+    #[test]
+    fn terminal_responses() {
+        assert!(Response::Committed.is_terminal());
+        assert!(Response::Aborted.is_terminal());
+        assert!(!Response::Ok.is_terminal());
+        assert!(!Response::Value(0).is_terminal());
+    }
+}

@@ -1,0 +1,164 @@
+//! Identifier newtypes for the formal model.
+//!
+//! The paper works with a set of processes `p1, ..., pn` (identified by
+//! `k ∈ K`) and a set of transactional variables (t-variables) `X`. We
+//! represent both with zero-based index newtypes so that they can be used
+//! directly as array indices while remaining statically distinct types
+//! (C-NEWTYPE).
+
+use core::fmt;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a process `pk`.
+///
+/// Process identifiers are zero-based indices. In rendered histories they are
+/// displayed one-based (`p1`, `p2`, ...) to match the paper's figures.
+///
+/// # Examples
+///
+/// ```
+/// use tm_core::ProcessId;
+///
+/// let p1 = ProcessId(0);
+/// assert_eq!(p1.to_string(), "p1");
+/// assert_eq!(p1.index(), 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ProcessId(pub usize);
+
+impl ProcessId {
+    /// Returns the zero-based index of this process.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+
+    /// Iterates over the first `n` process identifiers `p1 ..= pn`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use tm_core::ProcessId;
+    ///
+    /// let ids: Vec<_> = ProcessId::first_n(3).collect();
+    /// assert_eq!(ids, vec![ProcessId(0), ProcessId(1), ProcessId(2)]);
+    /// ```
+    pub fn first_n(n: usize) -> impl Iterator<Item = ProcessId> {
+        (0..n).map(ProcessId)
+    }
+}
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0 + 1)
+    }
+}
+
+impl From<usize> for ProcessId {
+    fn from(index: usize) -> Self {
+        ProcessId(index)
+    }
+}
+
+/// Identifier of a transactional variable (t-variable) `xj`.
+///
+/// T-variable identifiers are zero-based indices. In rendered histories they
+/// are displayed as `x`, `y`, `z`, ... for the first few variables (matching
+/// the paper's figures) and `x3`, `x4`, ... beyond that.
+///
+/// # Examples
+///
+/// ```
+/// use tm_core::TVarId;
+///
+/// assert_eq!(TVarId(0).to_string(), "x");
+/// assert_eq!(TVarId(1).to_string(), "y");
+/// assert_eq!(TVarId(2).to_string(), "z");
+/// assert_eq!(TVarId(3).to_string(), "x3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TVarId(pub usize);
+
+impl TVarId {
+    /// Returns the zero-based index of this t-variable.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+
+    /// Iterates over the first `n` t-variable identifiers.
+    pub fn first_n(n: usize) -> impl Iterator<Item = TVarId> {
+        (0..n).map(TVarId)
+    }
+}
+
+impl fmt::Display for TVarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0 {
+            0 => write!(f, "x"),
+            1 => write!(f, "y"),
+            2 => write!(f, "z"),
+            n => write!(f, "x{n}"),
+        }
+    }
+}
+
+impl From<usize> for TVarId {
+    fn from(index: usize) -> Self {
+        TVarId(index)
+    }
+}
+
+/// The value domain `V` of t-variables.
+///
+/// The paper uses integer values with initial value `0` and increments
+/// (`w(v + 1)`); `u64` covers every construction in the paper and keeps
+/// arithmetic in adversary strategies trivial.
+pub type Value = u64;
+
+/// The initial value of every t-variable (the paper initializes `Val[k][j]`
+/// to `0` in the `Fgp` automaton and all figures read `0` first).
+pub const INITIAL_VALUE: Value = 0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn process_display_is_one_based() {
+        assert_eq!(ProcessId(0).to_string(), "p1");
+        assert_eq!(ProcessId(9).to_string(), "p10");
+    }
+
+    #[test]
+    fn tvar_display_matches_paper_names() {
+        assert_eq!(TVarId(0).to_string(), "x");
+        assert_eq!(TVarId(1).to_string(), "y");
+        assert_eq!(TVarId(2).to_string(), "z");
+        assert_eq!(TVarId(7).to_string(), "x7");
+    }
+
+    #[test]
+    fn first_n_yields_consecutive_ids() {
+        assert_eq!(
+            ProcessId::first_n(2).collect::<Vec<_>>(),
+            vec![ProcessId(0), ProcessId(1)]
+        );
+        assert_eq!(
+            TVarId::first_n(2).collect::<Vec<_>>(),
+            vec![TVarId(0), TVarId(1)]
+        );
+    }
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        assert!(ProcessId(0) < ProcessId(1));
+        assert!(TVarId(3) > TVarId(2));
+    }
+
+    #[test]
+    fn from_usize_round_trips() {
+        assert_eq!(ProcessId::from(4).index(), 4);
+        assert_eq!(TVarId::from(5).index(), 5);
+    }
+}

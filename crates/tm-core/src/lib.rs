@@ -1,0 +1,50 @@
+//! Core formal model for transactional memory histories.
+//!
+//! This crate implements the event/history/transaction model of
+//! *On the Liveness of Transactional Memory* (Bushkov, Guerraoui, Kapałka;
+//! PODC 2012):
+//!
+//! * [`ProcessId`], [`TVarId`], [`Value`] — processes `pk`, t-variables
+//!   `xj`, and the value domain `V`;
+//! * [`Invocation`], [`Response`], [`Event`] — the alphabet `Inv ∪ Res` of
+//!   the TM I/O automaton;
+//! * [`History`] — finite event sequences with projection `H|pk`,
+//!   completion `com(H)`, equivalence, and sequentiality;
+//! * [`Transaction`] — transactions parsed from histories, with the
+//!   real-time order `<H`;
+//! * [`sequential`] — the sequential specification of t-variables and
+//!   transaction legality (the ingredient of opacity and strict
+//!   serializability, which live in the `tm-safety` crate);
+//! * [`HistoryBuilder`] and [`builder::figures`] — ergonomic history
+//!   construction, including the paper's figure histories.
+//!
+//! # Quick example
+//!
+//! ```
+//! use tm_core::{builder::figures, ProcessId};
+//!
+//! // Figure 1 of the paper: p2 commits while p1's transaction aborts.
+//! let h = figures::figure_1();
+//! assert_eq!(h.commit_count(ProcessId(1)), 1);
+//! assert_eq!(h.commit_count(ProcessId(0)), 0);
+//! println!("{}", h.render_lanes());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod event;
+pub mod history;
+pub mod ids;
+pub mod sequential;
+pub mod text;
+pub mod transaction;
+
+pub use builder::HistoryBuilder;
+pub use event::{Event, EventKind, Invocation, Response};
+pub use history::{History, WellFormednessError};
+pub use ids::{ProcessId, TVarId, Value, INITIAL_VALUE};
+pub use sequential::{check_sequential_legality, final_committed_state, Legality};
+pub use text::{parse_history, render_compact, ParseHistoryError};
+pub use transaction::{Operation, Transaction, TxId, TxStatus};

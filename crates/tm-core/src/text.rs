@@ -1,0 +1,219 @@
+//! A compact, line-free text format for histories.
+//!
+//! Useful for storing counterexamples from the model checker, pasting
+//! histories into bug reports, and writing tests in a notation close to
+//! the paper's:
+//!
+//! ```text
+//! p1:r(x)->0 p2:w(x,1)->ok p2:c->C p1:w(x,1)->A
+//! ```
+//!
+//! Grammar (whitespace-separated tokens):
+//!
+//! * `pK:r(xJ)` — read invocation; `pK:r(xJ)->V` — completed read
+//! * `pK:w(xJ,V)` — write invocation; `->ok` / `->A` complete it
+//! * `pK:c` — `tryC` invocation; `->C` / `->A` complete it
+//!
+//! Process ids are 1-based (`p1`…), t-variables are `x0`, `x1`, … (plain
+//! `x`, `y`, `z` are accepted as aliases for `x0`, `x1`, `x2`).
+
+use core::fmt;
+
+use crate::event::{Event, Invocation, Response};
+use crate::history::History;
+use crate::ids::{ProcessId, TVarId, Value};
+
+/// Error parsing the compact history format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseHistoryError {
+    /// The offending token.
+    pub token: String,
+    /// What went wrong.
+    pub reason: &'static str,
+}
+
+impl fmt::Display for ParseHistoryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cannot parse token `{}`: {}", self.token, self.reason)
+    }
+}
+
+impl std::error::Error for ParseHistoryError {}
+
+fn err(token: &str, reason: &'static str) -> ParseHistoryError {
+    ParseHistoryError {
+        token: token.to_string(),
+        reason,
+    }
+}
+
+fn parse_tvar(s: &str, token: &str) -> Result<TVarId, ParseHistoryError> {
+    match s {
+        "x" => Ok(TVarId(0)),
+        "y" => Ok(TVarId(1)),
+        "z" => Ok(TVarId(2)),
+        _ => s
+            .strip_prefix('x')
+            .and_then(|n| n.parse::<usize>().ok())
+            .map(TVarId)
+            .ok_or_else(|| err(token, "expected t-variable like x, y, z or x3")),
+    }
+}
+
+/// Renders a history in the compact format (inverse of [`parse_history`]).
+pub fn render_compact(history: &History) -> String {
+    let mut out = String::new();
+    for event in history.iter() {
+        if !out.is_empty() {
+            out.push(' ');
+        }
+        let p = event.process.index() + 1;
+        match event.kind {
+            crate::event::EventKind::Invocation(inv) => match inv {
+                Invocation::Read(x) => out.push_str(&format!("p{p}:r(x{})", x.index())),
+                Invocation::Write(x, v) => out.push_str(&format!("p{p}:w(x{},{v})", x.index())),
+                Invocation::TryCommit => out.push_str(&format!("p{p}:c")),
+            },
+            crate::event::EventKind::Response(resp) => match resp {
+                Response::Value(v) => out.push_str(&format!("p{p}:->{v}")),
+                Response::Ok => out.push_str(&format!("p{p}:->ok")),
+                Response::Committed => out.push_str(&format!("p{p}:->C")),
+                Response::Aborted => out.push_str(&format!("p{p}:->A")),
+            },
+        }
+    }
+    out
+}
+
+/// Parses the compact format into a (validated) history.
+///
+/// Completed-operation shorthand (`p1:r(x)->0`) expands into the
+/// invocation/response event pair; bare responses (`p1:->A`) answer the
+/// process's pending invocation.
+///
+/// # Errors
+///
+/// Returns [`ParseHistoryError`] on unrecognized tokens; the resulting
+/// event sequence is additionally validated for well-formedness (mapped
+/// to a `"history is not well-formed"` error).
+pub fn parse_history(text: &str) -> Result<History, ParseHistoryError> {
+    let mut history = History::new();
+    for token in text.split_whitespace() {
+        let (proc_part, rest) = token
+            .split_once(':')
+            .ok_or_else(|| err(token, "expected `pK:...`"))?;
+        let k: usize = proc_part
+            .strip_prefix('p')
+            .and_then(|n| n.parse().ok())
+            .filter(|&n| n >= 1)
+            .ok_or_else(|| err(token, "expected process like p1"))?;
+        let p = ProcessId(k - 1);
+
+        // Split an optional `->resp` suffix.
+        let (op_part, resp_part) = match rest.split_once("->") {
+            Some((op, resp)) => (op, Some(resp)),
+            None => (rest, None),
+        };
+
+        if !op_part.is_empty() {
+            let invocation = if op_part == "c" {
+                Invocation::TryCommit
+            } else if let Some(args) = op_part.strip_prefix("r(").and_then(|s| s.strip_suffix(')'))
+            {
+                Invocation::Read(parse_tvar(args, token)?)
+            } else if let Some(args) = op_part.strip_prefix("w(").and_then(|s| s.strip_suffix(')'))
+            {
+                let (var, val) = args
+                    .split_once(',')
+                    .ok_or_else(|| err(token, "expected w(xJ,V)"))?;
+                let value: Value = val
+                    .parse()
+                    .map_err(|_| err(token, "expected numeric write value"))?;
+                Invocation::Write(parse_tvar(var, token)?, value)
+            } else {
+                return Err(err(token, "expected r(..), w(..), or c"));
+            };
+            history.push(Event::invocation(p, invocation));
+        }
+
+        if let Some(resp) = resp_part {
+            let response = match resp {
+                "ok" => Response::Ok,
+                "C" => Response::Committed,
+                "A" => Response::Aborted,
+                v => Response::Value(
+                    v.parse()
+                        .map_err(|_| err(token, "expected ok, C, A or a value"))?,
+                ),
+            };
+            history.push(Event::response(p, response));
+        }
+    }
+    history
+        .validate()
+        .map_err(|_| err(text, "history is not well-formed"))?;
+    Ok(history)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::figures;
+
+    #[test]
+    fn figure_histories_round_trip() {
+        for h in [figures::figure_1(), figures::figure_3(), figures::figure_4()] {
+            let text = render_compact(&h);
+            let parsed = parse_history(&text).expect("round trip");
+            assert_eq!(parsed, h, "{text}");
+        }
+    }
+
+    #[test]
+    fn completed_op_shorthand() {
+        let h = parse_history("p1:r(x)->0 p2:w(x,1)->ok p2:c->C p1:w(x,1)->A").unwrap();
+        assert_eq!(h.len(), 8);
+        assert_eq!(h.commit_count(ProcessId(1)), 1);
+        assert_eq!(h.abort_count(ProcessId(0)), 1);
+    }
+
+    #[test]
+    fn pending_invocations_and_bare_responses() {
+        let h = parse_history("p1:r(x) p2:r(x) p1:->0 p2:->A").unwrap();
+        assert_eq!(h.len(), 4);
+        assert!(h.is_well_formed());
+    }
+
+    #[test]
+    fn tvar_aliases() {
+        let h = parse_history("p1:r(y)->0 p1:w(z,2)->ok p1:w(x3,4)->ok").unwrap();
+        let tvars = h.tvars();
+        assert!(tvars.contains(&TVarId(1)));
+        assert!(tvars.contains(&TVarId(2)));
+        assert!(tvars.contains(&TVarId(3)));
+    }
+
+    #[test]
+    fn malformed_tokens_are_rejected() {
+        assert!(parse_history("q1:r(x)").is_err());
+        assert!(parse_history("p0:r(x)").is_err());
+        assert!(parse_history("p1:r[x]").is_err());
+        assert!(parse_history("p1:w(x)").is_err());
+        assert!(parse_history("p1:w(x,abc)").is_err());
+        assert!(parse_history("p1:->Q").is_err());
+    }
+
+    #[test]
+    fn ill_formed_histories_are_rejected() {
+        // Response with no pending invocation.
+        assert!(parse_history("p1:->0").is_err());
+        // Mismatched response.
+        assert!(parse_history("p1:r(x)->ok").is_err());
+    }
+
+    #[test]
+    fn empty_input_is_the_empty_history() {
+        assert_eq!(parse_history("").unwrap(), History::new());
+        assert_eq!(render_compact(&History::new()), "");
+    }
+}

@@ -1,0 +1,455 @@
+//! Transactions parsed out of a history.
+//!
+//! A transaction of process `pk` in history `H` is a maximal subsequence
+//! `T = e1 · ... · en` of `H|pk` such that `e1` is the first event of
+//! `H|pk` or follows a terminal event (`A_k` or `C_k`), `en` is terminal or
+//! the last event of `H|pk`, and no event other than `en` is terminal.
+
+use core::fmt;
+use serde::{Deserialize, Serialize};
+
+use crate::event::{Event, EventKind, Invocation, Response};
+use crate::history::History;
+use crate::ids::{ProcessId, TVarId, Value};
+
+/// Identifies a transaction as the `index`-th transaction (zero-based) of a
+/// process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TxId {
+    /// The executing process.
+    pub process: ProcessId,
+    /// Zero-based position among the process's transactions.
+    pub index: usize,
+}
+
+impl fmt::Display for TxId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T({},{})", self.process, self.index)
+    }
+}
+
+/// Completion status of a transaction within a finite history.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TxStatus {
+    /// The last event is the commit event `C_k`.
+    Committed,
+    /// The last event is the abort event `A_k`.
+    Aborted,
+    /// `tryC_k` was invoked but not yet answered.
+    CommitPending,
+    /// The transaction has neither invoked `tryC_k` nor terminated.
+    Live,
+}
+
+impl TxStatus {
+    /// Whether the transaction has terminated (committed or aborted).
+    pub fn is_terminal(self) -> bool {
+        matches!(self, TxStatus::Committed | TxStatus::Aborted)
+    }
+}
+
+impl fmt::Display for TxStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TxStatus::Committed => "committed",
+            TxStatus::Aborted => "aborted",
+            TxStatus::CommitPending => "commit-pending",
+            TxStatus::Live => "live",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A completed operation inside a transaction, in the logical form used by
+/// the sequential specification of t-variables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Operation {
+    /// A read of `tvar` that returned `value`.
+    Read {
+        /// The t-variable read.
+        tvar: TVarId,
+        /// The value returned.
+        value: Value,
+    },
+    /// A write of `value` to `tvar` acknowledged with `ok`.
+    Write {
+        /// The t-variable written.
+        tvar: TVarId,
+        /// The value written.
+        value: Value,
+    },
+}
+
+impl Operation {
+    /// The t-variable accessed by the operation.
+    pub fn tvar(self) -> TVarId {
+        match self {
+            Operation::Read { tvar, .. } | Operation::Write { tvar, .. } => tvar,
+        }
+    }
+}
+
+impl fmt::Display for Operation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operation::Read { tvar, value } => write!(f, "{tvar}.read→{value}"),
+            Operation::Write { tvar, value } => write!(f, "{tvar}.write({value})"),
+        }
+    }
+}
+
+/// A transaction extracted from a history.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Transaction {
+    /// Identity: (process, per-process index).
+    pub id: TxId,
+    /// The transaction's events, in order.
+    pub events: Vec<Event>,
+    /// Positions of the transaction's events in the enclosing history.
+    pub positions: Vec<usize>,
+    /// Position in the enclosing history of the first event.
+    pub first_pos: usize,
+    /// Position in the enclosing history of the last event.
+    pub last_pos: usize,
+    /// Completion status.
+    pub status: TxStatus,
+}
+
+impl Transaction {
+    /// The executing process.
+    pub fn process(&self) -> ProcessId {
+        self.id.process
+    }
+
+    /// The *completed* operations of the transaction in the logical
+    /// read/write form (invocations answered by a matching non-abort
+    /// response). A trailing invocation answered by `A_k` or still pending
+    /// is not a completed operation.
+    pub fn operations(&self) -> Vec<Operation> {
+        let mut ops = Vec::new();
+        let mut pending: Option<Invocation> = None;
+        for event in &self.events {
+            match event.kind {
+                EventKind::Invocation(inv) => pending = Some(inv),
+                EventKind::Response(resp) => {
+                    if let Some(inv) = pending.take() {
+                        match (inv, resp) {
+                            (Invocation::Read(tvar), Response::Value(value)) => {
+                                ops.push(Operation::Read { tvar, value })
+                            }
+                            (Invocation::Write(tvar, value), Response::Ok) => {
+                                ops.push(Operation::Write { tvar, value })
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+            }
+        }
+        ops
+    }
+
+    /// The set of t-variables read by completed operations.
+    pub fn read_set(&self) -> Vec<TVarId> {
+        let mut seen = std::collections::BTreeSet::new();
+        self.operations()
+            .into_iter()
+            .filter_map(|op| match op {
+                Operation::Read { tvar, .. } => seen.insert(tvar).then_some(tvar),
+                Operation::Write { .. } => None,
+            })
+            .collect()
+    }
+
+    /// The set of t-variables written by completed operations.
+    pub fn write_set(&self) -> Vec<TVarId> {
+        let mut seen = std::collections::BTreeSet::new();
+        self.operations()
+            .into_iter()
+            .filter_map(|op| match op {
+                Operation::Write { tvar, .. } => seen.insert(tvar).then_some(tvar),
+                Operation::Read { .. } => None,
+            })
+            .collect()
+    }
+
+    /// Whether `self` precedes `other` in the real-time order `<H`:
+    /// `self` terminated (committed or aborted) and its last event occurs
+    /// before `other`'s first event.
+    pub fn precedes(&self, other: &Transaction) -> bool {
+        self.status.is_terminal() && self.last_pos < other.first_pos
+    }
+
+    /// Whether `self` and `other` are concurrent (neither precedes the
+    /// other).
+    pub fn concurrent_with(&self, other: &Transaction) -> bool {
+        !self.precedes(other) && !other.precedes(self)
+    }
+}
+
+impl fmt::Display for Transaction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{}]:", self.id, self.status)?;
+        for op in self.operations() {
+            write!(f, " {op}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Parses all transactions of a history, ordered by first event position.
+pub(crate) fn transactions_of(history: &History) -> Vec<Transaction> {
+    #[derive(Default)]
+    struct Cursor {
+        index: usize,
+        events: Vec<Event>,
+        positions: Vec<usize>,
+    }
+    let mut cursors: std::collections::BTreeMap<ProcessId, Cursor> = Default::default();
+    let mut out: Vec<Transaction> = Vec::new();
+
+    for (pos, event) in history.iter().enumerate() {
+        let cursor = cursors.entry(event.process).or_default();
+        cursor.events.push(*event);
+        cursor.positions.push(pos);
+        let terminal = matches!(
+            event.kind,
+            EventKind::Response(Response::Committed) | EventKind::Response(Response::Aborted)
+        );
+        if terminal {
+            let status = if event.is_commit() {
+                TxStatus::Committed
+            } else {
+                TxStatus::Aborted
+            };
+            let events = std::mem::take(&mut cursor.events);
+            let positions = std::mem::take(&mut cursor.positions);
+            out.push(Transaction {
+                id: TxId {
+                    process: event.process,
+                    index: cursor.index,
+                },
+                first_pos: positions[0],
+                last_pos: *positions.last().expect("non-empty"),
+                events,
+                positions,
+                status,
+            });
+            cursor.index += 1;
+        }
+    }
+
+    // Remaining open transactions (live or commit-pending).
+    for (&process, cursor) in cursors.iter() {
+        if cursor.events.is_empty() {
+            continue;
+        }
+        let commit_pending = cursor
+            .events
+            .iter()
+            .rev()
+            .next()
+            .is_some_and(|e| e.is_try_commit());
+        out.push(Transaction {
+            id: TxId {
+                process,
+                index: cursor.index,
+            },
+            first_pos: cursor.positions[0],
+            last_pos: *cursor.positions.last().expect("non-empty"),
+            events: cursor.events.clone(),
+            positions: cursor.positions.clone(),
+            status: if commit_pending {
+                TxStatus::CommitPending
+            } else {
+                TxStatus::Live
+            },
+        });
+    }
+
+    out.sort_by_key(|t| t.first_pos);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::HistoryBuilder;
+
+    const P1: ProcessId = ProcessId(0);
+    const P2: ProcessId = ProcessId(1);
+    const X: TVarId = TVarId(0);
+    const Y: TVarId = TVarId(1);
+
+    #[test]
+    fn parses_committed_and_aborted_transactions() {
+        let h = HistoryBuilder::new()
+            .read(P1, X, 0)
+            .commit(P1)
+            .read_abort(P1, X)
+            .build()
+            .unwrap();
+        let txs = h.transactions();
+        assert_eq!(txs.len(), 2);
+        assert_eq!(txs[0].id, TxId { process: P1, index: 0 });
+        assert_eq!(txs[0].status, TxStatus::Committed);
+        assert_eq!(txs[1].id, TxId { process: P1, index: 1 });
+        assert_eq!(txs[1].status, TxStatus::Aborted);
+    }
+
+    #[test]
+    fn live_and_commit_pending_statuses() {
+        let h = HistoryBuilder::new().read(P1, X, 0).build().unwrap();
+        assert_eq!(h.transactions()[0].status, TxStatus::Live);
+
+        let h = HistoryBuilder::new()
+            .read(P1, X, 0)
+            .invoke(P1, Invocation::TryCommit)
+            .build()
+            .unwrap();
+        assert_eq!(h.transactions()[0].status, TxStatus::CommitPending);
+    }
+
+    #[test]
+    fn pending_first_invocation_is_a_live_transaction() {
+        let h = HistoryBuilder::new()
+            .invoke(P1, Invocation::Read(X))
+            .build()
+            .unwrap();
+        let txs = h.transactions();
+        assert_eq!(txs.len(), 1);
+        assert_eq!(txs[0].status, TxStatus::Live);
+    }
+
+    #[test]
+    fn operations_extract_reads_and_writes() {
+        let h = HistoryBuilder::new()
+            .read(P1, X, 0)
+            .write_ok(P1, Y, 5)
+            .commit(P1)
+            .build()
+            .unwrap();
+        let ops = h.transactions()[0].operations();
+        assert_eq!(
+            ops,
+            vec![
+                Operation::Read { tvar: X, value: 0 },
+                Operation::Write { tvar: Y, value: 5 }
+            ]
+        );
+    }
+
+    #[test]
+    fn aborted_operation_is_not_completed() {
+        let h = HistoryBuilder::new()
+            .read(P1, X, 0)
+            .write_abort(P1, X, 1)
+            .build()
+            .unwrap();
+        let tx = &h.transactions()[0];
+        assert_eq!(tx.status, TxStatus::Aborted);
+        assert_eq!(tx.operations().len(), 1); // only the read completed
+    }
+
+    #[test]
+    fn read_and_write_sets_deduplicate() {
+        let h = HistoryBuilder::new()
+            .read(P1, X, 0)
+            .read(P1, X, 0)
+            .read(P1, Y, 0)
+            .write_ok(P1, X, 1)
+            .write_ok(P1, X, 2)
+            .commit(P1)
+            .build()
+            .unwrap();
+        let tx = &h.transactions()[0];
+        assert_eq!(tx.read_set(), vec![X, Y]);
+        assert_eq!(tx.write_set(), vec![X]);
+    }
+
+    #[test]
+    fn real_time_order_and_concurrency() {
+        // T1 (p1) finishes before T2 (p2) starts; T3 (p1) concurrent with T2.
+        let h = HistoryBuilder::new()
+            .read(P1, X, 0)
+            .commit(P1)
+            .read(P2, X, 0)
+            .read(P1, Y, 0)
+            .commit(P2)
+            .commit(P1)
+            .build()
+            .unwrap();
+        let txs = h.transactions();
+        assert_eq!(txs.len(), 3);
+        let (t1, t2, t3) = (&txs[0], &txs[1], &txs[2]);
+        assert!(t1.precedes(t2));
+        assert!(t1.precedes(t3));
+        assert!(t2.concurrent_with(t3));
+        assert!(!t2.precedes(t3));
+        assert!(!t3.precedes(t2));
+    }
+
+    #[test]
+    fn live_transaction_never_precedes() {
+        let h = HistoryBuilder::new()
+            .read(P1, X, 0)
+            .read(P2, X, 0)
+            .commit(P2)
+            .build()
+            .unwrap();
+        let txs = h.transactions();
+        let t1 = txs.iter().find(|t| t.process() == P1).unwrap();
+        let t2 = txs.iter().find(|t| t.process() == P2).unwrap();
+        assert_eq!(t1.status, TxStatus::Live);
+        // Even though t1's last event precedes t2's last event, a live
+        // transaction does not precede anything.
+        assert!(!t1.precedes(t2));
+    }
+
+    #[test]
+    fn transactions_ordered_by_first_event() {
+        let h = HistoryBuilder::new()
+            .read(P2, X, 0)
+            .read(P1, X, 0)
+            .commit(P1)
+            .commit(P2)
+            .build()
+            .unwrap();
+        let txs = h.transactions();
+        assert_eq!(txs[0].process(), P2);
+        assert_eq!(txs[1].process(), P1);
+    }
+
+    #[test]
+    fn multiple_transactions_per_process_indexed() {
+        let h = HistoryBuilder::new()
+            .read(P1, X, 0)
+            .commit(P1)
+            .read(P1, X, 0)
+            .commit(P1)
+            .read(P1, X, 0)
+            .build()
+            .unwrap();
+        let txs = h.transactions();
+        assert_eq!(txs.len(), 3);
+        assert_eq!(txs[0].id.index, 0);
+        assert_eq!(txs[1].id.index, 1);
+        assert_eq!(txs[2].id.index, 2);
+        assert_eq!(txs[2].status, TxStatus::Live);
+    }
+
+    #[test]
+    fn display_renders_operations() {
+        let h = HistoryBuilder::new()
+            .read(P1, X, 0)
+            .write_ok(P1, X, 1)
+            .commit(P1)
+            .build()
+            .unwrap();
+        let tx = &h.transactions()[0];
+        let s = tx.to_string();
+        assert!(s.contains("x.read→0"));
+        assert!(s.contains("x.write(1)"));
+        assert!(s.contains("committed"));
+    }
+}

@@ -1,0 +1,454 @@
+//! Online, incremental safety certification for long histories.
+//!
+//! The exact checkers enumerate witness orders and are limited to ~10²
+//! transactions. Adversary games and STM simulations produce histories with
+//! 10⁴–10⁶ transactions, so this module provides a **sound but incomplete**
+//! online certifier based on *commit-order* witnesses:
+//!
+//! * committed transactions are serialized in the order of their commit
+//!   events (which always extends the real-time order among committed
+//!   transactions);
+//! * every other transaction (aborted, live, commit-pending) must observe
+//!   the committed state at *some* point between its first event and the
+//!   present — tracked as a set of candidate serialization slots that
+//!   shrinks with every read and grows with every commit.
+//!
+//! If the certifier accepts a history, the history is opaque (respectively
+//! strictly serializable): an explicit witness can be read off the
+//! accepted slots. If it rejects, the history may still be safe under a
+//! witness that reorders committed transactions — callers should fall back
+//! to the exact checker when feasible ([`crate::check_opacity_auto`]).
+//!
+//! Because candidate slots are checked **eagerly at every read**, an
+//! accepted run certifies every prefix of the history, matching the
+//! prefix-closedness of the paper's safety properties.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use tm_core::{
+    Event, EventKind, Invocation, ProcessId, Response, TVarId, Value, INITIAL_VALUE,
+};
+
+/// Which safety property the incremental certifier enforces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Mode {
+    /// Every transaction (even aborted/live) must observe a consistent
+    /// state.
+    Opacity,
+    /// Only committed transactions must be explainable.
+    StrictSerializability,
+}
+
+/// A violation detected by the incremental certifier.
+///
+/// Note that (unlike [`crate::SafetyVerdict::Violated`]) this is evidence
+/// that the *commit-order* witness fails, not that no witness exists.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CommitOrderViolation {
+    /// The process whose event triggered the violation.
+    pub process: ProcessId,
+    /// Index of the offending event in the pushed sequence.
+    pub position: usize,
+    /// Human-readable description.
+    pub detail: String,
+}
+
+impl core::fmt::Display for CommitOrderViolation {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "commit-order violation by {} at event {}: {}",
+            self.process, self.position, self.detail
+        )
+    }
+}
+
+impl std::error::Error for CommitOrderViolation {}
+
+#[derive(Debug, Clone, Default)]
+struct OpenTx {
+    pending: Option<Invocation>,
+    writes: BTreeMap<TVarId, Value>,
+    reads: Vec<(TVarId, Value)>,
+    /// Candidate serialization slots: indices into `states` at which every
+    /// read so far is consistent. Only maintained in opacity mode.
+    candidates: Vec<usize>,
+}
+
+/// Online certifier for opacity / strict serializability via commit-order
+/// witnesses. Push events as the TM produces them; the first violation is
+/// returned (and the certifier latches it).
+///
+/// # Examples
+///
+/// ```
+/// use tm_core::builder::figures;
+/// use tm_safety::{IncrementalChecker, Mode};
+///
+/// let mut checker = IncrementalChecker::new(Mode::Opacity);
+/// for &event in figures::figure_1().events() {
+///     checker.push(event).expect("figure 1 is opaque");
+/// }
+/// assert_eq!(checker.commits(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct IncrementalChecker {
+    mode: Mode,
+    /// `states[i]` = committed t-variable state after `i` commits.
+    states: Vec<BTreeMap<TVarId, Value>>,
+    open: BTreeMap<ProcessId, OpenTx>,
+    position: usize,
+    violation: Option<CommitOrderViolation>,
+}
+
+impl IncrementalChecker {
+    /// Creates a certifier in the given mode with all t-variables at
+    /// [`INITIAL_VALUE`].
+    pub fn new(mode: Mode) -> Self {
+        IncrementalChecker {
+            mode,
+            states: vec![BTreeMap::new()],
+            open: BTreeMap::new(),
+            position: 0,
+            violation: None,
+        }
+    }
+
+    /// Number of commit events processed so far.
+    pub fn commits(&self) -> usize {
+        self.states.len() - 1
+    }
+
+    /// Number of events pushed so far.
+    pub fn events_pushed(&self) -> usize {
+        self.position
+    }
+
+    /// The first violation encountered, if any.
+    pub fn violation(&self) -> Option<&CommitOrderViolation> {
+        self.violation.as_ref()
+    }
+
+    /// The committed value of `x` in the latest committed state.
+    pub fn committed_value(&self, x: TVarId) -> Value {
+        self.states
+            .last()
+            .and_then(|s| s.get(&x))
+            .copied()
+            .unwrap_or(INITIAL_VALUE)
+    }
+
+    fn state_value(&self, slot: usize, x: TVarId) -> Value {
+        self.states[slot].get(&x).copied().unwrap_or(INITIAL_VALUE)
+    }
+
+    fn fail(&mut self, process: ProcessId, detail: String) -> CommitOrderViolation {
+        let v = CommitOrderViolation {
+            process,
+            position: self.position,
+            detail,
+        };
+        self.violation = Some(v.clone());
+        v
+    }
+
+    /// Pushes the next event of the history.
+    ///
+    /// # Errors
+    ///
+    /// Returns the violation if the commit-order witness fails at this
+    /// event (or failed earlier — the certifier latches).
+    pub fn push(&mut self, event: Event) -> Result<(), CommitOrderViolation> {
+        if let Some(v) = &self.violation {
+            return Err(v.clone());
+        }
+        let process = event.process;
+        match event.kind {
+            EventKind::Invocation(inv) => {
+                let top = self.commits();
+                let tx = self.open.entry(process).or_insert_with(|| OpenTx {
+                    pending: None,
+                    writes: BTreeMap::new(),
+                    reads: Vec::new(),
+                    // A fresh transaction can only be serialized at or after
+                    // the current committed state.
+                    candidates: vec![top],
+                });
+                tx.pending = Some(inv);
+            }
+            EventKind::Response(resp) => {
+                let result = self.on_response(process, resp);
+                if let Err(detail) = result {
+                    let v = self.fail(process, detail);
+                    self.position += 1;
+                    return Err(v);
+                }
+            }
+        }
+        self.position += 1;
+        Ok(())
+    }
+
+    fn on_response(&mut self, process: ProcessId, resp: Response) -> Result<(), String> {
+        let Some(mut tx) = self.open.remove(&process) else {
+            // A response with no open transaction: treat as malformed input.
+            return Err("response without an open transaction".to_string());
+        };
+        let pending = tx.pending.take();
+        match resp {
+            Response::Aborted => {
+                // The transaction ends. In opacity mode its reads were
+                // checked eagerly, so nothing further to verify.
+                Ok(())
+            }
+            Response::Value(v) => {
+                let Some(Invocation::Read(x)) = pending else {
+                    return Err("value response without pending read".to_string());
+                };
+                if let Some(&w) = tx.writes.get(&x) {
+                    if w != v {
+                        return Err(format!(
+                            "read of {x} returned {v} but the transaction's own write was {w}"
+                        ));
+                    }
+                } else {
+                    tx.reads.push((x, v));
+                    if self.mode == Mode::Opacity {
+                        let states = &self.states;
+                        tx.candidates
+                            .retain(|&s| states[s].get(&x).copied().unwrap_or(INITIAL_VALUE) == v);
+                        if tx.candidates.is_empty() {
+                            return Err(format!(
+                                "read of {x} returned {v}, inconsistent with every candidate \
+                                 serialization point"
+                            ));
+                        }
+                    }
+                }
+                self.open.insert(process, tx);
+                Ok(())
+            }
+            Response::Ok => {
+                let Some(Invocation::Write(x, v)) = pending else {
+                    return Err("ok response without pending write".to_string());
+                };
+                tx.writes.insert(x, v);
+                self.open.insert(process, tx);
+                Ok(())
+            }
+            Response::Committed => {
+                if !matches!(pending, Some(Invocation::TryCommit)) {
+                    return Err("commit response without pending tryC".to_string());
+                }
+                let top = self.commits();
+                // The committed transaction is serialized last: all its
+                // reads must be consistent with the current committed state.
+                for &(x, v) in &tx.reads {
+                    let cur = self.state_value(top, x);
+                    if cur != v {
+                        return Err(format!(
+                            "committed transaction read {x}={v} but the committed state at its \
+                             serialization point has {x}={cur}"
+                        ));
+                    }
+                }
+                // Apply its writes to form the next committed state.
+                let mut next = self.states[top].clone();
+                next.extend(tx.writes.iter().map(|(&k, &v)| (k, v)));
+                self.states.push(next);
+                let new_slot = self.commits();
+                // The new state is a candidate serialization point for every
+                // still-open transaction whose reads it satisfies.
+                if self.mode == Mode::Opacity {
+                    let states = &self.states;
+                    for other in self.open.values_mut() {
+                        let fits = other.reads.iter().all(|&(x, v)| {
+                            states[new_slot].get(&x).copied().unwrap_or(INITIAL_VALUE) == v
+                        });
+                        if fits {
+                            other.candidates.push(new_slot);
+                        }
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Pushes every event of an iterator, stopping at the first violation.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation encountered.
+    pub fn push_all<I: IntoIterator<Item = Event>>(
+        &mut self,
+        events: I,
+    ) -> Result<(), CommitOrderViolation> {
+        for event in events {
+            self.push(event)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tm_core::builder::figures;
+    use tm_core::{HistoryBuilder, ProcessId, TVarId};
+
+    const P1: ProcessId = ProcessId(0);
+    const P2: ProcessId = ProcessId(1);
+    const X: TVarId = TVarId(0);
+    const Y: TVarId = TVarId(1);
+
+    fn accepts(mode: Mode, h: &tm_core::History) -> bool {
+        let mut c = IncrementalChecker::new(mode);
+        c.push_all(h.iter().copied()).is_ok()
+    }
+
+    #[test]
+    fn figure_1_accepted_in_both_modes() {
+        let h = figures::figure_1();
+        assert!(accepts(Mode::Opacity, &h));
+        assert!(accepts(Mode::StrictSerializability, &h));
+    }
+
+    #[test]
+    fn figure_3_rejected_in_both_modes() {
+        let h = figures::figure_3();
+        assert!(!accepts(Mode::Opacity, &h));
+        assert!(!accepts(Mode::StrictSerializability, &h));
+    }
+
+    #[test]
+    fn figure_4_split_verdict() {
+        let h = figures::figure_4();
+        assert!(!accepts(Mode::Opacity, &h));
+        assert!(accepts(Mode::StrictSerializability, &h));
+    }
+
+    #[test]
+    fn violation_latches() {
+        let h = figures::figure_3();
+        let mut c = IncrementalChecker::new(Mode::Opacity);
+        let err = c.push_all(h.iter().copied()).unwrap_err();
+        assert_eq!(c.violation(), Some(&err));
+        // Further pushes keep failing.
+        assert!(c.push(Event::read(P1, X)).is_err());
+    }
+
+    #[test]
+    fn eager_read_check_rejects_torn_snapshot_mid_transaction() {
+        let mut c = IncrementalChecker::new(Mode::Opacity);
+        let h = HistoryBuilder::new()
+            .read(P1, X, 0)
+            .write_ok(P2, X, 1)
+            .write_ok(P2, Y, 1)
+            .commit(P2)
+            .build()
+            .unwrap();
+        c.push_all(h.iter().copied()).unwrap();
+        // p1 now reads the *new* y while holding the *old* x: violation at
+        // the read, before p1 even terminates.
+        c.push(Event::read(P1, Y)).unwrap();
+        assert!(c.push(Event::value(P1, 1)).is_err());
+    }
+
+    #[test]
+    fn snapshot_before_writer_is_accepted() {
+        let h = HistoryBuilder::new()
+            .read(P1, X, 0)
+            .write_ok(P2, X, 1)
+            .write_ok(P2, Y, 1)
+            .commit(P2)
+            .read(P1, Y, 0) // consistent with the pre-commit slot
+            .abort_on_try_commit(P1)
+            .build()
+            .unwrap();
+        assert!(accepts(Mode::Opacity, &h));
+    }
+
+    #[test]
+    fn late_candidate_slot_allows_reading_new_state() {
+        // p1 starts, then p2 commits x=1, then p1 reads x=1: p1 serializes
+        // after p2.
+        let h = HistoryBuilder::new()
+            .read(P1, Y, 0)
+            .write_ok(P2, X, 1)
+            .commit(P2)
+            .read(P1, X, 1)
+            .abort_on_try_commit(P1)
+            .build()
+            .unwrap();
+        assert!(accepts(Mode::Opacity, &h));
+    }
+
+    #[test]
+    fn own_write_shadowing() {
+        let h = HistoryBuilder::new()
+            .write_ok(P1, X, 7)
+            .read(P1, X, 7)
+            .commit(P1)
+            .build()
+            .unwrap();
+        assert!(accepts(Mode::Opacity, &h));
+
+        let bad = HistoryBuilder::new()
+            .write_ok(P1, X, 7)
+            .read(P1, X, 0)
+            .commit(P1)
+            .build()
+            .unwrap();
+        assert!(!accepts(Mode::Opacity, &bad));
+    }
+
+    #[test]
+    fn committed_value_tracks_state() {
+        let mut c = IncrementalChecker::new(Mode::Opacity);
+        assert_eq!(c.committed_value(X), 0);
+        let h = HistoryBuilder::new()
+            .write_ok(P1, X, 5)
+            .commit(P1)
+            .build()
+            .unwrap();
+        c.push_all(h.iter().copied()).unwrap();
+        assert_eq!(c.committed_value(X), 5);
+        assert_eq!(c.commits(), 1);
+    }
+
+    #[test]
+    fn long_adversary_shaped_run_is_linear_time() {
+        // 10_000 rounds of the Figure 1 pattern; the certifier must accept
+        // every prefix.
+        let mut c = IncrementalChecker::new(Mode::Opacity);
+        let mut v = 0;
+        for _ in 0..10_000 {
+            let round = HistoryBuilder::new()
+                .read(P1, X, v)
+                .read(P2, X, v)
+                .write_ok(P2, X, v + 1)
+                .commit(P2)
+                .write_ok(P1, X, v + 1)
+                .abort_on_try_commit(P1)
+                .build()
+                .unwrap();
+            c.push_all(round.iter().copied()).unwrap();
+            v += 1;
+        }
+        assert_eq!(c.commits(), 10_000);
+    }
+
+    #[test]
+    fn strict_serializability_ignores_aborted_reads() {
+        let h = HistoryBuilder::new()
+            .read(P1, X, 42)
+            .abort_on_try_commit(P1)
+            .build()
+            .unwrap();
+        assert!(accepts(Mode::StrictSerializability, &h));
+        assert!(!accepts(Mode::Opacity, &h));
+    }
+}

@@ -1,0 +1,145 @@
+//! Exact and incremental checkers for TM safety properties.
+//!
+//! This crate decides the two safety properties of *On the Liveness of
+//! Transactional Memory* (PODC 2012, §2.4) on finite histories:
+//!
+//! * **opacity** — every transaction (even aborted or live) observes a
+//!   consistent state: [`check_opacity`] / [`is_opaque`];
+//! * **strict serializability** — every committed transaction observes a
+//!   consistent state: [`check_strict_serializability`] /
+//!   [`is_strictly_serializable`].
+//!
+//! Both are decided *exactly* by searching the space of real-time-preserving
+//! sequential witnesses (with legality pruning and memoization), and
+//! *incrementally* for arbitrarily long histories by the sound-but-incomplete
+//! commit-order certifier [`IncrementalChecker`]. [`check_opacity_auto`]
+//! combines the two.
+//!
+//! ```
+//! use tm_core::builder::figures;
+//! use tm_safety::{is_opaque, is_strictly_serializable};
+//!
+//! // The paper's verdict table for Figures 1, 3 and 4:
+//! assert!(is_opaque(&figures::figure_1()));
+//! assert!(is_strictly_serializable(&figures::figure_1()));
+//! assert!(!is_opaque(&figures::figure_3()));
+//! assert!(!is_strictly_serializable(&figures::figure_3()));
+//! assert!(!is_opaque(&figures::figure_4()));
+//! assert!(is_strictly_serializable(&figures::figure_4()));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod incremental;
+pub mod opacity;
+pub mod property;
+pub mod strict_ser;
+pub mod witness;
+
+pub use incremental::{CommitOrderViolation, IncrementalChecker, Mode};
+pub use opacity::{check_opacity, is_opaque, SafetyVerdict};
+pub use property::{Opacity, SafetyProperty, StrictSerializability};
+pub use strict_ser::{check_strict_serializability, is_strictly_serializable};
+pub use witness::{TooManyTransactions, MAX_EXACT_TRANSACTIONS};
+
+use tm_core::History;
+
+/// Outcome of a combined (incremental + exact) safety check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckOutcome {
+    /// The property provably holds.
+    Holds,
+    /// The property provably does not hold.
+    Violated,
+    /// The history is too large for the exact checker and the fast
+    /// commit-order certifier could not certify it.
+    Unknown,
+}
+
+impl CheckOutcome {
+    /// Whether the property was proven to hold.
+    pub fn holds(self) -> bool {
+        self == CheckOutcome::Holds
+    }
+}
+
+fn check_auto(history: &History, mode: Mode) -> CheckOutcome {
+    let mut fast = IncrementalChecker::new(mode);
+    if fast.push_all(history.iter().copied()).is_ok() {
+        return CheckOutcome::Holds;
+    }
+    let exact = match mode {
+        Mode::Opacity => check_opacity(history),
+        Mode::StrictSerializability => check_strict_serializability(history),
+    };
+    match exact {
+        Ok(v) if v.holds() => CheckOutcome::Holds,
+        Ok(_) => CheckOutcome::Violated,
+        Err(_) => CheckOutcome::Unknown,
+    }
+}
+
+/// Checks opacity with the fast commit-order certifier, falling back to the
+/// exact checker when the fast path rejects.
+///
+/// # Examples
+///
+/// ```
+/// use tm_core::builder::figures;
+/// use tm_safety::{check_opacity_auto, CheckOutcome};
+///
+/// assert_eq!(check_opacity_auto(&figures::figure_1()), CheckOutcome::Holds);
+/// assert_eq!(check_opacity_auto(&figures::figure_3()), CheckOutcome::Violated);
+/// ```
+pub fn check_opacity_auto(history: &History) -> CheckOutcome {
+    check_auto(history, Mode::Opacity)
+}
+
+/// Checks strict serializability with the fast commit-order certifier,
+/// falling back to the exact checker when the fast path rejects.
+pub fn check_strict_serializability_auto(history: &History) -> CheckOutcome {
+    check_auto(history, Mode::StrictSerializability)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tm_core::builder::figures;
+    use tm_core::{HistoryBuilder, ProcessId, TVarId};
+
+    #[test]
+    fn auto_checker_matches_exact_on_figures() {
+        assert_eq!(check_opacity_auto(&figures::figure_1()), CheckOutcome::Holds);
+        assert_eq!(
+            check_opacity_auto(&figures::figure_3()),
+            CheckOutcome::Violated
+        );
+        assert_eq!(
+            check_opacity_auto(&figures::figure_4()),
+            CheckOutcome::Violated
+        );
+        assert_eq!(
+            check_strict_serializability_auto(&figures::figure_4()),
+            CheckOutcome::Holds
+        );
+    }
+
+    #[test]
+    fn auto_uses_exact_fallback_when_commit_order_fails() {
+        // p1 reads x=0, p2 writes x=1 and commits, then p1 commits.
+        // Commit order (p2, p1) fails — p1 read x=0 against state x=1 —
+        // but the exact witness (p1, p2) exists, so the history is opaque.
+        let (p1, p2, x) = (ProcessId(0), ProcessId(1), TVarId(0));
+        let h = HistoryBuilder::new()
+            .read(p1, x, 0)
+            .write_ok(p2, x, 1)
+            .commit(p2)
+            .commit(p1)
+            .build()
+            .unwrap();
+        let mut fast = IncrementalChecker::new(Mode::Opacity);
+        assert!(fast.push_all(h.iter().copied()).is_err());
+        assert_eq!(check_opacity_auto(&h), CheckOutcome::Holds);
+    }
+}

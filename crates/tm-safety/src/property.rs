@@ -1,0 +1,104 @@
+//! Safety properties as first-class values.
+//!
+//! Section 5.1 of the paper quantifies over the class of *strictly
+//! serializable safety properties* — properties at least as strong as
+//! strict serializability. [`SafetyProperty`] makes that class
+//! representable: harnesses and the generalized impossibility experiments
+//! are parameterized by `&dyn SafetyProperty`.
+
+use tm_core::History;
+
+use crate::opacity::check_opacity;
+use crate::strict_ser::check_strict_serializability;
+
+/// A prefix-closed property of finite histories.
+pub trait SafetyProperty {
+    /// Human-readable name (used in experiment output).
+    fn name(&self) -> &'static str;
+
+    /// Whether the property holds for the history.
+    ///
+    /// Implementations may panic on histories beyond their checkable size;
+    /// harnesses use the incremental certifier for long runs.
+    fn holds(&self, history: &History) -> bool;
+
+    /// Whether the property is *strictly serializable* in the paper's sense
+    /// (at least as strong as strict serializability). Both provided
+    /// properties are; the flag lets experiments assert the precondition of
+    /// Theorem 2.
+    fn is_strictly_serializable_property(&self) -> bool;
+}
+
+/// Opacity (the safety property ensured by most TMs; Guerraoui & Kapałka).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Opacity;
+
+impl SafetyProperty for Opacity {
+    fn name(&self) -> &'static str {
+        "opacity"
+    }
+
+    fn holds(&self, history: &History) -> bool {
+        check_opacity(history)
+            .expect("history too large for exact opacity check")
+            .holds()
+    }
+
+    fn is_strictly_serializable_property(&self) -> bool {
+        true
+    }
+}
+
+/// Strict serializability (Papadimitriou).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StrictSerializability;
+
+impl SafetyProperty for StrictSerializability {
+    fn name(&self) -> &'static str {
+        "strict serializability"
+    }
+
+    fn holds(&self, history: &History) -> bool {
+        check_strict_serializability(history)
+            .expect("history too large for exact strict serializability check")
+            .holds()
+    }
+
+    fn is_strictly_serializable_property(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tm_core::builder::figures;
+
+    #[test]
+    fn trait_objects_work() {
+        let properties: Vec<Box<dyn SafetyProperty>> =
+            vec![Box::new(Opacity), Box::new(StrictSerializability)];
+        let h = figures::figure_4();
+        let verdicts: Vec<(&str, bool)> =
+            properties.iter().map(|p| (p.name(), p.holds(&h))).collect();
+        assert_eq!(
+            verdicts,
+            vec![("opacity", false), ("strict serializability", true)]
+        );
+    }
+
+    #[test]
+    fn both_are_strictly_serializable_properties() {
+        assert!(Opacity.is_strictly_serializable_property());
+        assert!(StrictSerializability.is_strictly_serializable_property());
+    }
+
+    #[test]
+    fn opacity_implies_strict_serializability_on_figures() {
+        for h in [figures::figure_1(), figures::figure_3(), figures::figure_4()] {
+            if Opacity.holds(&h) {
+                assert!(StrictSerializability.holds(&h));
+            }
+        }
+    }
+}

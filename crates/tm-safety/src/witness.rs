@@ -1,0 +1,204 @@
+//! Shared witness-search machinery.
+//!
+//! Both opacity and strict serializability are of the form "there exists a
+//! sequential history `Hs`, equivalent to a derived history, preserving the
+//! real-time order, in which every transaction is legal". The witness space
+//! is the set of linear extensions of the real-time partial order `<H`; the
+//! search below enumerates it with two optimizations that make the checker
+//! practical far beyond naive factorial enumeration:
+//!
+//! * **legality pruning** — a transaction is only appended to a partial
+//!   witness if it is legal against the committed state reached so far, so
+//!   illegal branches die immediately;
+//! * **memoization** — the continuation of a partial witness depends only
+//!   on (set of placed transactions, committed t-variable state); states
+//!   are canonicalized and failed `(mask, state)` pairs are cached.
+
+use std::collections::{BTreeMap, HashSet};
+
+use tm_core::sequential::check_one;
+use tm_core::{TVarId, Transaction, TxStatus, Value};
+
+/// The exact checker enumerates subsets with a `u128` mask, limiting it to
+/// histories of at most this many transactions. Larger histories should use
+/// the incremental commit-order certifier.
+pub const MAX_EXACT_TRANSACTIONS: usize = 128;
+
+/// Error returned when a history has too many transactions for the exact
+/// checker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TooManyTransactions {
+    /// Number of transactions in the offending history.
+    pub count: usize,
+}
+
+impl core::fmt::Display for TooManyTransactions {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "history has {} transactions; the exact checker supports at most {}",
+            self.count, MAX_EXACT_TRANSACTIONS
+        )
+    }
+}
+
+impl std::error::Error for TooManyTransactions {}
+
+/// Searches for a legal sequential witness order of `txs` (indices into the
+/// slice) that is a linear extension of the real-time order.
+///
+/// Returns `Ok(Some(order))` with a legal witness, `Ok(None)` if no witness
+/// exists, or an error if the history is too large for exact search.
+///
+/// # Errors
+///
+/// [`TooManyTransactions`] if `txs.len() > MAX_EXACT_TRANSACTIONS`.
+pub fn find_witness(txs: &[Transaction]) -> Result<Option<Vec<usize>>, TooManyTransactions> {
+    let n = txs.len();
+    if n > MAX_EXACT_TRANSACTIONS {
+        return Err(TooManyTransactions { count: n });
+    }
+    if n == 0 {
+        return Ok(Some(Vec::new()));
+    }
+
+    // pred[i] = mask of transactions that must precede i in any witness.
+    let mut pred = vec![0u128; n];
+    for (i, ti) in txs.iter().enumerate() {
+        for (j, tj) in txs.iter().enumerate() {
+            if i != j && tj.precedes(ti) {
+                pred[i] |= 1 << j;
+            }
+        }
+    }
+
+    let full: u128 = if n == 128 { u128::MAX } else { (1 << n) - 1 };
+    let mut failed: HashSet<(u128, Vec<(TVarId, Value)>)> = HashSet::new();
+    let mut order: Vec<usize> = Vec::with_capacity(n);
+
+    fn dfs(
+        txs: &[Transaction],
+        pred: &[u128],
+        full: u128,
+        mask: u128,
+        state: &BTreeMap<TVarId, Value>,
+        failed: &mut HashSet<(u128, Vec<(TVarId, Value)>)>,
+        order: &mut Vec<usize>,
+    ) -> bool {
+        if mask == full {
+            return true;
+        }
+        let key = (mask, state.iter().map(|(&k, &v)| (k, v)).collect::<Vec<_>>());
+        if failed.contains(&key) {
+            return false;
+        }
+        for i in 0..txs.len() {
+            let bit = 1u128 << i;
+            if mask & bit != 0 || pred[i] & !mask != 0 {
+                continue;
+            }
+            // Transaction i is ready; check legality against current state.
+            match check_one(&txs[i], state) {
+                Err(_) => continue,
+                Ok(writes) => {
+                    order.push(i);
+                    let next_state = if txs[i].status == TxStatus::Committed && !writes.is_empty()
+                    {
+                        let mut s = state.clone();
+                        s.extend(writes);
+                        s
+                    } else {
+                        state.clone()
+                    };
+                    if dfs(txs, pred, full, mask | bit, &next_state, failed, order) {
+                        return true;
+                    }
+                    order.pop();
+                }
+            }
+        }
+        failed.insert(key);
+        false
+    }
+
+    let initial = BTreeMap::new();
+    if dfs(txs, &pred, full, 0, &initial, &mut failed, &mut order) {
+        Ok(Some(order))
+    } else {
+        Ok(None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tm_core::{HistoryBuilder, ProcessId, TVarId};
+
+    const P1: ProcessId = ProcessId(0);
+    const P2: ProcessId = ProcessId(1);
+    const X: TVarId = TVarId(0);
+
+    #[test]
+    fn empty_set_has_empty_witness() {
+        assert_eq!(find_witness(&[]), Ok(Some(Vec::new())));
+    }
+
+    #[test]
+    fn single_legal_transaction() {
+        let h = HistoryBuilder::new().read(P1, X, 0).commit(P1).build().unwrap();
+        let txs = h.transactions();
+        assert_eq!(find_witness(&txs).unwrap(), Some(vec![0]));
+    }
+
+    #[test]
+    fn single_illegal_transaction_has_no_witness() {
+        let h = HistoryBuilder::new().read(P1, X, 9).commit(P1).build().unwrap();
+        let txs = h.transactions();
+        assert_eq!(find_witness(&txs).unwrap(), None);
+    }
+
+    #[test]
+    fn witness_reorders_concurrent_transactions() {
+        // p1 reads 1 (written by p2's concurrent committed transaction):
+        // witness must place p2 first even though p1's transaction started
+        // first.
+        let h = HistoryBuilder::new()
+            .read(P2, X, 0)
+            .write_ok(P2, X, 1)
+            .read(P1, X, 1)
+            .commit(P2)
+            .commit(P1)
+            .build()
+            .unwrap();
+        let txs = h.transactions();
+        let w = find_witness(&txs).unwrap().expect("witness exists");
+        // Transactions sorted by first event: index 0 = p2's, index 1 = p1's.
+        assert_eq!(w, vec![0, 1]);
+    }
+
+    #[test]
+    fn real_time_order_is_respected() {
+        // p1's committed transaction finishes before p2's starts, so a
+        // witness placing p2 first is not allowed even if legal.
+        let h = HistoryBuilder::new()
+            .write_ok(P1, X, 1)
+            .commit(P1)
+            .read(P2, X, 1)
+            .commit(P2)
+            .build()
+            .unwrap();
+        let txs = h.transactions();
+        assert_eq!(find_witness(&txs).unwrap(), Some(vec![0, 1]));
+    }
+
+    #[test]
+    fn too_many_transactions_is_an_error() {
+        let mut b = HistoryBuilder::new();
+        for _ in 0..(MAX_EXACT_TRANSACTIONS + 1) {
+            b.read(P1, X, 0).commit(P1);
+        }
+        let h = b.build().unwrap();
+        let txs = h.transactions();
+        assert!(find_witness(&txs).is_err());
+    }
+}

@@ -1,0 +1,163 @@
+//! Fault injection: crashes and parasitic turns.
+//!
+//! The paper's fault-prone systems allow any number of processes to crash
+//! (stop taking steps forever) or to be parasitic (keep executing
+//! operations but never attempt to commit). Both are *schedule-level*
+//! phenomena — the TM cannot distinguish a crashed process from a slow
+//! one — so they are injected in the simulation loop:
+//!
+//! * a **crash** at step `t` removes the process from the eligible set of
+//!   every step `≥ t`;
+//! * a **parasitic turn** at step `t` replaces the process's client with
+//!   an endless read-only loop that never issues `tryC`.
+
+use serde::{Deserialize, Serialize};
+
+use tm_core::{ProcessId, TVarId};
+
+use crate::workload::{ClientScript, PlannedOp};
+
+/// A single injected fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Fault {
+    /// The process takes no steps at or after the given step.
+    Crash {
+        /// The affected process.
+        process: ProcessId,
+        /// The global step at which the process disappears.
+        at_step: usize,
+    },
+    /// The process switches to an endless loop of reads and writes,
+    /// never invoking `tryC` again.
+    Parasitic {
+        /// The affected process.
+        process: ProcessId,
+        /// The global step at which the switch happens.
+        at_step: usize,
+    },
+}
+
+impl Fault {
+    /// The process affected by the fault.
+    pub fn process(&self) -> ProcessId {
+        match *self {
+            Fault::Crash { process, .. } | Fault::Parasitic { process, .. } => process,
+        }
+    }
+
+    /// The step at which the fault takes effect.
+    pub fn at_step(&self) -> usize {
+        match *self {
+            Fault::Crash { at_step, .. } | Fault::Parasitic { at_step, .. } => at_step,
+        }
+    }
+}
+
+/// A set of faults to inject into a run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct FaultPlan {
+    faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// No faults: every process is correct.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Adds a crash of `process` at `at_step`.
+    pub fn crash(mut self, process: ProcessId, at_step: usize) -> Self {
+        self.faults.push(Fault::Crash { process, at_step });
+        self
+    }
+
+    /// Adds a parasitic turn of `process` at `at_step`.
+    pub fn parasitic(mut self, process: ProcessId, at_step: usize) -> Self {
+        self.faults.push(Fault::Parasitic { process, at_step });
+        self
+    }
+
+    /// The planned faults.
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    /// Whether `process` has crashed by `step`.
+    pub fn is_crashed(&self, process: ProcessId, step: usize) -> bool {
+        self.faults.iter().any(|f| {
+            matches!(f, Fault::Crash { .. }) && f.process() == process && step >= f.at_step()
+        })
+    }
+
+    /// The parasitic fault of `process` triggering exactly at `step`, if
+    /// any.
+    pub fn parasitic_turn_at(&self, process: ProcessId, step: usize) -> bool {
+        self.faults.iter().any(|f| {
+            matches!(f, Fault::Parasitic { .. }) && f.process() == process && f.at_step() == step
+        })
+    }
+
+    /// Whether `process` is scheduled as parasitic at some point.
+    pub fn is_eventually_parasitic(&self, process: ProcessId) -> bool {
+        self.faults
+            .iter()
+            .any(|f| matches!(f, Fault::Parasitic { .. }) && f.process() == process)
+    }
+
+    /// Processes unaffected by any fault (the *correct* processes of the
+    /// planned run, assuming they keep retrying transactions).
+    pub fn correct_processes(&self, total: usize) -> Vec<ProcessId> {
+        (0..total)
+            .map(ProcessId)
+            .filter(|p| !self.faults.iter().any(|f| f.process() == *p))
+            .collect()
+    }
+}
+
+/// The endless read-only loop a parasitic process runs: reads of `x`
+/// forever, no `tryC`. (Liveness classification only needs event kinds, so
+/// reads suffice.)
+pub fn parasitic_script(x: TVarId) -> ClientScript {
+    // A very long read-only plan; the simulation never reaches its tryC in
+    // any bounded run, and the client loops it anyway.
+    ClientScript::new(vec![PlannedOp::Read(x); usize::from(u16::MAX)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const P1: ProcessId = ProcessId(0);
+    const P2: ProcessId = ProcessId(1);
+
+    #[test]
+    fn crash_takes_effect_at_step() {
+        let plan = FaultPlan::none().crash(P1, 10);
+        assert!(!plan.is_crashed(P1, 9));
+        assert!(plan.is_crashed(P1, 10));
+        assert!(plan.is_crashed(P1, 1000));
+        assert!(!plan.is_crashed(P2, 1000));
+    }
+
+    #[test]
+    fn parasitic_turn_triggers_once() {
+        let plan = FaultPlan::none().parasitic(P2, 5);
+        assert!(plan.parasitic_turn_at(P2, 5));
+        assert!(!plan.parasitic_turn_at(P2, 6));
+        assert!(plan.is_eventually_parasitic(P2));
+        assert!(!plan.is_eventually_parasitic(P1));
+    }
+
+    #[test]
+    fn correct_processes_excludes_faulty() {
+        let plan = FaultPlan::none().crash(P1, 3).parasitic(P2, 9);
+        assert_eq!(plan.correct_processes(4), vec![ProcessId(2), ProcessId(3)]);
+    }
+
+    #[test]
+    fn parasitic_script_never_commits() {
+        let s = parasitic_script(TVarId(0));
+        assert!(s.ops().iter().all(|op| matches!(op, PlannedOp::Read(_))));
+        assert!(s.ops().len() > 10_000);
+    }
+}

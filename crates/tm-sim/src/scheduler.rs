@@ -1,0 +1,211 @@
+//! Schedulers: who moves next.
+//!
+//! The paper's environment includes a scheduler that, at every point,
+//! decides which process's event reaches the TM; processes and TM have no
+//! control over it. [`Scheduler`] implementations cover the fair cases
+//! (round-robin, seeded-random, weighted); the *adversarial* scheduler is
+//! the `tm-adversary` crate, and crash/parasitic faults are injected by
+//! [`crate::faults::FaultPlan`] by filtering eligibility.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use tm_core::ProcessId;
+
+/// Picks the next process to step among the currently eligible ones.
+pub trait Scheduler {
+    /// Chooses one of `eligible` (never empty). `step` is the global step
+    /// number, usable for time-varying policies.
+    fn pick(&mut self, step: usize, eligible: &[ProcessId]) -> ProcessId;
+}
+
+/// Fair round-robin over process indices.
+#[derive(Debug, Clone, Default)]
+pub struct RoundRobin {
+    cursor: usize,
+}
+
+impl RoundRobin {
+    /// Creates a round-robin scheduler.
+    pub fn new() -> Self {
+        RoundRobin::default()
+    }
+}
+
+impl Scheduler for RoundRobin {
+    fn pick(&mut self, _step: usize, eligible: &[ProcessId]) -> ProcessId {
+        // Find the next eligible process at or after the cursor.
+        let chosen = eligible
+            .iter()
+            .copied()
+            .find(|p| p.index() >= self.cursor)
+            .unwrap_or(eligible[0]);
+        self.cursor = chosen.index() + 1;
+        chosen
+    }
+}
+
+/// Uniform random choice with a fixed seed (reproducible).
+#[derive(Debug, Clone)]
+pub struct RandomScheduler {
+    rng: StdRng,
+}
+
+impl RandomScheduler {
+    /// Creates a seeded random scheduler.
+    pub fn new(seed: u64) -> Self {
+        RandomScheduler {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Scheduler for RandomScheduler {
+    fn pick(&mut self, _step: usize, eligible: &[ProcessId]) -> ProcessId {
+        eligible[self.rng.gen_range(0..eligible.len())]
+    }
+}
+
+/// Weighted random choice: process `k` is scheduled proportionally to
+/// `weights[k]` (processes with zero weight only run if nothing else is
+/// eligible). Models asymmetric speeds — a nearly-starved slow process.
+#[derive(Debug, Clone)]
+pub struct WeightedScheduler {
+    weights: Vec<u32>,
+    rng: StdRng,
+}
+
+impl WeightedScheduler {
+    /// Creates a weighted scheduler.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty.
+    pub fn new(weights: Vec<u32>, seed: u64) -> Self {
+        assert!(!weights.is_empty(), "need at least one weight");
+        WeightedScheduler {
+            weights,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Scheduler for WeightedScheduler {
+    fn pick(&mut self, _step: usize, eligible: &[ProcessId]) -> ProcessId {
+        let total: u64 = eligible
+            .iter()
+            .map(|p| u64::from(*self.weights.get(p.index()).unwrap_or(&1)))
+            .sum();
+        if total == 0 {
+            return eligible[0];
+        }
+        let mut roll = self.rng.gen_range(0..total);
+        for &p in eligible {
+            let w = u64::from(*self.weights.get(p.index()).unwrap_or(&1));
+            if roll < w {
+                return p;
+            }
+            roll -= w;
+        }
+        eligible[eligible.len() - 1]
+    }
+}
+
+/// Replays a fixed schedule (used by the model checker and by regression
+/// tests that pin an interleaving).
+#[derive(Debug, Clone)]
+pub struct FixedSchedule {
+    schedule: Vec<ProcessId>,
+    position: usize,
+}
+
+impl FixedSchedule {
+    /// Creates a scheduler replaying `schedule`; after the schedule is
+    /// exhausted it falls back to the first eligible process.
+    pub fn new(schedule: Vec<ProcessId>) -> Self {
+        FixedSchedule {
+            schedule,
+            position: 0,
+        }
+    }
+}
+
+impl Scheduler for FixedSchedule {
+    fn pick(&mut self, _step: usize, eligible: &[ProcessId]) -> ProcessId {
+        while self.position < self.schedule.len() {
+            let p = self.schedule[self.position];
+            self.position += 1;
+            if eligible.contains(&p) {
+                return p;
+            }
+        }
+        eligible[0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(v: &[usize]) -> Vec<ProcessId> {
+        v.iter().copied().map(ProcessId).collect()
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let mut s = RoundRobin::new();
+        let eligible = ids(&[0, 1, 2]);
+        let picks: Vec<usize> = (0..6).map(|i| s.pick(i, &eligible).index()).collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn round_robin_skips_ineligible() {
+        let mut s = RoundRobin::new();
+        assert_eq!(s.pick(0, &ids(&[0, 2])).index(), 0);
+        assert_eq!(s.pick(1, &ids(&[0, 2])).index(), 2);
+        assert_eq!(s.pick(2, &ids(&[0, 2])).index(), 0);
+    }
+
+    #[test]
+    fn random_scheduler_is_reproducible() {
+        let eligible = ids(&[0, 1, 2, 3]);
+        let picks = |seed| {
+            let mut s = RandomScheduler::new(seed);
+            (0..20).map(|i| s.pick(i, &eligible).index()).collect::<Vec<_>>()
+        };
+        assert_eq!(picks(7), picks(7));
+        assert_ne!(picks(7), picks(8));
+    }
+
+    #[test]
+    fn random_scheduler_eventually_picks_everyone() {
+        let mut s = RandomScheduler::new(3);
+        let eligible = ids(&[0, 1, 2]);
+        let mut seen = [false; 3];
+        for i in 0..100 {
+            seen[s.pick(i, &eligible).index()] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn weighted_scheduler_respects_weights() {
+        let mut s = WeightedScheduler::new(vec![1, 99], 5);
+        let eligible = ids(&[0, 1]);
+        let p1_picks = (0..1000)
+            .filter(|&i| s.pick(i, &eligible).index() == 1)
+            .count();
+        assert!(p1_picks > 900, "heavy process picked {p1_picks}/1000");
+    }
+
+    #[test]
+    fn fixed_schedule_replays_then_falls_back() {
+        let mut s = FixedSchedule::new(ids(&[1, 1, 0]));
+        let eligible = ids(&[0, 1]);
+        assert_eq!(s.pick(0, &eligible).index(), 1);
+        assert_eq!(s.pick(1, &eligible).index(), 1);
+        assert_eq!(s.pick(2, &eligible).index(), 0);
+        assert_eq!(s.pick(3, &eligible).index(), 0); // fallback
+    }
+}

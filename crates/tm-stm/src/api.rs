@@ -1,0 +1,117 @@
+//! The stepped TM interface.
+//!
+//! A *stepped* TM is a deterministic state machine driven by an explicit
+//! scheduler: at every step the scheduler picks a process, the process
+//! issues an invocation, and the TM either responds immediately or — for
+//! blocking TMs such as the global-lock TM — withholds the response until
+//! a later poll succeeds. Interleaving each invocation/response pair
+//! atomically is exactly the paper's asynchronous model: the scheduler
+//! (or the adversary of Theorem 1) controls the order of process steps,
+//! including never scheduling a process again (a crash) or never letting
+//! it invoke `tryC` (a parasitic process).
+
+use tm_core::{Invocation, ProcessId, Response};
+
+/// Outcome of an invocation against a [`SteppedTm`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// The TM responded immediately.
+    Response(Response),
+    /// The TM withheld the response (a blocking TM); poll later.
+    Pending,
+}
+
+impl Outcome {
+    /// The response, if one was produced.
+    pub fn response(self) -> Option<Response> {
+        match self {
+            Outcome::Response(r) => Some(r),
+            Outcome::Pending => None,
+        }
+    }
+
+    /// Whether the invocation is still awaiting its response.
+    pub fn is_pending(self) -> bool {
+        matches!(self, Outcome::Pending)
+    }
+}
+
+/// A TM implementation driven one step at a time by a scheduler.
+///
+/// # Contract
+///
+/// * Processes are sequential: the driver must not call
+///   [`SteppedTm::invoke`] for a process whose previous invocation is
+///   still pending (implementations may panic).
+/// * Every response answers the pending invocation per the alphabet `Σ_k`
+///   (reads get values or aborts, writes get `ok` or aborts, `tryC` gets
+///   commit or abort).
+/// * Implementations are deterministic: the same invocation sequence
+///   produces the same responses.
+pub trait SteppedTm {
+    /// The algorithm's name (used in experiment output).
+    fn name(&self) -> &'static str;
+
+    /// Number of processes this instance is configured for.
+    fn process_count(&self) -> usize;
+
+    /// Number of t-variables this instance is configured for.
+    fn tvar_count(&self) -> usize;
+
+    /// Process `process` invokes `invocation`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `process` already has a pending
+    /// invocation or the ids are out of range (driver bugs).
+    fn invoke(&mut self, process: ProcessId, invocation: Invocation) -> Outcome;
+
+    /// Attempts to deliver the withheld response of `process`. Returns
+    /// `None` while the TM still blocks (or if nothing is pending).
+    fn poll(&mut self, process: ProcessId) -> Option<Response>;
+
+    /// Whether `process` has an invocation awaiting its response.
+    fn has_pending(&self, process: ProcessId) -> bool;
+}
+
+/// Extension helpers for driving a [`SteppedTm`] through whole operations.
+pub trait SteppedTmExt: SteppedTm {
+    /// Invokes and, if the TM blocks, polls until the response arrives.
+    ///
+    /// Only meaningful for TMs whose blocking is resolved by *this*
+    /// process's progress — for the global-lock TM this spins forever if
+    /// another process holds the lock, so drivers that model crashes must
+    /// use [`SteppedTm::invoke`]/[`SteppedTm::poll`] directly instead.
+    fn invoke_blocking(&mut self, process: ProcessId, invocation: Invocation) -> Response {
+        match self.invoke(process, invocation) {
+            Outcome::Response(r) => r,
+            Outcome::Pending => loop {
+                if let Some(r) = self.poll(process) {
+                    break r;
+                }
+            },
+        }
+    }
+}
+
+impl<T: SteppedTm + ?Sized> SteppedTmExt for T {}
+
+/// A boxed stepped TM, the form used by harnesses that iterate over every
+/// algorithm.
+pub type BoxedTm = Box<dyn SteppedTm>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_accessors() {
+        assert_eq!(
+            Outcome::Response(Response::Ok).response(),
+            Some(Response::Ok)
+        );
+        assert_eq!(Outcome::Pending.response(), None);
+        assert!(Outcome::Pending.is_pending());
+        assert!(!Outcome::Response(Response::Aborted).is_pending());
+    }
+}

@@ -1,0 +1,81 @@
+//! The catalogue of stepped TM implementations.
+//!
+//! Experiment harnesses iterate over *every* algorithm; this module is the
+//! single place that knows how to instantiate them all.
+
+use tm_automata::FgpVariant;
+
+use crate::api::BoxedTm;
+use crate::dstm::Dstm;
+use crate::fgp::FgpTm;
+use crate::global_lock::GlobalLock;
+use crate::norec::NOrec;
+use crate::ostm::Ostm;
+use crate::swiss::SwissTm;
+use crate::tiny::TinyStm;
+use crate::tl2::Tl2;
+
+/// All non-blocking opaque TMs (every invocation gets an immediate
+/// response): the population for the Theorem 1 adversary experiments.
+///
+/// Note the deliberate exclusion of [`FgpVariant::Literal`], which is not
+/// opaque (see `tm_automata::fgp`); [`literal_fgp`] provides it for the
+/// experiments that demonstrate the violation.
+pub fn nonblocking_catalog(processes: usize, tvars: usize) -> Vec<BoxedTm> {
+    vec![
+        Box::new(FgpTm::new(processes, tvars, FgpVariant::CpOnly)),
+        Box::new(FgpTm::new(processes, tvars, FgpVariant::Strict)),
+        Box::new(Tl2::new(processes, tvars)),
+        Box::new(TinyStm::new(processes, tvars)),
+        Box::new(SwissTm::new(processes, tvars)),
+        Box::new(NOrec::new(processes, tvars)),
+        Box::new(Ostm::new(processes, tvars)),
+        Box::new(Dstm::new(processes, tvars)),
+    ]
+}
+
+/// Every stepped TM, including the blocking global-lock TM.
+pub fn full_catalog(processes: usize, tvars: usize) -> Vec<BoxedTm> {
+    let mut tms = nonblocking_catalog(processes, tvars);
+    tms.push(Box::new(GlobalLock::new(processes, tvars)));
+    tms
+}
+
+/// The literal (buggy, non-opaque) reading of the paper's `Fgp` formal
+/// rules, kept out of [`nonblocking_catalog`] deliberately.
+pub fn literal_fgp(processes: usize, tvars: usize) -> BoxedTm {
+    Box::new(FgpTm::new(processes, tvars, FgpVariant::Literal))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::SteppedTm;
+
+    #[test]
+    fn catalog_names_are_unique() {
+        let tms = full_catalog(2, 1);
+        let mut names: Vec<&str> = tms.iter().map(|t| t.name()).collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(names.len(), before);
+        assert_eq!(before, 9);
+    }
+
+    #[test]
+    fn catalog_respects_configuration() {
+        for tm in full_catalog(3, 2) {
+            assert_eq!(tm.process_count(), 3, "{}", tm.name());
+            assert_eq!(tm.tvar_count(), 2, "{}", tm.name());
+        }
+    }
+
+    #[test]
+    fn literal_fgp_is_separate() {
+        assert_eq!(literal_fgp(2, 1).name(), "fgp-literal");
+        assert!(nonblocking_catalog(2, 1)
+            .iter()
+            .all(|t| t.name() != "fgp-literal"));
+    }
+}

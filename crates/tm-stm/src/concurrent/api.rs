@@ -1,0 +1,123 @@
+//! The concurrent (thread-driven) TM interface.
+//!
+//! The stepped interface models the paper's asynchronous processes with an
+//! explicit scheduler; the concurrent interface runs real OS threads over
+//! shared atomics, which is what the throughput experiments (PERF1)
+//! measure. A [`ConcurrentTm`] hands out [`Transaction`] handles; aborted
+//! operations return [`TxAbort`] and the caller retries (usually via
+//! [`atomically`]).
+
+use tm_core::{TVarId, Value};
+
+/// Marker error: the transaction has aborted and must be retried.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TxAbort;
+
+impl core::fmt::Display for TxAbort {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str("transaction aborted")
+    }
+}
+
+impl std::error::Error for TxAbort {}
+
+/// An in-flight transaction on a [`ConcurrentTm`].
+pub trait Transaction {
+    /// Transactional read of `x`.
+    ///
+    /// # Errors
+    ///
+    /// [`TxAbort`] if the transaction observed a conflict and must retry.
+    fn read(&mut self, x: TVarId) -> Result<Value, TxAbort>;
+
+    /// Transactional write of `v` to `x`.
+    ///
+    /// # Errors
+    ///
+    /// [`TxAbort`] if the transaction observed a conflict and must retry.
+    fn write(&mut self, x: TVarId, v: Value) -> Result<(), TxAbort>;
+
+    /// Attempts to commit.
+    ///
+    /// # Errors
+    ///
+    /// [`TxAbort`] if validation failed; all effects are discarded.
+    fn commit(self) -> Result<(), TxAbort>;
+}
+
+/// A thread-safe TM over a fixed set of `u64` t-variables.
+pub trait ConcurrentTm: Send + Sync {
+    /// The transaction handle type.
+    type Tx<'a>: Transaction
+    where
+        Self: 'a;
+
+    /// The algorithm's name (used in benchmark output).
+    fn name(&self) -> &'static str;
+
+    /// Number of t-variables.
+    fn tvar_count(&self) -> usize;
+
+    /// Starts a transaction.
+    fn begin(&self) -> Self::Tx<'_>;
+}
+
+/// Runs `body` in a transaction, retrying on abort; returns the result and
+/// the number of aborted attempts.
+///
+/// # Examples
+///
+/// ```
+/// use tm_core::TVarId;
+/// use tm_stm::concurrent::{atomically, ConcurrentGlobalLock, Transaction};
+///
+/// let tm = ConcurrentGlobalLock::new(1);
+/// let x = TVarId(0);
+/// let (old, aborts) = atomically(&tm, |tx| {
+///     let v = tx.read(x)?;
+///     tx.write(x, v + 1)?;
+///     Ok(v)
+/// });
+/// assert_eq!(old, 0);
+/// assert_eq!(aborts, 0); // the global lock never aborts
+/// ```
+pub fn atomically<T, R, F>(tm: &T, mut body: F) -> (R, u64)
+where
+    T: ConcurrentTm,
+    F: FnMut(&mut T::Tx<'_>) -> Result<R, TxAbort>,
+{
+    let mut aborts = 0;
+    loop {
+        let mut tx = tm.begin();
+        match body(&mut tx) {
+            Ok(result) => match tx.commit() {
+                Ok(()) => return (result, aborts),
+                Err(TxAbort) => aborts += 1,
+            },
+            Err(TxAbort) => aborts += 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::concurrent::ConcurrentGlobalLock;
+    use tm_core::TVarId;
+
+    #[test]
+    fn atomically_returns_body_result() {
+        let tm = ConcurrentGlobalLock::new(2);
+        let (sum, aborts) = atomically(&tm, |tx| {
+            tx.write(TVarId(0), 3)?;
+            tx.write(TVarId(1), 4)?;
+            Ok(7u64)
+        });
+        assert_eq!(sum, 7);
+        assert_eq!(aborts, 0);
+        let (v, _) = atomically(&tm, |tx| {
+            Ok(tx.read(TVarId(0))? + tx.read(TVarId(1))?)
+        });
+        assert_eq!(v, 7);
+    }
+}

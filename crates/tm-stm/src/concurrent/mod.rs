@@ -1,0 +1,28 @@
+//! Concurrent (thread-driven) TM implementations on real atomics.
+//!
+//! Three algorithms spanning the conflict-granularity spectrum the paper's
+//! footnote 1 alludes to (resilient TMs scale, coarse locks do not):
+//!
+//! * [`ConcurrentGlobalLock`] — one mutex, never aborts, never scales;
+//! * [`ConcurrentTl2`] — per-t-variable versioned write-locks and a global
+//!   version clock;
+//! * [`ConcurrentNOrec`] — a single global sequence lock with value-based
+//!   validation.
+//!
+//! All three guarantee that committed transactions form a serial order
+//! consistent with real time. [`RecordingTm`] wraps any of them to log
+//! real thread interleavings as formal histories, which the `tm-safety`
+//! checkers then verify — the bridge between the atomics-based code and
+//! the paper's model.
+
+pub mod api;
+pub mod global_lock;
+pub mod norec;
+pub mod recording;
+pub mod tl2;
+
+pub use api::{atomically, ConcurrentTm, Transaction, TxAbort};
+pub use recording::{atomically_recorded, RecordingTm, RecordingTx};
+pub use global_lock::ConcurrentGlobalLock;
+pub use norec::ConcurrentNOrec;
+pub use tl2::ConcurrentTl2;

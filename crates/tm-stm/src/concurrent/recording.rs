@@ -1,0 +1,243 @@
+//! Recording wrapper for concurrent TMs: real multi-threaded executions
+//! as formal histories.
+//!
+//! [`RecordingTm`] wraps any [`ConcurrentTm`] and logs every operation as
+//! invocation/response events in a mutex-protected [`History`]. The
+//! invocation event is logged *before* the underlying operation starts and
+//! the response event *after* it returns, so the recorded interleaving is
+//! a faithful history of the execution (the recorded real-time order is a
+//! sub-order of physical real time, which only makes the opacity check
+//! stricter about what it may reorder). This lets the exact checkers of
+//! `tm-safety` verify real thread interleavings of the concurrent TL2 /
+//! NOrec / global-lock implementations — closing the loop between the
+//! formal model and the atomics-based code.
+
+use parking_lot::Mutex;
+
+use tm_core::{Event, History, ProcessId, TVarId, Value};
+
+use super::api::{ConcurrentTm, Transaction, TxAbort};
+
+/// A history-recording wrapper around a concurrent TM.
+///
+/// Threads identify themselves with a [`ProcessId`] when starting
+/// transactions via [`RecordingTm::begin_as`].
+#[derive(Debug)]
+pub struct RecordingTm<T> {
+    inner: T,
+    history: Mutex<History>,
+}
+
+impl<T: ConcurrentTm> RecordingTm<T> {
+    /// Wraps a concurrent TM with an empty history.
+    pub fn new(inner: T) -> Self {
+        RecordingTm {
+            inner,
+            history: Mutex::new(History::new()),
+        }
+    }
+
+    /// The wrapped TM.
+    pub fn inner(&self) -> &T {
+        &self.inner
+    }
+
+    /// A snapshot of the recorded history.
+    pub fn history(&self) -> History {
+        self.history.lock().clone()
+    }
+
+    /// Starts a transaction attributed to `process`.
+    pub fn begin_as(&self, process: ProcessId) -> RecordingTx<'_, T> {
+        RecordingTx {
+            tm: self,
+            inner: Some(self.inner.begin()),
+            process,
+        }
+    }
+
+    fn log(&self, event: Event) {
+        self.history.lock().push(event);
+    }
+}
+
+/// A recording transaction handle.
+pub struct RecordingTx<'a, T: ConcurrentTm + 'a> {
+    tm: &'a RecordingTm<T>,
+    inner: Option<T::Tx<'a>>,
+    process: ProcessId,
+}
+
+impl<'a, T: ConcurrentTm> RecordingTx<'a, T> {
+    /// Transactional read, recorded.
+    ///
+    /// # Errors
+    ///
+    /// [`TxAbort`] when the underlying transaction aborts; the abort event
+    /// `A_k` is recorded and the handle must be dropped.
+    pub fn read(&mut self, x: TVarId) -> Result<Value, TxAbort> {
+        self.tm.log(Event::read(self.process, x));
+        match self.inner.as_mut().expect("live transaction").read(x) {
+            Ok(v) => {
+                self.tm.log(Event::value(self.process, v));
+                Ok(v)
+            }
+            Err(TxAbort) => {
+                self.tm.log(Event::aborted(self.process));
+                self.inner = None;
+                Err(TxAbort)
+            }
+        }
+    }
+
+    /// Transactional write, recorded.
+    ///
+    /// # Errors
+    ///
+    /// [`TxAbort`] when the underlying transaction aborts.
+    pub fn write(&mut self, x: TVarId, v: Value) -> Result<(), TxAbort> {
+        self.tm.log(Event::write(self.process, x, v));
+        match self.inner.as_mut().expect("live transaction").write(x, v) {
+            Ok(()) => {
+                self.tm.log(Event::ok(self.process));
+                Ok(())
+            }
+            Err(TxAbort) => {
+                self.tm.log(Event::aborted(self.process));
+                self.inner = None;
+                Err(TxAbort)
+            }
+        }
+    }
+
+    /// Commit attempt, recorded as `tryC · C` or `tryC · A`.
+    ///
+    /// # Errors
+    ///
+    /// [`TxAbort`] when validation fails.
+    pub fn commit(mut self) -> Result<(), TxAbort> {
+        self.tm.log(Event::try_commit(self.process));
+        match self.inner.take().expect("live transaction").commit() {
+            Ok(()) => {
+                self.tm.log(Event::committed(self.process));
+                Ok(())
+            }
+            Err(TxAbort) => {
+                self.tm.log(Event::aborted(self.process));
+                Err(TxAbort)
+            }
+        }
+    }
+
+    /// Abandons the transaction, recording a completion abort if the
+    /// transaction is still live (mirrors `com(H)`'s treatment of live
+    /// transactions so recorded histories stay complete).
+    pub fn abandon(mut self) {
+        if self.inner.take().is_some() {
+            self.tm.log(Event::try_commit(self.process));
+            self.tm.log(Event::aborted(self.process));
+        }
+    }
+}
+
+/// Retry loop for recording transactions: runs `body` until commit,
+/// returning the number of aborted attempts.
+pub fn atomically_recorded<T, R, F>(tm: &RecordingTm<T>, process: ProcessId, mut body: F) -> (R, u64)
+where
+    T: ConcurrentTm,
+    F: FnMut(&mut RecordingTx<'_, T>) -> Result<R, TxAbort>,
+{
+    let mut aborts = 0;
+    loop {
+        let mut tx = tm.begin_as(process);
+        match body(&mut tx) {
+            Ok(result) => match tx.commit() {
+                Ok(()) => return (result, aborts),
+                Err(TxAbort) => aborts += 1,
+            },
+            Err(TxAbort) => {
+                aborts += 1;
+                // The abort event was recorded by the failing operation.
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::concurrent::{ConcurrentNOrec, ConcurrentTl2};
+    use std::sync::Arc;
+    use tm_safety::{check_opacity_auto, CheckOutcome};
+
+    const X: TVarId = TVarId(0);
+    const Y: TVarId = TVarId(1);
+
+    #[test]
+    fn single_thread_recording_is_well_formed_and_opaque() {
+        let tm = RecordingTm::new(ConcurrentTl2::new(2));
+        let p1 = ProcessId(0);
+        let (_, aborts) = atomically_recorded(&tm, p1, |tx| {
+            let v = tx.read(X)?;
+            tx.write(Y, v + 1)
+        });
+        assert_eq!(aborts, 0);
+        let h = tm.history();
+        assert!(h.is_well_formed());
+        assert!(h.is_complete());
+        assert_eq!(check_opacity_auto(&h), CheckOutcome::Holds);
+    }
+
+    #[test]
+    fn multi_threaded_tl2_histories_are_opaque() {
+        let tm = Arc::new(RecordingTm::new(ConcurrentTl2::new(4)));
+        run_threads(&tm);
+        let h = tm.history();
+        assert!(h.is_well_formed());
+        assert_ne!(
+            check_opacity_auto(&h),
+            CheckOutcome::Violated,
+            "real TL2 interleaving must be opaque"
+        );
+    }
+
+    #[test]
+    fn multi_threaded_norec_histories_are_opaque() {
+        let tm = Arc::new(RecordingTm::new(ConcurrentNOrec::new(4)));
+        run_threads(&tm);
+        let h = tm.history();
+        assert!(h.is_well_formed());
+        assert_ne!(check_opacity_auto(&h), CheckOutcome::Violated);
+    }
+
+    fn run_threads<T: ConcurrentTm + Send + Sync + 'static>(tm: &Arc<RecordingTm<T>>) {
+        let handles: Vec<_> = (0..2)
+            .map(|t| {
+                let tm = Arc::clone(tm);
+                std::thread::spawn(move || {
+                    let p = ProcessId(t);
+                    for i in 0..30u64 {
+                        atomically_recorded(&*tm, p, |tx| {
+                            let a = tx.read(TVarId((i % 4) as usize))?;
+                            tx.write(TVarId(((i + 1) % 4) as usize), a + 1)
+                        });
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn abandon_records_completion_abort() {
+        let tm = RecordingTm::new(ConcurrentTl2::new(1));
+        let mut tx = tm.begin_as(ProcessId(0));
+        let _ = tx.read(X);
+        tx.abandon();
+        let h = tm.history();
+        assert!(h.is_complete());
+        assert_eq!(h.abort_count(ProcessId(0)), 1);
+    }
+}

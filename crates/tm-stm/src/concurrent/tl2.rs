@@ -1,0 +1,273 @@
+//! Concurrent TL2 on real atomics.
+//!
+//! The classic algorithm (Dice, Shalev, Shavit; DISC 2006):
+//!
+//! * a global version clock (`AtomicU64`);
+//! * per-t-variable *versioned write-locks*: one `AtomicU64` whose least
+//!   significant bit is the lock flag and whose upper bits are the version;
+//! * invisible reads with the `v1 – value – v2` recheck;
+//! * deferred writes published under commit-time locks acquired in
+//!   canonical (index) order, read-set validation, then unlock-with-new-
+//!   version.
+//!
+//! Everything is `u64`, so the store is plain `AtomicU64`s — no unsafe
+//! code anywhere.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use tm_core::{TVarId, Value, INITIAL_VALUE};
+
+use super::api::{ConcurrentTm, Transaction, TxAbort};
+
+#[derive(Debug)]
+struct Slot {
+    /// `version << 1 | locked`.
+    vlock: AtomicU64,
+    value: AtomicU64,
+}
+
+/// Concurrent TL2 TM.
+#[derive(Debug)]
+pub struct ConcurrentTl2 {
+    clock: AtomicU64,
+    slots: Vec<Slot>,
+}
+
+impl ConcurrentTl2 {
+    /// Creates a store of `tvars` t-variables, all `0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tvars` is zero.
+    pub fn new(tvars: usize) -> Self {
+        assert!(tvars > 0, "need at least one t-variable");
+        ConcurrentTl2 {
+            clock: AtomicU64::new(0),
+            slots: (0..tvars)
+                .map(|_| Slot {
+                    vlock: AtomicU64::new(0),
+                    value: AtomicU64::new(INITIAL_VALUE),
+                })
+                .collect(),
+        }
+    }
+
+    /// Snapshot of the committed store (uses transactional reads, so it is
+    /// consistent).
+    pub fn snapshot(&self) -> Vec<Value> {
+        loop {
+            let mut tx = self.begin();
+            let result: Result<Vec<Value>, TxAbort> =
+                (0..self.slots.len()).map(|j| tx.read(TVarId(j))).collect();
+            if let Ok(values) = result {
+                if tx.commit().is_ok() {
+                    return values;
+                }
+            }
+        }
+    }
+}
+
+/// An in-flight TL2 transaction.
+pub struct Tl2Tx<'a> {
+    tm: &'a ConcurrentTl2,
+    rv: u64,
+    reads: Vec<usize>,
+    writes: BTreeMap<usize, Value>,
+}
+
+impl Transaction for Tl2Tx<'_> {
+    fn read(&mut self, x: TVarId) -> Result<Value, TxAbort> {
+        let j = x.index();
+        if let Some(&v) = self.writes.get(&j) {
+            return Ok(v);
+        }
+        let slot = &self.tm.slots[j];
+        let v1 = slot.vlock.load(Ordering::Acquire);
+        let value = slot.value.load(Ordering::Acquire);
+        let v2 = slot.vlock.load(Ordering::Acquire);
+        if v1 != v2 || v1 & 1 == 1 || (v1 >> 1) > self.rv {
+            return Err(TxAbort);
+        }
+        self.reads.push(j);
+        Ok(value)
+    }
+
+    fn write(&mut self, x: TVarId, v: Value) -> Result<(), TxAbort> {
+        self.writes.insert(x.index(), v);
+        Ok(())
+    }
+
+    fn commit(self) -> Result<(), TxAbort> {
+        if self.writes.is_empty() {
+            // Read-only: reads were validated against rv at read time.
+            return Ok(());
+        }
+        // Phase 1: lock the write set in canonical order (BTreeMap iterates
+        // sorted, so deadlock-free).
+        let mut locked: Vec<(usize, u64)> = Vec::with_capacity(self.writes.len());
+        for (&j, _) in &self.writes {
+            let slot = &self.tm.slots[j];
+            let cur = slot.vlock.load(Ordering::Acquire);
+            let acquired = cur & 1 == 0
+                && slot
+                    .vlock
+                    .compare_exchange(cur, cur | 1, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok();
+            if !acquired {
+                for &(lj, lv) in &locked {
+                    self.tm.slots[lj].vlock.store(lv, Ordering::Release);
+                }
+                return Err(TxAbort);
+            }
+            locked.push((j, cur));
+        }
+        // Phase 2: increment the clock, validate the read set. Entries we
+        // hold the lock on are validated against their pre-lock version
+        // (another transaction may have committed them between our read
+        // and our lock acquisition).
+        let wv = self.tm.clock.fetch_add(1, Ordering::AcqRel) + 1;
+        for &j in &self.reads {
+            let valid = if let Some(&(_, pre_lock)) = locked.iter().find(|&&(lj, _)| lj == j) {
+                (pre_lock >> 1) <= self.rv
+            } else {
+                let v = self.tm.slots[j].vlock.load(Ordering::Acquire);
+                v & 1 == 0 && (v >> 1) <= self.rv
+            };
+            if !valid {
+                for &(lj, lv) in &locked {
+                    self.tm.slots[lj].vlock.store(lv, Ordering::Release);
+                }
+                return Err(TxAbort);
+            }
+        }
+        // Phase 3: publish values, release locks at the new version.
+        for (&j, &v) in &self.writes {
+            self.tm.slots[j].value.store(v, Ordering::Release);
+        }
+        for &(j, _) in &locked {
+            self.tm.slots[j].vlock.store(wv << 1, Ordering::Release);
+        }
+        Ok(())
+    }
+}
+
+impl ConcurrentTm for ConcurrentTl2 {
+    type Tx<'a> = Tl2Tx<'a>;
+
+    fn name(&self) -> &'static str {
+        "tl2"
+    }
+
+    fn tvar_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    fn begin(&self) -> Tl2Tx<'_> {
+        Tl2Tx {
+            tm: self,
+            rv: self.clock.load(Ordering::Acquire),
+            reads: Vec::new(),
+            writes: BTreeMap::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::concurrent::api::atomically;
+    use std::sync::Arc;
+
+    #[test]
+    fn single_thread_semantics() {
+        let tm = ConcurrentTl2::new(2);
+        atomically(&tm, |tx| {
+            tx.write(TVarId(0), 1)?;
+            tx.write(TVarId(1), 2)
+        });
+        let (pair, _) = atomically(&tm, |tx| {
+            Ok((tx.read(TVarId(0))?, tx.read(TVarId(1))?))
+        });
+        assert_eq!(pair, (1, 2));
+    }
+
+    #[test]
+    fn concurrent_counter_is_exact() {
+        let tm = Arc::new(ConcurrentTl2::new(1));
+        let threads = 8;
+        let per_thread = 1_000u64;
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let tm = tm.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..per_thread {
+                        atomically(&*tm, |tx| {
+                            let v = tx.read(TVarId(0))?;
+                            tx.write(TVarId(0), v + 1)
+                        });
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(tm.snapshot(), vec![threads * per_thread]);
+    }
+
+    #[test]
+    fn transfer_conserves_total() {
+        // Bank invariant under contention: the sum over accounts is
+        // constant in every committed snapshot.
+        let accounts = 8usize;
+        let tm = Arc::new(ConcurrentTl2::new(accounts));
+        for j in 0..accounts {
+            atomically(&*tm, |tx| tx.write(TVarId(j), 100));
+        }
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let tm = tm.clone();
+                std::thread::spawn(move || {
+                    let mut s = 0x243F6A8885A308D3u64 ^ (t as u64);
+                    for _ in 0..500 {
+                        s ^= s << 13;
+                        s ^= s >> 7;
+                        s ^= s << 17;
+                        let from = (s % accounts as u64) as usize;
+                        let to = ((s >> 8) % accounts as u64) as usize;
+                        if from == to {
+                            continue;
+                        }
+                        atomically(&*tm, |tx| {
+                            let a = tx.read(TVarId(from))?;
+                            let b = tx.read(TVarId(to))?;
+                            if a > 0 {
+                                tx.write(TVarId(from), a - 1)?;
+                                tx.write(TVarId(to), b + 1)?;
+                            }
+                            Ok(())
+                        });
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let total: u64 = tm.snapshot().iter().sum();
+        assert_eq!(total, accounts as u64 * 100);
+    }
+
+    #[test]
+    fn conflicting_read_aborts() {
+        let tm = ConcurrentTl2::new(1);
+        let mut t1 = tm.begin();
+        let _ = t1.read(TVarId(0)).unwrap();
+        // Another transaction commits a write, bumping the version.
+        atomically(&tm, |tx| tx.write(TVarId(0), 9));
+        // t1's next read of the same slot now exceeds rv.
+        assert_eq!(t1.read(TVarId(0)), Err(TxAbort));
+    }
+}

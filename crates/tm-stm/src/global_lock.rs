@@ -1,0 +1,148 @@
+//! The blocking global-lock TM behind the [`SteppedTm`] interface.
+//!
+//! Wraps [`tm_automata::GlobalLockTm`]. Unlike every other TM in this
+//! crate, invocations by non-lock-holders return [`Outcome::Pending`]; the
+//! response arrives from a later [`SteppedTm::poll`] once the holder
+//! commits. A holder that is never scheduled again (a crash) therefore
+//! starves all other processes — the paper's motivating failure of
+//! lock-based local progress (§1.1).
+
+use tm_automata::{GlobalLockTm, Runner, TmAutomaton};
+use tm_core::{Invocation, ProcessId, Response, TVarId, Value};
+
+use crate::api::{Outcome, SteppedTm};
+
+/// Stepped adapter around the global-lock TM automaton.
+///
+/// # Examples
+///
+/// ```
+/// use tm_core::{Invocation, ProcessId, Response, TVarId};
+/// use tm_stm::{GlobalLock, Outcome, SteppedTm};
+///
+/// let (p1, p2, x) = (ProcessId(0), ProcessId(1), TVarId(0));
+/// let mut tm = GlobalLock::new(2, 1);
+/// assert_eq!(tm.invoke(p1, Invocation::Read(x)), Outcome::Response(Response::Value(0)));
+/// assert_eq!(tm.invoke(p2, Invocation::Read(x)), Outcome::Pending); // blocked
+/// tm.invoke(p1, Invocation::TryCommit); // releases the lock
+/// assert_eq!(tm.poll(p2), Some(Response::Value(0)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct GlobalLock {
+    runner: Runner<GlobalLockTm>,
+}
+
+impl GlobalLock {
+    /// Creates a stepped global-lock TM.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `processes` or `tvars` is zero.
+    pub fn new(processes: usize, tvars: usize) -> Self {
+        GlobalLock {
+            runner: Runner::new(GlobalLockTm::new(processes, tvars)),
+        }
+    }
+
+    /// The committed value of a t-variable (exact between transactions; an
+    /// in-flight lock holder's writes are already applied, as the TM never
+    /// aborts).
+    pub fn committed_value(&self, x: TVarId) -> Value {
+        self.runner.state().vals[x.index()]
+    }
+
+    /// The current lock owner, if any.
+    pub fn owner(&self) -> Option<ProcessId> {
+        self.runner.state().owner.map(ProcessId)
+    }
+}
+
+impl SteppedTm for GlobalLock {
+    fn name(&self) -> &'static str {
+        "global-lock"
+    }
+
+    fn process_count(&self) -> usize {
+        self.runner.automaton().process_count()
+    }
+
+    fn tvar_count(&self) -> usize {
+        self.runner.automaton().tvar_count()
+    }
+
+    fn invoke(&mut self, process: ProcessId, invocation: Invocation) -> Outcome {
+        self.runner
+            .invoke(process, invocation)
+            .expect("driver must respect the sequential-process contract");
+        match self.runner.deliver(process) {
+            Some(response) => Outcome::Response(response),
+            None => Outcome::Pending,
+        }
+    }
+
+    fn poll(&mut self, process: ProcessId) -> Option<Response> {
+        self.runner.deliver(process)
+    }
+
+    fn has_pending(&self, process: ProcessId) -> bool {
+        self.runner.state().pending[process.index()].is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::SteppedTmExt;
+    use crate::recorder::Recorded;
+    use tm_core::Invocation as Inv;
+    use tm_safety::is_opaque;
+
+    const P1: ProcessId = ProcessId(0);
+    const P2: ProcessId = ProcessId(1);
+    const X: TVarId = TVarId(0);
+
+    #[test]
+    fn lock_holder_proceeds_others_block() {
+        let mut tm = GlobalLock::new(2, 1);
+        assert_eq!(
+            tm.invoke(P1, Inv::Read(X)),
+            Outcome::Response(Response::Value(0))
+        );
+        assert_eq!(tm.owner(), Some(P1));
+        assert_eq!(tm.invoke(P2, Inv::Read(X)), Outcome::Pending);
+        assert!(tm.has_pending(P2));
+        assert_eq!(tm.poll(P2), None);
+        tm.invoke(P1, Inv::TryCommit);
+        assert_eq!(tm.poll(P2), Some(Response::Value(0)));
+        assert!(!tm.has_pending(P2));
+    }
+
+    #[test]
+    fn never_aborts_and_serializes() {
+        let mut tm = Recorded::new(GlobalLock::new(2, 1));
+        tm.invoke_blocking(P1, Inv::Write(X, 1));
+        tm.invoke_blocking(P1, Inv::TryCommit);
+        tm.invoke_blocking(P2, Inv::Read(X));
+        tm.invoke_blocking(P2, Inv::Write(X, 2));
+        tm.invoke_blocking(P2, Inv::TryCommit);
+        assert_eq!(tm.history().abort_count(P1), 0);
+        assert_eq!(tm.history().abort_count(P2), 0);
+        assert_eq!(tm.inner().committed_value(X), 2);
+        assert!(is_opaque(tm.history()));
+    }
+
+    #[test]
+    fn crash_while_holding_lock_starves_everyone() {
+        let mut tm = GlobalLock::new(3, 1);
+        tm.invoke(P1, Inv::Write(X, 1)); // p1 acquires, then "crashes"
+        assert!(tm.invoke(P2, Inv::Read(X)).is_pending());
+        assert!(tm
+            .invoke(ProcessId(2), Inv::Write(X, 9))
+            .is_pending());
+        // No matter how often they poll, nothing arrives.
+        for _ in 0..50 {
+            assert_eq!(tm.poll(P2), None);
+            assert_eq!(tm.poll(ProcessId(2)), None);
+        }
+    }
+}

@@ -1,0 +1,275 @@
+//! An OSTM-style TM (Fraser's object-based STM, 2003) in stepped form.
+//!
+//! The paper cites OSTM as the existing implementation ensuring **opacity
+//! and global progress** (§6). OSTM is lock-free: transactions install
+//! descriptors on per-object handles at commit time in a global total
+//! order and *help* conflicting commits complete instead of waiting. In
+//! the stepped model every invocation is atomic, so descriptor installation
+//! and helping collapse into an atomic commit step; what remains is OSTM's
+//! observable conflict behaviour:
+//!
+//! * per-object version numbers (no global clock);
+//! * invisible reads validated **incrementally** (every new read
+//!   re-validates the read set, keeping aborted transactions consistent —
+//!   opacity);
+//! * commit-time validation; the first conflicting committer wins, the
+//!   loser aborts — never blocks. A suspended process cannot prevent
+//!   others from committing, which is exactly the global-progress shape.
+
+use std::collections::BTreeMap;
+
+use tm_core::{Invocation, ProcessId, Response, TVarId, Value, INITIAL_VALUE};
+
+use crate::api::{Outcome, SteppedTm};
+
+#[derive(Debug, Clone)]
+struct VarSlot {
+    value: Value,
+    version: u64,
+}
+
+#[derive(Debug, Clone)]
+struct ActiveTx {
+    /// `(var, version at read time)`.
+    reads: Vec<(usize, u64)>,
+    writes: BTreeMap<usize, Value>,
+}
+
+#[derive(Debug, Clone)]
+enum TxState {
+    Idle,
+    Active(ActiveTx),
+}
+
+/// OSTM-style stepped TM (per-object versions, incremental validation,
+/// lock-free commit).
+///
+/// # Examples
+///
+/// ```
+/// use tm_core::{Invocation, ProcessId, Response, TVarId};
+/// use tm_stm::{Ostm, Outcome, SteppedTm};
+///
+/// let (p1, x) = (ProcessId(0), TVarId(0));
+/// let mut tm = Ostm::new(1, 1);
+/// assert_eq!(tm.invoke(p1, Invocation::Read(x)), Outcome::Response(Response::Value(0)));
+/// assert_eq!(tm.invoke(p1, Invocation::TryCommit), Outcome::Response(Response::Committed));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Ostm {
+    vars: Vec<VarSlot>,
+    txs: Vec<TxState>,
+}
+
+impl Ostm {
+    /// Creates an OSTM instance for `processes` processes and `tvars`
+    /// t-variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `processes` or `tvars` is zero.
+    pub fn new(processes: usize, tvars: usize) -> Self {
+        assert!(processes > 0, "need at least one process");
+        assert!(tvars > 0, "need at least one t-variable");
+        Ostm {
+            vars: vec![
+                VarSlot {
+                    value: INITIAL_VALUE,
+                    version: 0
+                };
+                tvars
+            ],
+            txs: vec![TxState::Idle; processes],
+        }
+    }
+
+    /// The committed value of a t-variable (writes are deferred).
+    pub fn committed_value(&self, x: TVarId) -> Value {
+        self.vars[x.index()].value
+    }
+
+    fn tx_mut(&mut self, k: usize) -> &mut ActiveTx {
+        if matches!(self.txs[k], TxState::Idle) {
+            self.txs[k] = TxState::Active(ActiveTx {
+                reads: Vec::new(),
+                writes: BTreeMap::new(),
+            });
+        }
+        match &mut self.txs[k] {
+            TxState::Active(tx) => tx,
+            TxState::Idle => unreachable!(),
+        }
+    }
+
+    fn reads_valid(vars: &[VarSlot], tx: &ActiveTx) -> bool {
+        tx.reads.iter().all(|&(j, ver)| vars[j].version == ver)
+    }
+
+    fn abort(&mut self, k: usize) -> Outcome {
+        self.txs[k] = TxState::Idle;
+        Outcome::Response(Response::Aborted)
+    }
+}
+
+impl SteppedTm for Ostm {
+    fn name(&self) -> &'static str {
+        "ostm"
+    }
+
+    fn process_count(&self) -> usize {
+        self.txs.len()
+    }
+
+    fn tvar_count(&self) -> usize {
+        self.vars.len()
+    }
+
+    fn invoke(&mut self, process: ProcessId, invocation: Invocation) -> Outcome {
+        let k = process.index();
+        assert!(k < self.txs.len(), "process out of range");
+        match invocation {
+            Invocation::Read(x) => {
+                let j = x.index();
+                let tx = self.tx_mut(k);
+                if let Some(&v) = tx.writes.get(&j) {
+                    return Outcome::Response(Response::Value(v));
+                }
+                let tx_snapshot = tx.clone();
+                if !Self::reads_valid(&self.vars, &tx_snapshot) {
+                    return self.abort(k);
+                }
+                let (value, version) = {
+                    let slot = &self.vars[j];
+                    (slot.value, slot.version)
+                };
+                self.tx_mut(k).reads.push((j, version));
+                Outcome::Response(Response::Value(value))
+            }
+            Invocation::Write(x, v) => {
+                let j = x.index();
+                self.tx_mut(k).writes.insert(j, v);
+                Outcome::Response(Response::Ok)
+            }
+            Invocation::TryCommit => {
+                let tx = self.tx_mut(k).clone();
+                if !Self::reads_valid(&self.vars, &tx) {
+                    return self.abort(k);
+                }
+                for (&j, &v) in &tx.writes {
+                    let slot = &mut self.vars[j];
+                    slot.value = v;
+                    slot.version += 1;
+                }
+                self.txs[k] = TxState::Idle;
+                Outcome::Response(Response::Committed)
+            }
+        }
+    }
+
+    fn poll(&mut self, _process: ProcessId) -> Option<Response> {
+        None // lock-free: never withholds responses
+    }
+
+    fn has_pending(&self, _process: ProcessId) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::Recorded;
+    use tm_core::Invocation as Inv;
+    use tm_safety::is_opaque;
+
+    const P1: ProcessId = ProcessId(0);
+    const P2: ProcessId = ProcessId(1);
+    const X: TVarId = TVarId(0);
+    const Y: TVarId = TVarId(1);
+
+    fn resp(tm: &mut impl SteppedTm, p: ProcessId, inv: Inv) -> Response {
+        tm.invoke(p, inv).response().expect("ostm never blocks")
+    }
+
+    #[test]
+    fn commit_bumps_per_object_versions() {
+        let mut tm = Ostm::new(1, 2);
+        resp(&mut tm, P1, Inv::Write(X, 1));
+        resp(&mut tm, P1, Inv::TryCommit);
+        assert_eq!(tm.vars[0].version, 1);
+        assert_eq!(tm.vars[1].version, 0); // untouched object
+    }
+
+    #[test]
+    fn incremental_validation_aborts_torn_reads() {
+        let mut tm = Ostm::new(2, 2);
+        assert_eq!(resp(&mut tm, P1, Inv::Read(X)), Response::Value(0));
+        resp(&mut tm, P2, Inv::Write(X, 1));
+        resp(&mut tm, P2, Inv::Write(Y, 1));
+        resp(&mut tm, P2, Inv::TryCommit);
+        // p1's read of y would tear the snapshot: incremental validation
+        // aborts at the read.
+        assert_eq!(resp(&mut tm, P1, Inv::Read(Y)), Response::Aborted);
+    }
+
+    #[test]
+    fn suspended_process_does_not_block_committers() {
+        // Global-progress shape: p1 reads then "crashes" (is never
+        // scheduled again); p2 commits forever.
+        let mut tm = Ostm::new(2, 1);
+        resp(&mut tm, P1, Inv::Read(X));
+        for round in 0..50u64 {
+            assert_eq!(resp(&mut tm, P2, Inv::Read(X)), Response::Value(round));
+            resp(&mut tm, P2, Inv::Write(X, round + 1));
+            assert_eq!(resp(&mut tm, P2, Inv::TryCommit), Response::Committed);
+        }
+    }
+
+    #[test]
+    fn first_committer_wins() {
+        let mut tm = Recorded::new(Ostm::new(2, 1));
+        resp(&mut tm, P1, Inv::Read(X));
+        resp(&mut tm, P2, Inv::Read(X));
+        resp(&mut tm, P2, Inv::Write(X, 1));
+        assert_eq!(resp(&mut tm, P2, Inv::TryCommit), Response::Committed);
+        resp(&mut tm, P1, Inv::Write(X, 1));
+        assert_eq!(resp(&mut tm, P1, Inv::TryCommit), Response::Aborted);
+        assert!(is_opaque(tm.history()));
+    }
+
+    #[test]
+    fn write_only_transactions_always_commit() {
+        let mut tm = Ostm::new(2, 1);
+        resp(&mut tm, P1, Inv::Write(X, 1));
+        resp(&mut tm, P2, Inv::Write(X, 2));
+        assert_eq!(resp(&mut tm, P1, Inv::TryCommit), Response::Committed);
+        assert_eq!(resp(&mut tm, P2, Inv::TryCommit), Response::Committed);
+        assert_eq!(tm.committed_value(X), 2);
+    }
+
+    #[test]
+    fn random_interleaving_histories_are_opaque() {
+        let mut tm = Recorded::new(Ostm::new(3, 2));
+        let mut seed = 99u64;
+        let mut rng = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for _ in 0..400 {
+            let p = ProcessId((rng() % 3) as usize);
+            let x = TVarId((rng() % 2) as usize);
+            let inv = match rng() % 4 {
+                0 | 1 => Inv::Read(x),
+                2 => Inv::Write(x, rng() % 4),
+                _ => Inv::TryCommit,
+            };
+            tm.invoke(p, inv);
+        }
+        let mut checker = tm_safety::IncrementalChecker::new(tm_safety::Mode::Opacity);
+        checker
+            .push_all(tm.history().iter().copied())
+            .expect("every OSTM prefix must be opaque");
+    }
+}

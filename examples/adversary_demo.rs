@@ -1,0 +1,48 @@
+//! Theorem 1, live: the Algorithm 1 / Algorithm 2 adversaries starve
+//! process `p1` against every opaque TM in the catalogue, while the
+//! competitor commits round after round — and the whole run stays opaque.
+//!
+//! Run with: `cargo run --example adversary_demo`
+
+use tm_liveness_repro::prelude::*;
+
+fn main() {
+    let x = TVarId(0);
+    let steps = 20_000;
+
+    println!("Theorem 1 experiment: {steps} adversary steps per TM\n");
+    println!("--- Algorithm 1 (crash-prone flavour) ---");
+    for mut tm in nonblocking_catalog(2, 1) {
+        let mut adv = Algorithm1::new(x);
+        let report = run_game(
+            tm.as_mut(),
+            &mut adv,
+            GameConfig::steps(steps).check_opacity(),
+        );
+        println!("{}", report.row());
+        assert_eq!(report.commits[0], 0, "p1 must starve");
+        assert!(report.safety_ok, "history must stay opaque");
+    }
+
+    println!("\n--- Algorithm 2 (parasitic-prone flavour) ---");
+    for mut tm in nonblocking_catalog(2, 1) {
+        let mut adv = Algorithm2::new(x);
+        let report = run_game(
+            tm.as_mut(),
+            &mut adv,
+            GameConfig::steps(steps).check_opacity(),
+        );
+        println!("{}", report.row());
+        assert_eq!(report.commits[0], 0, "p1 must starve");
+    }
+
+    println!("\n--- The global-lock TM 'escapes' by blocking everyone ---");
+    let mut tm = GlobalLock::new(2, 1);
+    let mut adv = Algorithm1::new(x);
+    let report = run_game(&mut tm, &mut adv, GameConfig::steps(steps));
+    println!("{}", report.row());
+    assert_eq!(report.commits, vec![0, 0]);
+
+    println!("\nConclusion: every opaque TM lets the adversary starve p1 —");
+    println!("local progress + opacity is impossible (Theorem 1).");
+}

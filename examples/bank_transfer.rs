@@ -1,0 +1,103 @@
+//! A concurrent bank on real threads: the same workload on three
+//! concurrent TMs (global lock, TL2, NOrec), checking the conservation
+//! invariant and comparing wall-clock throughput — the Amdahl's-law point
+//! of the paper's footnote 1 in miniature.
+//!
+//! Run with: `cargo run --release --example bank_transfer`
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use tm_liveness_repro::prelude::*;
+use tm_liveness_repro::stm::concurrent::ConcurrentTm;
+use tm_liveness_repro::stm::concurrent::Transaction as _;
+
+const ACCOUNTS: usize = 64;
+const INITIAL_BALANCE: u64 = 1_000;
+const TRANSFERS_PER_THREAD: usize = 20_000;
+
+fn run_bank<T: ConcurrentTm + 'static>(tm: Arc<T>, threads: usize) -> (f64, u64) {
+    // Seed the accounts.
+    for j in 0..ACCOUNTS {
+        atomically(&*tm, |tx| tx.write(TVarId(j), INITIAL_BALANCE));
+    }
+    let start = Instant::now();
+    let mut total_aborts = 0;
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let tm = Arc::clone(&tm);
+            std::thread::spawn(move || {
+                let mut aborts = 0;
+                let mut s = 0x9E3779B97F4A7C15u64 ^ (t as u64).wrapping_mul(0xD1B54A32D192ED03);
+                for _ in 0..TRANSFERS_PER_THREAD {
+                    s ^= s << 13;
+                    s ^= s >> 7;
+                    s ^= s << 17;
+                    let from = (s % ACCOUNTS as u64) as usize;
+                    let to = ((s >> 16) % ACCOUNTS as u64) as usize;
+                    if from == to {
+                        continue;
+                    }
+                    let (_, a) = atomically(&*tm, |tx| {
+                        let src = tx.read(TVarId(from))?;
+                        let dst = tx.read(TVarId(to))?;
+                        if src > 0 {
+                            tx.write(TVarId(from), src - 1)?;
+                            tx.write(TVarId(to), dst + 1)?;
+                        }
+                        Ok(())
+                    });
+                    aborts += a;
+                }
+                aborts
+            })
+        })
+        .collect();
+    for h in handles {
+        total_aborts += h.join().unwrap();
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    let throughput = (threads * TRANSFERS_PER_THREAD) as f64 / elapsed;
+    (throughput, total_aborts)
+}
+
+fn check_conservation(snapshot: &[u64]) {
+    let total: u64 = snapshot.iter().sum();
+    assert_eq!(
+        total,
+        ACCOUNTS as u64 * INITIAL_BALANCE,
+        "conservation violated!"
+    );
+}
+
+fn main() {
+    println!(
+        "Bank: {ACCOUNTS} accounts, {TRANSFERS_PER_THREAD} transfers/thread\n"
+    );
+    println!(
+        "{:<12} {:>8} {:>16} {:>12}",
+        "tm", "threads", "transfers/sec", "aborts"
+    );
+    for threads in [1, 2, 4, 8] {
+        let gl = Arc::new(ConcurrentGlobalLock::new(ACCOUNTS));
+        let (tput, aborts) = run_bank(Arc::clone(&gl), threads);
+        check_conservation(&gl.snapshot());
+        println!("{:<12} {threads:>8} {tput:>16.0} {aborts:>12}", "global-lock");
+
+        let tl2 = Arc::new(ConcurrentTl2::new(ACCOUNTS));
+        let (tput, aborts) = run_bank(Arc::clone(&tl2), threads);
+        check_conservation(&tl2.snapshot());
+        println!("{:<12} {threads:>8} {tput:>16.0} {aborts:>12}", "tl2");
+
+        let norec = Arc::new(ConcurrentNOrec::new(ACCOUNTS));
+        let (tput, aborts) = run_bank(Arc::clone(&norec), threads);
+        check_conservation(&norec.snapshot());
+        println!("{:<12} {threads:>8} {tput:>16.0} {aborts:>12}", "norec");
+        println!();
+    }
+    println!("Conservation invariant held for every TM. Note: at this");
+    println!("micro-transaction granularity the global lock often wins on raw");
+    println!("throughput — the STMs pay per-access bookkeeping — while the");
+    println!("liveness difference (a crashed holder starves everyone; see the");
+    println!("ABL1 harness) is what the paper's footnote 1 is really about.");
+}

@@ -1,0 +1,48 @@
+//! Quickstart: histories, safety checking, and liveness classification.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use tm_liveness_repro::prelude::*;
+use tm_liveness::figures as live_figures;
+
+fn main() {
+    println!("== 1. Build the paper's example histories and check safety ==\n");
+    for (name, h) in [
+        ("Figure 1", figures::figure_1()),
+        ("Figure 3", figures::figure_3()),
+        ("Figure 4", figures::figure_4()),
+    ] {
+        println!("{name}:");
+        print!("{}", h.render_lanes());
+        println!(
+            "  opaque: {:<5}  strictly serializable: {}\n",
+            is_opaque(&h),
+            is_strictly_serializable(&h)
+        );
+    }
+
+    println!("== 2. Run a transaction against a real STM ==\n");
+    let (p1, p2, x) = (ProcessId(0), ProcessId(1), TVarId(0));
+    let mut tm = Recorded::new(Tl2::new(2, 1));
+    tm.invoke(p1, Invocation::Read(x));
+    tm.invoke(p2, Invocation::Write(x, 42));
+    tm.invoke(p2, Invocation::TryCommit);
+    tm.invoke(p1, Invocation::Write(x, 1));
+    tm.invoke(p1, Invocation::TryCommit); // aborted: p2 committed first
+    println!("TL2 produced:");
+    print!("{}", tm.history().render_lanes());
+    println!("  opaque: {}\n", is_opaque(tm.history()));
+
+    println!("== 3. Classify processes in an infinite history (Figure 7) ==\n");
+    let h = live_figures::figure_7();
+    print!("{}", h.render());
+    for (p, class) in tm_liveness::classify_all(&h) {
+        println!("  {p}: {class}");
+    }
+    println!(
+        "  local progress: {}   global progress: {}   solo progress: {}",
+        LocalProgress.contains(&h),
+        GlobalProgress.contains(&h),
+        SoloProgress.contains(&h),
+    );
+}
