@@ -3,10 +3,10 @@
 //! checker's schedule-exploration rate.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tm_adversary::{run_game, Algorithm1, Algorithm2, GameConfig};
 use tm_core::TVarId;
 use tm_sim::{explore_schedules, ClientScript};
 use tm_stm::{nonblocking_catalog, BoxedTm, FgpTm};
-use tm_adversary::{run_game, Algorithm1, Algorithm2, GameConfig};
 
 const X: TVarId = TVarId(0);
 const STEPS: usize = 10_000;
@@ -20,28 +20,20 @@ fn bench_adversary_games(c: &mut Criterion) {
         .map(|tm| tm.name().to_string())
         .collect();
     for (idx, name) in names.iter().enumerate() {
-        group.bench_with_input(
-            BenchmarkId::new("algorithm1", name),
-            &idx,
-            |b, &idx| {
-                b.iter(|| {
-                    let mut tm = nonblocking_catalog(2, 1).remove(idx);
-                    let mut adv = Algorithm1::new(X);
-                    run_game(tm.as_mut(), &mut adv, GameConfig::steps(STEPS)).rounds
-                })
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("algorithm2", name),
-            &idx,
-            |b, &idx| {
-                b.iter(|| {
-                    let mut tm = nonblocking_catalog(2, 1).remove(idx);
-                    let mut adv = Algorithm2::new(X);
-                    run_game(tm.as_mut(), &mut adv, GameConfig::steps(STEPS)).rounds
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("algorithm1", name), &idx, |b, &idx| {
+            b.iter(|| {
+                let mut tm = nonblocking_catalog(2, 1).remove(idx);
+                let mut adv = Algorithm1::new(X);
+                run_game(tm.as_mut(), &mut adv, GameConfig::steps(STEPS)).rounds
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("algorithm2", name), &idx, |b, &idx| {
+            b.iter(|| {
+                let mut tm = nonblocking_catalog(2, 1).remove(idx);
+                let mut adv = Algorithm2::new(X);
+                run_game(tm.as_mut(), &mut adv, GameConfig::steps(STEPS)).rounds
+            })
+        });
         group.bench_with_input(
             BenchmarkId::new("algorithm1_checked", name),
             &idx,
@@ -67,21 +59,17 @@ fn bench_model_checker(c: &mut Criterion) {
     group.sample_size(10);
     for &depth in &[8usize, 10] {
         group.throughput(Throughput::Elements(1u64 << depth));
-        group.bench_with_input(
-            BenchmarkId::new("fgp_2proc", depth),
-            &depth,
-            |b, &depth| {
-                let scripts = vec![ClientScript::increment(X), ClientScript::increment(X)];
-                b.iter(|| {
-                    explore_schedules(
-                        || Box::new(FgpTm::new(2, 1, tm_automata::FgpVariant::CpOnly)) as BoxedTm,
-                        &scripts,
-                        depth,
-                    )
-                    .schedules
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("fgp_2proc", depth), &depth, |b, &depth| {
+            let scripts = vec![ClientScript::increment(X), ClientScript::increment(X)];
+            b.iter(|| {
+                explore_schedules(
+                    || Box::new(FgpTm::new(2, 1, tm_automata::FgpVariant::CpOnly)) as BoxedTm,
+                    &scripts,
+                    depth,
+                )
+                .schedules
+            })
+        });
     }
     group.finish();
 }

@@ -61,11 +61,9 @@ fn bench_exact_checker(c: &mut Criterion) {
             b.iter(|| check_opacity(h).unwrap().holds())
         });
         let contended = contended_history(txs / 2);
-        group.bench_with_input(
-            BenchmarkId::new("contended", txs),
-            &contended,
-            |b, h| b.iter(|| check_opacity(h).unwrap().holds()),
-        );
+        group.bench_with_input(BenchmarkId::new("contended", txs), &contended, |b, h| {
+            b.iter(|| check_opacity(h).unwrap().holds())
+        });
     }
     group.finish();
 }

@@ -1,0 +1,243 @@
+//! PERF3 — naive enumerator vs prefix-sharing DFS explorer.
+//!
+//! Measures the model checker across depths and process counts in four
+//! configurations — the seed's from-scratch enumerator, the DFS explorer
+//! single-threaded, the DFS explorer with its parallel frontier, and DFS
+//! with sleep-set pruning — and emits a machine-readable
+//! `BENCH_explorer.json` at the workspace root so the perf trajectory is
+//! tracked across PRs.
+//!
+//! Run: `cargo bench -p bench --bench explorer_scaling`
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tm_automata::FgpVariant;
+use tm_core::TVarId;
+use tm_sim::{explore_schedules_naive, explore_with, ClientScript, ExploreConfig};
+use tm_stm::{BoxedTm, FgpTm};
+
+const X: TVarId = TVarId(0);
+const Y: TVarId = TVarId(1);
+
+fn factory2() -> BoxedTm {
+    Box::new(FgpTm::new(2, 1, FgpVariant::CpOnly))
+}
+
+fn factory3() -> BoxedTm {
+    Box::new(FgpTm::new(3, 2, FgpVariant::CpOnly))
+}
+
+fn scripts2() -> Vec<ClientScript> {
+    vec![ClientScript::increment(X), ClientScript::increment(X)]
+}
+
+fn scripts3() -> Vec<ClientScript> {
+    vec![
+        ClientScript::increment(X),
+        ClientScript::increment(X),
+        ClientScript::read_both(X, Y),
+    ]
+}
+
+fn bench_two_processes(c: &mut Criterion) {
+    let scripts = scripts2();
+    let mut group = c.benchmark_group("explorer/2p");
+    group.sample_size(10);
+    for depth in [8usize, 10, 12] {
+        group.bench_with_input(BenchmarkId::new("naive", depth), &depth, |b, &d| {
+            b.iter(|| explore_schedules_naive(factory2, &scripts, d))
+        });
+        group.bench_with_input(BenchmarkId::new("dfs-seq", depth), &depth, |b, &d| {
+            b.iter(|| explore_with(factory2, &scripts, &ExploreConfig::new(d).sequential()))
+        });
+        group.bench_with_input(BenchmarkId::new("dfs-par", depth), &depth, |b, &d| {
+            b.iter(|| explore_with(factory2, &scripts, &ExploreConfig::new(d)))
+        });
+        group.bench_with_input(BenchmarkId::new("dfs-sleep", depth), &depth, |b, &d| {
+            b.iter(|| {
+                explore_with(
+                    factory2,
+                    &scripts,
+                    &ExploreConfig::new(d).sequential().with_sleep_sets(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_three_processes(c: &mut Criterion) {
+    let scripts = scripts3();
+    let mut group = c.benchmark_group("explorer/3p");
+    group.sample_size(10);
+    for depth in [6usize, 7, 8] {
+        group.bench_with_input(BenchmarkId::new("naive", depth), &depth, |b, &d| {
+            b.iter(|| explore_schedules_naive(factory3, &scripts, d))
+        });
+        group.bench_with_input(BenchmarkId::new("dfs-seq", depth), &depth, |b, &d| {
+            b.iter(|| explore_with(factory3, &scripts, &ExploreConfig::new(d).sequential()))
+        });
+        group.bench_with_input(BenchmarkId::new("dfs-par", depth), &depth, |b, &d| {
+            b.iter(|| explore_with(factory3, &scripts, &ExploreConfig::new(d)))
+        });
+    }
+    group.finish();
+}
+
+/// Minimum wall-clock seconds per execution over `runs` rounds, batching
+/// each round to ≥ 2 ms. The minimum is the standard noise-robust
+/// estimator for deterministic workloads on a shared machine: scheduler
+/// preemption and frequency drift only ever inflate a sample.
+fn best_secs(runs: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..runs.max(1) {
+        let mut iters = 0u32;
+        let start = Instant::now();
+        loop {
+            f();
+            iters += 1;
+            if start.elapsed() >= std::time::Duration::from_millis(2) {
+                break;
+            }
+        }
+        best = best.min(start.elapsed().as_secs_f64() / f64::from(iters));
+    }
+    best
+}
+
+/// Emits `BENCH_explorer.json`: the headline comparison table plus the
+/// deep-bound runs the naive enumerator cannot reach comfortably.
+fn emit_json(_c: &mut Criterion) {
+    use bench::Json;
+    let test_mode = std::env::args().any(|a| a == "--test");
+    let runs = if test_mode { 1 } else { 7 };
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    let mut rows = Vec::new();
+    let mut headline_speedup = 0.0;
+    let table: &[(usize, usize)] = if test_mode {
+        &[(2, 6)]
+    } else {
+        &[(2, 8), (2, 10), (2, 12), (3, 6), (3, 7), (3, 8)]
+    };
+    for &(procs, depth) in table {
+        let (factory, scripts): (fn() -> BoxedTm, Vec<ClientScript>) = if procs == 2 {
+            (factory2, scripts2())
+        } else {
+            (factory3, scripts3())
+        };
+        // Interleave the four configurations round by round so slow
+        // drift (thermal, co-tenancy) hits them evenly.
+        let (mut naive, mut dfs, mut par, mut sleep) =
+            (f64::INFINITY, f64::INFINITY, f64::INFINITY, f64::INFINITY);
+        for _ in 0..runs {
+            naive = naive.min(best_secs(1, || {
+                explore_schedules_naive(factory, &scripts, depth);
+            }));
+            dfs = dfs.min(best_secs(1, || {
+                explore_with(factory, &scripts, &ExploreConfig::new(depth).sequential());
+            }));
+            par = par.min(best_secs(1, || {
+                explore_with(factory, &scripts, &ExploreConfig::new(depth));
+            }));
+            sleep = sleep.min(best_secs(1, || {
+                explore_with(
+                    factory,
+                    &scripts,
+                    &ExploreConfig::new(depth).sequential().with_sleep_sets(),
+                );
+            }));
+        }
+        if procs == 2 && depth == 10 {
+            headline_speedup = naive / dfs;
+        }
+        rows.push(Json::Obj(vec![
+            ("processes".into(), Json::Int(procs as i64)),
+            ("depth".into(), Json::Int(depth as i64)),
+            (
+                "schedules".into(),
+                Json::Int((procs as i64).pow(depth as u32)),
+            ),
+            ("naive_ms".into(), Json::Num(naive * 1e3)),
+            ("dfs_seq_ms".into(), Json::Num(dfs * 1e3)),
+            ("dfs_par_ms".into(), Json::Num(par * 1e3)),
+            ("dfs_sleep_ms".into(), Json::Num(sleep * 1e3)),
+            ("speedup_dfs_vs_naive".into(), Json::Num(naive / dfs)),
+            ("speedup_par_vs_seq".into(), Json::Num(dfs / par)),
+        ]));
+    }
+
+    // Deep bounds: the new routine frontier (DFS only — the point is
+    // that these depths are now cheap).
+    let mut deep = Vec::new();
+    let deep_table: &[(usize, usize)] = if test_mode {
+        &[(2, 8)]
+    } else {
+        &[(2, 14), (2, 16), (3, 10), (3, 11)]
+    };
+    for &(procs, depth) in deep_table {
+        let (factory, scripts): (fn() -> BoxedTm, Vec<ClientScript>) = if procs == 2 {
+            (factory2, scripts2())
+        } else {
+            (factory3, scripts3())
+        };
+        let par = best_secs(runs.min(3), || {
+            let result = explore_with(factory, &scripts, &ExploreConfig::new(depth));
+            assert!(result.all_opaque());
+        });
+        deep.push(Json::Obj(vec![
+            ("processes".into(), Json::Int(procs as i64)),
+            ("depth".into(), Json::Int(depth as i64)),
+            (
+                "schedules".into(),
+                Json::Int((procs as i64).pow(depth as u32)),
+            ),
+            ("dfs_par_ms".into(), Json::Num(par * 1e3)),
+        ]));
+    }
+
+    // Differential parity on a verdict-bearing workload.
+    let buggy_scripts = vec![
+        ClientScript::increment(X),
+        ClientScript::new(vec![
+            tm_sim::PlannedOp::Read(X),
+            tm_sim::PlannedOp::Write(X, 5),
+        ]),
+    ];
+    let parity_depth = if test_mode { 6 } else { 9 };
+    let naive = explore_schedules_naive(|| tm_stm::literal_fgp(2, 1), &buggy_scripts, parity_depth);
+    let dfs = explore_with(
+        || tm_stm::literal_fgp(2, 1),
+        &buggy_scripts,
+        &ExploreConfig::new(parity_depth),
+    );
+    let parity = naive == dfs;
+
+    let report = Json::Obj(vec![
+        ("bench".into(), Json::str("explorer_scaling")),
+        ("tm".into(), Json::str("fgp")),
+        ("cores".into(), Json::Int(cores as i64)),
+        ("test_mode".into(), Json::Bool(test_mode)),
+        ("comparison".into(), Json::Arr(rows)),
+        ("deep_bounds".into(), Json::Arr(deep)),
+        (
+            "headline_speedup_dfs_vs_naive_2p_depth10".into(),
+            Json::Num(headline_speedup),
+        ),
+        ("verdict_parity_with_naive".into(), Json::Bool(parity)),
+    ]);
+    bench::write_bench_json("explorer", &report).expect("write artifact");
+    assert!(parity, "DFS and naive explorer reports must be identical");
+}
+
+// `emit_json` runs first: on small single-core runners, minutes of
+// sustained benching can thermally throttle the box, and the committed
+// artifact should reflect steady-state rather than post-throttle timing.
+criterion_group!(
+    benches,
+    emit_json,
+    bench_two_processes,
+    bench_three_processes
+);
+criterion_main!(benches);

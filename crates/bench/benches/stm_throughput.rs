@@ -57,14 +57,10 @@ fn bench_throughput(c: &mut Criterion) {
                     b.iter(|| run(&tm, threads, accounts));
                 },
             );
-            group.bench_with_input(
-                BenchmarkId::new("tl2", threads),
-                &threads,
-                |b, &threads| {
-                    let tm = Arc::new(ConcurrentTl2::new(accounts));
-                    b.iter(|| run(&tm, threads, accounts));
-                },
-            );
+            group.bench_with_input(BenchmarkId::new("tl2", threads), &threads, |b, &threads| {
+                let tm = Arc::new(ConcurrentTl2::new(accounts));
+                b.iter(|| run(&tm, threads, accounts));
+            });
             group.bench_with_input(
                 BenchmarkId::new("norec", threads),
                 &threads,

@@ -40,10 +40,7 @@ fn main() {
         &FaultPlan::none(),
         SimConfig::steps(steps).check_opacity(),
     );
-    row(
-        "commits per process",
-        format!("{:?}", report.commits),
-    );
+    row("commits per process", format!("{:?}", report.commits));
     out.check(
         "everyone commits, nobody aborts",
         report.commits.iter().all(|&c| c > 100) && report.aborts.iter().all(|&a| a == 0),
@@ -61,11 +58,7 @@ fn main() {
         &faults,
         SimConfig::steps(steps),
     );
-    let commits_after_crash = report
-        .commit_log
-        .iter()
-        .filter(|&&(s, _)| s >= 5)
-        .count();
+    let commits_after_crash = report.commit_log.iter().filter(|&&(s, _)| s >= 5).count();
     row("commits after the crash", commits_after_crash);
     row("total stalled polls", report.stalls.iter().sum::<usize>());
     out.check(
@@ -105,7 +98,12 @@ fn main() {
                     "keep committing"
                 }
             ),
-            report.safety_ok && if expect_starved { survivors == 0 } else { survivors > 100 },
+            report.safety_ok
+                && if expect_starved {
+                    survivors == 0
+                } else {
+                    survivors > 100
+                },
         );
     }
     out.finish("ABL1");

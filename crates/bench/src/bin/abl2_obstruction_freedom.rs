@@ -68,7 +68,10 @@ fn main() {
     section(&format!("Alternating-steal contention ({rounds} rounds)"));
     let mut dstm = Dstm::new(2, 1);
     let (a, b) = alternating_steal(&mut dstm, rounds);
-    row("dstm (obstruction-free, aggressive CM)", format!("p1={a} p2={b} — livelock"));
+    row(
+        "dstm (obstruction-free, aggressive CM)",
+        format!("p1={a} p2={b} — livelock"),
+    );
     out.check("dstm livelocks (zero commits)", a == 0 && b == 0);
 
     let mut ostm = Ostm::new(2, 1);
@@ -87,7 +90,10 @@ fn main() {
         ("ostm", solo(&mut Ostm::new(2, 1), rounds)),
         (
             "fgp",
-            solo(&mut FgpTm::new(2, 1, tm_automata::FgpVariant::CpOnly), rounds),
+            solo(
+                &mut FgpTm::new(2, 1, tm_automata::FgpVariant::CpOnly),
+                rounds,
+            ),
         ),
     ] {
         row(name, format!("{commits}/{rounds} committed"));

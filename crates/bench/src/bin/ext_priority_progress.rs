@@ -25,8 +25,8 @@ use bench::{row, section, Outcome};
 use tm_automata::FgpVariant;
 use tm_core::{Invocation as Inv, ProcessId, Response, TVarId};
 use tm_liveness::{classify, detect_lasso, PriorityProgress, ProcessClass, TmLivenessProperty};
-use tm_stm::{FgpTm, PriorityFgp, Recorded, SteppedTm};
 use tm_sim::{simulate, Client, ClientScript, FaultPlan, SimConfig, WeightedScheduler};
+use tm_stm::{FgpTm, PriorityFgp, Recorded, SteppedTm};
 
 const P1: ProcessId = ProcessId(0);
 const P2: ProcessId = ProcessId(1);
@@ -78,13 +78,22 @@ fn main() {
     section("1. The Algorithm 1 opening vs the shield (2000 rounds)");
     let mut plain = FgpTm::new(2, 1, FgpVariant::CpOnly);
     let (p1c, p2c) = adversary_rounds(&mut plain, 2_000);
-    row("fgp (no priorities)", format!("p1_commits={p1c} p2_commits={p2c}"));
+    row(
+        "fgp (no priorities)",
+        format!("p1_commits={p1c} p2_commits={p2c}"),
+    );
     out.check("plain fgp: p1 starves", p1c == 0 && p2c == 2_000);
 
     let mut shielded = Recorded::new(PriorityFgp::new(vec![2, 1], 1));
     let (p1c, p2c) = adversary_rounds(&mut shielded, 2_000);
-    row("priority-fgp (p1 ≻ p2)", format!("p1_commits={p1c} p2_commits={p2c}"));
-    out.check("priority-fgp: p1 commits every round", p1c == 2_000 && p2c == 0);
+    row(
+        "priority-fgp (p1 ≻ p2)",
+        format!("p1_commits={p1c} p2_commits={p2c}"),
+    );
+    out.check(
+        "priority-fgp: p1 commits every round",
+        p1c == 2_000 && p2c == 0,
+    );
     out.check("priority-fgp: run is opaque", {
         let mut c = tm_safety::IncrementalChecker::new(tm_safety::Mode::Opacity);
         c.push_all(shielded.history().iter().copied()).is_ok()

@@ -15,7 +15,10 @@ fn main() {
     let h = figures::figure_1();
     print!("{}", h.render_lanes());
     out.check("history is opaque", is_opaque(&h));
-    out.check("history is strictly serializable", is_strictly_serializable(&h));
+    out.check(
+        "history is strictly serializable",
+        is_strictly_serializable(&h),
+    );
     out.check("T1 aborted, T2 committed", {
         h.commit_count(ProcessId(0)) == 0 && h.commit_count(ProcessId(1)) == 1
     });

@@ -67,7 +67,10 @@ fn main() {
     out.check("parasitic → faulty", parasitic_faulty);
     out.check("crashed → pending", crashed_pending);
     out.check("starving → pending ∧ correct", starving_pending_correct);
-    out.check("makes-progress → correct ∧ ¬pending", progress_correct_not_pending);
+    out.check(
+        "makes-progress → correct ∧ ¬pending",
+        progress_correct_not_pending,
+    );
     out.check("crashed and parasitic are disjoint", crashed_xor_parasitic);
     out.finish("FIG2");
 }

@@ -23,7 +23,9 @@ fn main() {
         section(name);
         print!("{}", h.render_lanes());
         let opaque = check_opacity(&h).expect("small history").holds();
-        let ss = check_strict_serializability(&h).expect("small history").holds();
+        let ss = check_strict_serializability(&h)
+            .expect("small history")
+            .holds();
         out.check(
             &format!("opaque = {expect_opaque}"),
             opaque == expect_opaque,
@@ -38,7 +40,9 @@ fn main() {
     for v in [0, 3, 10] {
         let h = figures::figure_8(v);
         let opaque = check_opacity(&h).expect("small history").holds();
-        let ss = check_strict_serializability(&h).expect("small history").holds();
+        let ss = check_strict_serializability(&h)
+            .expect("small history")
+            .holds();
         out.check(&format!("v = {v}: not opaque"), !opaque);
         out.check(&format!("v = {v}: not strictly serializable"), !ss);
     }

@@ -13,19 +13,49 @@
 //! Run: `cargo run -p bench --release --bin fig05_07_14_liveness`
 
 use bench::{row, section, Outcome};
-use tm_liveness::{
-    figures, meta, GlobalProgress, LocalProgress, SoloProgress, TmLivenessProperty,
-};
+use tm_liveness::{figures, meta, GlobalProgress, LocalProgress, SoloProgress, TmLivenessProperty};
 
 fn main() {
     let mut out = Outcome::new();
     section("Per-history property membership");
     // (name, history, local, global, solo, nonblocking-cond, biprogressing-cond)
     let expected = [
-        ("figure 5", figures::figure_5(), true, true, true, true, true),
-        ("figure 6", figures::figure_6(), false, true, true, true, false),
-        ("figure 7", figures::figure_7(), true, true, true, true, true),
-        ("figure 14", figures::figure_14(), false, false, false, false, true),
+        (
+            "figure 5",
+            figures::figure_5(),
+            true,
+            true,
+            true,
+            true,
+            true,
+        ),
+        (
+            "figure 6",
+            figures::figure_6(),
+            false,
+            true,
+            true,
+            true,
+            false,
+        ),
+        (
+            "figure 7",
+            figures::figure_7(),
+            true,
+            true,
+            true,
+            true,
+            true,
+        ),
+        (
+            "figure 14",
+            figures::figure_14(),
+            false,
+            false,
+            false,
+            false,
+            true,
+        ),
     ];
     for (name, h, local, global, solo, nb, bp) in &expected {
         row(

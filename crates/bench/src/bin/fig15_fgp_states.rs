@@ -10,22 +10,24 @@ use bench::{row, section, Outcome};
 use tm_automata::{enumerate_states, Fgp, FgpState, FgpVariant, PStatus};
 
 fn render_state(s: &FgpState) -> String {
-    let status = match s.status[0] {
+    let status = match s.status(0) {
         PStatus::Clear => "c",
         PStatus::Doomed => "a",
     };
-    let cp = if s.cp.contains(&0) { "{p1}" } else { "∅" };
+    let cp = if s.cp.contains(0) { "{p1}" } else { "∅" };
     let pending = match s.pending[0] {
         None => "⊥".to_string(),
         Some(inv) => inv.to_string(),
     };
-    format!("({status}, {cp}, {}, f(p1)={pending})", s.val[0][0])
+    format!("({status}, {cp}, {}, f(p1)={pending})", s.val(0, 0))
 }
 
 fn main() {
     let mut out = Outcome::new();
     for variant in [FgpVariant::Literal, FgpVariant::Strict, FgpVariant::CpOnly] {
-        section(&format!("{variant:?} variant, P = {{p1}}, X = {{x}}, V = {{0,1}}"));
+        section(&format!(
+            "{variant:?} variant, P = {{p1}}, X = {{x}}, V = {{0,1}}"
+        ));
         let graph = enumerate_states(&Fgp::new(1, 1, variant), &[0, 1], 1_000)
             .expect("ten states fit in any budget");
         for (i, s) in graph.states.iter().enumerate() {
@@ -44,8 +46,8 @@ fn main() {
     }
 
     section("Scaling out: two processes (beyond the figure)");
-    let graph = enumerate_states(&Fgp::new(2, 1, FgpVariant::CpOnly), &[0, 1], 1_000_000)
-        .expect("bounded");
+    let graph =
+        enumerate_states(&Fgp::new(2, 1, FgpVariant::CpOnly), &[0, 1], 1_000_000).expect("bounded");
     row("states (2 procs, 1 binary var)", graph.state_count());
     out.check("two-process graph has abort edges", graph.has_abort_edges());
     out.finish("FIG15");

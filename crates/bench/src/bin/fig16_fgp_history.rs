@@ -39,14 +39,14 @@ fn main() {
     expect(P3, Inv::Read(Y), Response::Value(0), &mut out); // p3: y.read → 0
     expect(P1, Inv::Write(X, 1), Response::Ok, &mut out);
     expect(P1, Inv::TryCommit, Response::Committed, &mut out); // p1 commits: x = 1
-    // p2 and p3 were concurrent to p1's commit: their next events abort.
+                                                               // p2 and p3 were concurrent to p1's commit: their next events abort.
     expect(P2, Inv::TryCommit, Response::Aborted, &mut out); // p2: A (fig: y.write(1) A)
     expect(P3, Inv::Write(Y, 1), Response::Aborted, &mut out); // p3 doomed too
-    // p3 retries and commits y = 1.
+                                                               // p3 retries and commits y = 1.
     expect(P3, Inv::Read(Y), Response::Value(0), &mut out);
     expect(P3, Inv::Write(Y, 1), Response::Ok, &mut out);
     expect(P3, Inv::TryCommit, Response::Committed, &mut out); // y = 1
-    // p2's second transaction reads both committed values and commits.
+                                                               // p2's second transaction reads both committed values and commits.
     expect(P2, Inv::Read(Y), Response::Value(1), &mut out);
     expect(P2, Inv::Read(X), Response::Value(1), &mut out);
     expect(P2, Inv::TryCommit, Response::Committed, &mut out);
@@ -65,7 +65,10 @@ fn main() {
     print!("{}", history.render_lanes());
     row("events", history.len());
     out.check("history is opaque", is_opaque(&history));
-    out.check("history is strictly serializable", is_strictly_serializable(&history));
+    out.check(
+        "history is strictly serializable",
+        is_strictly_serializable(&history),
+    );
     out.check(
         "per-process commit counts match the figure (p1:1, p2:1, p3:2)",
         history.commit_count(P1) == 1

@@ -25,7 +25,10 @@ fn main() {
     let mut out = Outcome::new();
 
     section("Figure 8: the terminating history is not opaque");
-    out.check("figure 8 violates opacity", !is_opaque(&figures::figure_8(0)));
+    out.check(
+        "figure 8 violates opacity",
+        !is_opaque(&figures::figure_8(0)),
+    );
 
     section(&format!("Algorithm 1 vs the catalogue ({steps} steps)"));
     for mut tm in nonblocking_catalog(2, 1) {
@@ -37,7 +40,10 @@ fn main() {
         );
         row("", report.row());
         out.check(
-            &format!("{}: p1 starves, p2 progresses, opacity holds", report.tm_name),
+            &format!(
+                "{}: p1 starves, p2 progresses, opacity holds",
+                report.tm_name
+            ),
             report.commits[0] == 0
                 && report.commits[1] > 0
                 && !report.terminated

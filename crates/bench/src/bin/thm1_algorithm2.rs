@@ -28,7 +28,10 @@ fn main() {
         );
         row("", report.row());
         out.check(
-            &format!("{}: p1 starves, p2 progresses, opacity holds", report.tm_name),
+            &format!(
+                "{}: p1 starves, p2 progresses, opacity holds",
+                report.tm_name
+            ),
             report.commits[0] == 0
                 && report.commits[1] > 0
                 && !report.terminated
@@ -44,7 +47,10 @@ fn main() {
     let p2_events = tm.history().project(ProcessId(1)).len();
     row("p1 events", p1_events);
     row("p2 events", p2_events);
-    row("p1/p2 activity ratio", format!("{:.2}", p1_events as f64 / p2_events as f64));
+    row(
+        "p1/p2 activity ratio",
+        format!("{:.2}", p1_events as f64 / p2_events as f64),
+    );
     out.check(
         "p1 stays active forever (> 20% of p2's events)",
         p1_events * 5 > p2_events,

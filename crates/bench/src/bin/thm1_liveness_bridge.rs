@@ -50,14 +50,12 @@ impl SteppedTm for FatBox {
     fn has_pending(&self, p: ProcessId) -> bool {
         self.0.has_pending(p)
     }
+    fn fork(&self) -> tm_stm::BoxedTm {
+        Box::new(FatBox(self.0.fork()))
+    }
 }
 
-fn bridge(
-    out: &mut Outcome,
-    tm: tm_stm::BoxedTm,
-    mut strategy: Box<dyn Strategy>,
-    steps: usize,
-) {
+fn bridge(out: &mut Outcome, tm: tm_stm::BoxedTm, mut strategy: Box<dyn Strategy>, steps: usize) {
     let mut recorded = Recorded::new(FatBox(tm));
     let report = run_game(&mut recorded, strategy.as_mut(), GameConfig::steps(steps));
     let name = report.tm_name.clone();

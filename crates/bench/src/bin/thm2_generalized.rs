@@ -42,7 +42,10 @@ fn main() {
                 ),
             );
             out.check(
-                &format!("{} n={n}: exactly n-1 of n correct processes progress", report.tm_name),
+                &format!(
+                    "{} n={n}: exactly n-1 of n correct processes progress",
+                    report.tm_name
+                ),
                 report.commits[0] == 0
                     && progressing == n - 1
                     && report.aborts[0] > 0

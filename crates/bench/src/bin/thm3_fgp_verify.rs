@@ -49,9 +49,18 @@ fn main() {
         );
         match variant {
             FgpVariant::Literal => {
-                out.check("Literal variant violates opacity (paper bug)", !result.all_opaque());
+                out.check(
+                    "Literal variant violates opacity (paper bug)",
+                    !result.all_opaque(),
+                );
                 if let Some(v) = result.violations.first() {
-                    row("counterexample schedule", format!("{:?}", v.schedule.iter().map(|p| p.index() + 1).collect::<Vec<_>>()));
+                    row(
+                        "counterexample schedule",
+                        format!(
+                            "{:?}",
+                            v.schedule.iter().map(|p| p.index() + 1).collect::<Vec<_>>()
+                        ),
+                    );
                     print!("{}", v.history.render_lanes());
                 }
             }
@@ -75,7 +84,11 @@ fn main() {
     );
     row(
         "CpOnly, 3 procs",
-        format!("schedules={} violations={}", result.schedules, result.violations.len()),
+        format!(
+            "schedules={} violations={}",
+            result.schedules,
+            result.violations.len()
+        ),
     );
     out.check("3-process exhaustive check passes", result.all_opaque());
 
@@ -83,7 +96,10 @@ fn main() {
     let fault_plans: Vec<(&str, FaultPlan)> = vec![
         ("no faults", FaultPlan::none()),
         ("one crash", FaultPlan::none().crash(ProcessId(1), 500)),
-        ("one parasite", FaultPlan::none().parasitic(ProcessId(1), 500)),
+        (
+            "one parasite",
+            FaultPlan::none().parasitic(ProcessId(1), 500),
+        ),
         (
             "crash + parasite",
             FaultPlan::none()

@@ -21,6 +21,97 @@ pub fn verdict(key: &str, pass: bool) -> bool {
     pass
 }
 
+/// Minimal JSON value for machine-readable benchmark artifacts
+/// (`BENCH_*.json`), so perf trajectories can be tracked across PRs
+/// without a serialization dependency.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// A boolean.
+    Bool(bool),
+    /// An integer (emitted without a fraction).
+    Int(i64),
+    /// A float (emitted with millisecond-scale precision).
+    Num(f64),
+    /// A string (escaped on output).
+    Str(String),
+    /// An ordered array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Convenience constructor for string values.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+}
+
+impl std::fmt::Display for Json {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Json::Bool(b) => write!(f, "{b}"),
+            Json::Int(i) => write!(f, "{i}"),
+            Json::Num(x) => {
+                if x.is_finite() {
+                    write!(f, "{x:.3}")
+                } else {
+                    write!(f, "null")
+                }
+            }
+            Json::Str(s) => {
+                f.write_str("\"")?;
+                for c in s.chars() {
+                    match c {
+                        '"' => f.write_str("\\\"")?,
+                        '\\' => f.write_str("\\\\")?,
+                        '\n' => f.write_str("\\n")?,
+                        '\t' => f.write_str("\\t")?,
+                        c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+                        c => write!(f, "{c}")?,
+                    }
+                }
+                f.write_str("\"")
+            }
+            Json::Arr(items) => {
+                f.write_str("[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                f.write_str("]")
+            }
+            Json::Obj(pairs) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{}:{v}", Json::Str(k.clone()))?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+/// Writes a `BENCH_<name>.json` artifact at the workspace root and
+/// reports where.
+///
+/// # Errors
+///
+/// Propagates the underlying I/O error.
+pub fn write_bench_json(name: &str, value: &Json) -> std::io::Result<std::path::PathBuf> {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join(format!("BENCH_{name}.json"));
+    std::fs::write(&path, format!("{value}\n"))?;
+    println!("wrote {}", path.display());
+    Ok(path)
+}
+
 /// Tracks harness-wide success and produces the process exit code.
 #[derive(Debug, Default)]
 pub struct Outcome {

@@ -112,12 +112,12 @@ pub fn run_game(
     let mut stalled_steps = 0;
 
     let observe = |p: ProcessId,
-                       r: Response,
-                       commits: &mut Vec<usize>,
-                       aborts: &mut Vec<usize>,
-                       checker: &mut Option<IncrementalChecker>,
-                       safety_ok: &mut bool,
-                       safety_violation: &mut Option<String>| {
+                   r: Response,
+                   commits: &mut Vec<usize>,
+                   aborts: &mut Vec<usize>,
+                   checker: &mut Option<IncrementalChecker>,
+                   safety_ok: &mut bool,
+                   safety_violation: &mut Option<String>| {
         match r {
             Response::Committed => commits[p.index()] += 1,
             Response::Aborted => aborts[p.index()] += 1,
@@ -232,7 +232,11 @@ mod tests {
         // online checker flags the violation.
         let mut tm = literal_fgp(2, 1);
         let mut s = Algorithm1::with_victim_offset(X, 2);
-        let report = run_game(tm.as_mut(), &mut s, GameConfig::steps(5_000).check_opacity());
+        let report = run_game(
+            tm.as_mut(),
+            &mut s,
+            GameConfig::steps(5_000).check_opacity(),
+        );
         assert!(
             !report.safety_ok,
             "literal Fgp should violate opacity under the adversary"

@@ -192,7 +192,12 @@ mod tests {
                 let mut strategy = RotatingStarver::new(X, n);
                 let report = run_game(tm.as_mut(), &mut strategy, GameConfig::steps(8_000));
                 assert!(!report.terminated, "{} n={n}", tm.name());
-                assert_eq!(report.commits[0], 0, "{} n={n}: victim committed", tm.name());
+                assert_eq!(
+                    report.commits[0],
+                    0,
+                    "{} n={n}: victim committed",
+                    tm.name()
+                );
                 for k in 1..n {
                     assert!(
                         report.commits[k] > 0,
@@ -201,7 +206,11 @@ mod tests {
                         k + 1
                     );
                 }
-                assert!(report.aborts[0] > 0, "{} n={n}: victim never aborted", tm.name());
+                assert!(
+                    report.aborts[0] > 0,
+                    "{} n={n}: victim never aborted",
+                    tm.name()
+                );
             }
         }
     }

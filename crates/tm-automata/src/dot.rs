@@ -50,9 +50,8 @@ mod tests {
 
     #[test]
     fn figure_15_graph_renders_as_dot() {
-        let graph =
-            enumerate_states(&Fgp::new(1, 1, FgpVariant::CpOnly), &[0, 1], 1_000).unwrap();
-        let dot = to_dot(&graph, "fgp_fig15", |s| format!("val={}", s.val[0][0]));
+        let graph = enumerate_states(&Fgp::new(1, 1, FgpVariant::CpOnly), &[0, 1], 1_000).unwrap();
+        let dot = to_dot(&graph, "fgp_fig15", |s| format!("val={}", s.val(0, 0)));
         assert!(dot.starts_with("digraph fgp_fig15 {"));
         assert!(dot.ends_with("}\n"));
         // Ten states, each with a node declaration line.
@@ -67,8 +66,7 @@ mod tests {
 
     #[test]
     fn quotes_in_labels_are_escaped() {
-        let graph =
-            enumerate_states(&Fgp::new(1, 1, FgpVariant::CpOnly), &[0], 1_000).unwrap();
+        let graph = enumerate_states(&Fgp::new(1, 1, FgpVariant::CpOnly), &[0], 1_000).unwrap();
         let dot = to_dot(&graph, "g", |_| "a\"b".to_string());
         assert!(dot.contains("a\\\"b"));
     }

@@ -38,8 +38,6 @@
 //! for one process and one binary t-variable (a single process never has
 //! `Status = a`, where the variants differ).
 
-use std::collections::BTreeSet;
-
 use serde::{Deserialize, Serialize};
 
 use tm_core::{Invocation, ProcessId, Response, TVarId, Value, INITIAL_VALUE};
@@ -47,7 +45,7 @@ use tm_core::{Invocation, ProcessId, Response, TVarId, Value, INITIAL_VALUE};
 use crate::ioa::TmAutomaton;
 
 /// Which reading of the paper's `Fgp` definition to use.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub enum FgpVariant {
     /// The formal transition rules verbatim — **known non-opaque** (aborted
     /// writes leak into the next transaction's reads).
@@ -56,13 +54,8 @@ pub enum FgpVariant {
     /// processes.
     Strict,
     /// Prose rules: commit aborts only the concurrent group `CP`. Default.
+    #[default]
     CpOnly,
-}
-
-impl Default for FgpVariant {
-    fn default() -> Self {
-        FgpVariant::CpOnly
-    }
 }
 
 /// Per-process status: `c` (may receive normal responses) or `a` (next
@@ -75,17 +68,122 @@ pub enum PStatus {
     Doomed,
 }
 
+/// The concurrent group `CP` as a bitmask over process indices.
+///
+/// The automaton supports at most 64 processes (far beyond any
+/// enumerable state space); a machine word keeps `FgpState` clones —
+/// the unit of work of the model checker's `fork` — allocation-free for
+/// this component.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct CpSet(u64);
+
+impl CpSet {
+    /// The empty group.
+    pub fn new() -> Self {
+        CpSet(0)
+    }
+
+    /// Adds process `k`.
+    pub fn insert(&mut self, k: usize) {
+        debug_assert!(k < 64);
+        self.0 |= 1 << k;
+    }
+
+    /// Empties the group.
+    pub fn clear(&mut self) {
+        self.0 = 0;
+    }
+
+    /// Whether process `k` is in the group.
+    pub fn contains(&self, k: usize) -> bool {
+        k < 64 && self.0 & (1 << k) != 0
+    }
+
+    /// Whether the group is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0 == 0
+    }
+
+    /// Number of processes in the group.
+    pub fn len(&self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// The member process indices, ascending.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        let bits = self.0;
+        (0..64).filter(move |k| bits & (1 << k) != 0)
+    }
+}
+
 /// A state `(Status, CP, Val, f)` of the `Fgp` automaton.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+///
+/// `Val` is stored row-major in one flat vector (row `k` = process
+/// `k`'s view), so cloning a state — the automaton API is functional,
+/// and the model checker forks states on every tree edge — costs three
+/// vector allocations regardless of the t-variable count.
+#[derive(Debug, PartialEq, Eq, Hash)]
 pub struct FgpState {
-    /// `Status[k]` for each process.
-    pub status: Vec<PStatus>,
-    /// The concurrent group `CP` (process indices, ordered).
-    pub cp: BTreeSet<usize>,
-    /// `Val[k][j]`: the view of each t-variable per process.
-    pub val: Vec<Vec<Value>>,
+    /// `Status[k]` for each process: bit `k` set means `Doomed` (`a`).
+    /// A machine word, like [`CpSet`], so state clones stay cheap.
+    doomed: u64,
+    /// The concurrent group `CP`.
+    pub cp: CpSet,
+    /// `Val[k][j]` flattened to `val[k * tvars + j]`.
+    val: Vec<Value>,
+    /// Row length of `val` (the t-variable count).
+    tvars: usize,
     /// `f(pk)`: pending invocation per process.
     pub pending: Vec<Option<Invocation>>,
+}
+
+// Hand-written so `clone_from` reuses the target's vector buffers — the
+// model checker reforks states through it on every recycled tree edge.
+impl Clone for FgpState {
+    fn clone(&self) -> Self {
+        FgpState {
+            doomed: self.doomed,
+            cp: self.cp,
+            val: self.val.clone(),
+            tvars: self.tvars,
+            pending: self.pending.clone(),
+        }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.doomed = source.doomed;
+        self.cp = source.cp;
+        self.val.clone_from(&source.val);
+        self.tvars = source.tvars;
+        self.pending.clone_from(&source.pending);
+    }
+}
+
+impl FgpState {
+    /// `Val[k][j]`: process `k`'s view of t-variable `j`.
+    pub fn val(&self, k: usize, j: usize) -> Value {
+        self.val[k * self.tvars + j]
+    }
+
+    fn val_mut(&mut self, k: usize, j: usize) -> &mut Value {
+        &mut self.val[k * self.tvars + j]
+    }
+
+    /// `Status[k]`.
+    pub fn status(&self, k: usize) -> PStatus {
+        if self.doomed & (1 << k) != 0 {
+            PStatus::Doomed
+        } else {
+            PStatus::Clear
+        }
+    }
+
+    fn set_status(&mut self, k: usize, status: PStatus) {
+        match status {
+            PStatus::Doomed => self.doomed |= 1 << k,
+            PStatus::Clear => self.doomed &= !(1 << k),
+        }
+    }
 }
 
 /// The `Fgp` TM automaton for a fixed number of processes and t-variables.
@@ -140,9 +238,10 @@ impl TmAutomaton for Fgp {
 
     fn initial_state(&self) -> FgpState {
         FgpState {
-            status: vec![PStatus::Clear; self.processes],
-            cp: BTreeSet::new(),
-            val: vec![vec![INITIAL_VALUE; self.tvars]; self.processes],
+            doomed: 0,
+            cp: CpSet::new(),
+            val: vec![INITIAL_VALUE; self.processes * self.tvars],
+            tvars: self.tvars,
             pending: vec![None; self.processes],
         }
     }
@@ -161,22 +260,42 @@ impl TmAutomaton for Fgp {
         process: ProcessId,
         invocation: Invocation,
     ) -> Option<FgpState> {
+        let mut s = state.clone();
+        self.apply_invocation_mut(&mut s, process, invocation)
+            .then_some(s)
+    }
+
+    fn enabled_response(
+        &self,
+        state: &FgpState,
+        process: ProcessId,
+    ) -> Option<(Response, FgpState)> {
+        let mut s = state.clone();
+        let response = self.enabled_response_mut(&mut s, process)?;
+        Some((response, s))
+    }
+
+    fn apply_invocation_mut(
+        &self,
+        s: &mut FgpState,
+        process: ProcessId,
+        invocation: Invocation,
+    ) -> bool {
         let k = process.index();
-        if k >= self.processes || state.pending[k].is_some() {
-            return None;
+        if k >= self.processes || s.pending[k].is_some() {
+            return false;
         }
         if let Some(x) = invocation.tvar() {
             if x.index() >= self.tvars {
-                return None;
+                return false;
             }
         }
-        let mut s = state.clone();
         s.pending[k] = Some(invocation);
         // CP joining: the formal rules add on every invocation; the prose
         // adds only processes whose status is `c`.
         let joins = match self.variant {
             FgpVariant::Literal | FgpVariant::Strict => true,
-            FgpVariant::CpOnly => state.status[k] == PStatus::Clear,
+            FgpVariant::CpOnly => s.status(k) == PStatus::Clear,
         };
         if joins {
             s.cp.insert(k);
@@ -188,33 +307,28 @@ impl TmAutomaton for Fgp {
         if let Invocation::Write(x, v) = invocation {
             let applies = match self.variant {
                 FgpVariant::Literal => true,
-                FgpVariant::Strict | FgpVariant::CpOnly => state.status[k] == PStatus::Clear,
+                FgpVariant::Strict | FgpVariant::CpOnly => s.status(k) == PStatus::Clear,
             };
             if applies {
-                s.val[k][x.index()] = v;
+                *s.val_mut(k, x.index()) = v;
             }
         }
-        Some(s)
+        true
     }
 
-    fn enabled_response(
-        &self,
-        state: &FgpState,
-        process: ProcessId,
-    ) -> Option<(Response, FgpState)> {
+    fn enabled_response_mut(&self, s: &mut FgpState, process: ProcessId) -> Option<Response> {
         let k = process.index();
-        let inv = (*state.pending.get(k)?)?;
-        let mut s = state.clone();
+        let inv = (*s.pending.get(k)?)?;
         s.pending[k] = None;
-        match state.status[k] {
+        match s.status(k) {
             PStatus::Doomed => {
                 // A_k: the only enabled response; status resets to c.
-                s.status[k] = PStatus::Clear;
-                Some((Response::Aborted, s))
+                s.set_status(k, PStatus::Clear);
+                Some(Response::Aborted)
             }
             PStatus::Clear => match inv {
-                Invocation::Read(x) => Some((Response::Value(state.val[k][x.index()]), s)),
-                Invocation::Write(..) => Some((Response::Ok, s)),
+                Invocation::Read(x) => Some(Response::Value(s.val(k, x.index()))),
+                Invocation::Write(..) => Some(Response::Ok),
                 Invocation::TryCommit => {
                     // C_k: doom the losers, sync every view to the
                     // committer's, empty CP.
@@ -222,24 +336,31 @@ impl TmAutomaton for Fgp {
                         FgpVariant::Literal | FgpVariant::Strict => {
                             for k2 in 0..self.processes {
                                 if k2 != k {
-                                    s.status[k2] = PStatus::Doomed;
+                                    s.set_status(k2, PStatus::Doomed);
                                 }
                             }
                         }
                         FgpVariant::CpOnly => {
-                            for &k2 in &state.cp {
+                            // Reads CP as of the pre-transition state:
+                            // nothing above mutates it.
+                            let cp = s.cp;
+                            for k2 in cp.iter() {
                                 if k2 != k {
-                                    s.status[k2] = PStatus::Doomed;
+                                    s.set_status(k2, PStatus::Doomed);
                                 }
                             }
                         }
                     }
-                    let committed_row = state.val[k].clone();
-                    for row in &mut s.val {
-                        row.clone_from(&committed_row);
+                    // Sync every view to the committer's row (in place —
+                    // the committer's own row is already correct).
+                    let tvars = self.tvars;
+                    for k2 in 0..self.processes {
+                        if k2 != k {
+                            s.val.copy_within(k * tvars..(k + 1) * tvars, k2 * tvars);
+                        }
                     }
                     s.cp.clear();
-                    Some((Response::Committed, s))
+                    Some(Response::Committed)
                 }
             },
         }
@@ -250,7 +371,7 @@ impl TmAutomaton for Fgp {
 /// any process is the committed state immediately after a commit; between
 /// commits the rows of non-writers remain the committed state).
 pub fn view_of(state: &FgpState, process: ProcessId, x: TVarId) -> Value {
-    state.val[process.index()][x.index()]
+    state.val(process.index(), x.index())
 }
 
 #[cfg(test)]
@@ -343,7 +464,7 @@ mod tests {
         r.invoke_and_deliver(P2, Inv::Read(X)).unwrap();
         r.invoke_and_deliver(P2, Inv::Write(X, 1)).unwrap();
         r.invoke_and_deliver(P2, Inv::TryCommit).unwrap(); // commit: x = 1
-        // p1 is doomed; its write invocation still updates Val[1][x] = 5.
+                                                           // p1 is doomed; its write invocation still updates Val[1][x] = 5.
         assert_eq!(
             r.invoke_and_deliver(P1, Inv::Write(X, 5)).unwrap(),
             Some(Response::Aborted)

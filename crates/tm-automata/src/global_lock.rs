@@ -215,8 +215,8 @@ mod tests {
         let mut r = Runner::new(GlobalLockTm::new(2, 1));
         r.invoke_and_deliver(P1, Inv::Write(X, 5)).unwrap();
         r.invoke_and_deliver(P2, Inv::Read(X)).unwrap(); // blocked forever
-        // p1 "crashes": no more events. The finite history must still be
-        // opaque (p2 has no completed operations).
+                                                         // p1 "crashes": no more events. The finite history must still be
+                                                         // opaque (p2 has no completed operations).
         assert!(is_opaque(r.history()));
     }
 }

@@ -51,6 +51,45 @@ pub trait TmAutomaton {
         state: &Self::State,
         process: ProcessId,
     ) -> Option<(Response, Self::State)>;
+
+    /// In-place variant of [`TmAutomaton::apply_invocation`]: mutates
+    /// `state` and reports whether the invocation was enabled (when not,
+    /// `state` is unchanged).
+    ///
+    /// The default delegates to the functional form; hot automata
+    /// override both so linear drivers ([`Runner`]) skip the per-step
+    /// state clone while branching drivers (state enumeration, the model
+    /// checker) keep the functional form.
+    fn apply_invocation_mut(
+        &self,
+        state: &mut Self::State,
+        process: ProcessId,
+        invocation: Invocation,
+    ) -> bool {
+        match self.apply_invocation(state, process, invocation) {
+            Some(next) => {
+                *state = next;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// In-place variant of [`TmAutomaton::enabled_response`] (when the
+    /// response is withheld, `state` is unchanged).
+    fn enabled_response_mut(
+        &self,
+        state: &mut Self::State,
+        process: ProcessId,
+    ) -> Option<Response> {
+        match self.enabled_response(state, process) {
+            Some((response, next)) => {
+                *state = next;
+                Some(response)
+            }
+            None => None,
+        }
+    }
 }
 
 /// Error returned when an invocation is not enabled at the current state.
@@ -68,12 +107,14 @@ impl core::fmt::Display for NotEnabled {
 
 impl std::error::Error for NotEnabled {}
 
-/// Drives a [`TmAutomaton`], recording the history it produces.
+/// Drives a [`TmAutomaton`], recording the history it produces (unless
+/// recording is disabled — see [`Runner::disable_recording`]).
 #[derive(Debug, Clone)]
 pub struct Runner<A: TmAutomaton> {
     automaton: A,
     state: A::State,
     history: History,
+    record: bool,
 }
 
 impl<A: TmAutomaton> Runner<A> {
@@ -85,7 +126,31 @@ impl<A: TmAutomaton> Runner<A> {
             automaton,
             state,
             history: History::new(),
+            record: true,
         }
+    }
+
+    /// Stops recording events (and drops any recorded so far).
+    ///
+    /// Harnesses that track histories themselves — the stepped adapters
+    /// behind the model checker, which forks runners on every tree edge —
+    /// disable recording so a fork costs O(state), not O(history).
+    pub fn disable_recording(&mut self) {
+        self.record = false;
+        self.history = History::new();
+    }
+
+    /// Clones `source` into `self`, reusing the state's existing buffers
+    /// via `Clone::clone_from` (the model checker's allocation-free
+    /// refork path).
+    pub fn copy_from(&mut self, source: &Self)
+    where
+        A: Clone,
+    {
+        self.automaton.clone_from(&source.automaton);
+        self.state.clone_from(&source.state);
+        self.history.clone_from(&source.history);
+        self.record = source.record;
     }
 
     /// The underlying automaton.
@@ -114,25 +179,28 @@ impl<A: TmAutomaton> Runner<A> {
     ///
     /// [`NotEnabled`] if the process already has a pending invocation.
     pub fn invoke(&mut self, process: ProcessId, invocation: Invocation) -> Result<(), NotEnabled> {
-        match self
+        if self
             .automaton
-            .apply_invocation(&self.state, process, invocation)
+            .apply_invocation_mut(&mut self.state, process, invocation)
         {
-            Some(next) => {
-                self.state = next;
+            if self.record {
                 self.history.push(Event::invocation(process, invocation));
-                Ok(())
             }
-            None => Err(NotEnabled { process }),
+            Ok(())
+        } else {
+            Err(NotEnabled { process })
         }
     }
 
     /// Delivers the enabled response to `process`, if any. Returns the
     /// response, or `None` if the automaton currently withholds it.
     pub fn deliver(&mut self, process: ProcessId) -> Option<Response> {
-        let (response, next) = self.automaton.enabled_response(&self.state, process)?;
-        self.state = next;
-        self.history.push(Event::response(process, response));
+        let response = self
+            .automaton
+            .enabled_response_mut(&mut self.state, process)?;
+        if self.record {
+            self.history.push(Event::response(process, response));
+        }
         Some(response)
     }
 

@@ -109,13 +109,13 @@ impl Response {
     /// assert!(!Response::Committed.answers(Invocation::Write(x, 1)));
     /// ```
     pub fn answers(self, invocation: Invocation) -> bool {
-        match (invocation, self) {
-            (_, Response::Aborted) => true,
-            (Invocation::Read(_), Response::Value(_)) => true,
-            (Invocation::Write(..), Response::Ok) => true,
-            (Invocation::TryCommit, Response::Committed) => true,
-            _ => false,
-        }
+        matches!(
+            (invocation, self),
+            (_, Response::Aborted)
+                | (Invocation::Read(_), Response::Value(_))
+                | (Invocation::Write(..), Response::Ok)
+                | (Invocation::TryCommit, Response::Committed)
+        )
     }
 }
 

@@ -578,10 +578,7 @@ mod tests {
             Event::value(P1, 0),
         ]);
         let p1 = h.project(P1);
-        assert_eq!(
-            p1.events(),
-            &[Event::read(P1, X), Event::value(P1, 0)][..]
-        );
+        assert_eq!(p1.events(), &[Event::read(P1, X), Event::value(P1, 0)][..]);
         assert_eq!(h.project(ProcessId(9)).len(), 0);
     }
 

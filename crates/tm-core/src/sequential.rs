@@ -157,13 +157,21 @@ mod tests {
 
     #[test]
     fn initial_value_read_is_legal() {
-        let h = HistoryBuilder::new().read(P1, X, 0).commit(P1).build().unwrap();
+        let h = HistoryBuilder::new()
+            .read(P1, X, 0)
+            .commit(P1)
+            .build()
+            .unwrap();
         assert!(check_sequential_legality(&h).is_legal());
     }
 
     #[test]
     fn wrong_initial_read_is_illegal() {
-        let h = HistoryBuilder::new().read(P1, X, 7).commit(P1).build().unwrap();
+        let h = HistoryBuilder::new()
+            .read(P1, X, 7)
+            .commit(P1)
+            .build()
+            .unwrap();
         let verdict = check_sequential_legality(&h);
         assert_eq!(
             verdict,

@@ -162,7 +162,11 @@ mod tests {
 
     #[test]
     fn figure_histories_round_trip() {
-        for h in [figures::figure_1(), figures::figure_3(), figures::figure_4()] {
+        for h in [
+            figures::figure_1(),
+            figures::figure_3(),
+            figures::figure_4(),
+        ] {
             let text = render_compact(&h);
             let parsed = parse_history(&text).expect("round trip");
             assert_eq!(parsed, h, "{text}");

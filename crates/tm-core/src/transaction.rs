@@ -247,8 +247,7 @@ pub(crate) fn transactions_of(history: &History) -> Vec<Transaction> {
         let commit_pending = cursor
             .events
             .iter()
-            .rev()
-            .next()
+            .next_back()
             .is_some_and(|e| e.is_try_commit());
         out.push(Transaction {
             id: TxId {
@@ -291,9 +290,21 @@ mod tests {
             .unwrap();
         let txs = h.transactions();
         assert_eq!(txs.len(), 2);
-        assert_eq!(txs[0].id, TxId { process: P1, index: 0 });
+        assert_eq!(
+            txs[0].id,
+            TxId {
+                process: P1,
+                index: 0
+            }
+        );
         assert_eq!(txs[0].status, TxStatus::Committed);
-        assert_eq!(txs[1].id, TxId { process: P1, index: 1 });
+        assert_eq!(
+            txs[1].id,
+            TxId {
+                process: P1,
+                index: 1
+            }
+        );
         assert_eq!(txs[1].status, TxStatus::Aborted);
     }
 

@@ -113,13 +113,11 @@ impl PriorityProgress {
 
     /// The highest-priority correct process of `h`, if any.
     pub fn top_correct(&self, h: &InfiniteHistory) -> Option<tm_core::ProcessId> {
-        correct_processes(h)
-            .into_iter()
-            .max_by(|a, b| {
-                self.priority_of(*a)
-                    .cmp(&self.priority_of(*b))
-                    .then(b.index().cmp(&a.index()))
-            })
+        correct_processes(h).into_iter().max_by(|a, b| {
+            self.priority_of(*a)
+                .cmp(&self.priority_of(*b))
+                .then(b.index().cmp(&a.index()))
+        })
     }
 }
 

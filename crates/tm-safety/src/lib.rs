@@ -37,7 +37,7 @@ pub mod property;
 pub mod strict_ser;
 pub mod witness;
 
-pub use incremental::{CommitOrderViolation, IncrementalChecker, Mode};
+pub use incremental::{Checkpoint, CommitOrderViolation, IncrementalChecker, Mode, SlotSet};
 pub use opacity::{check_opacity, is_opaque, SafetyVerdict};
 pub use property::{Opacity, SafetyProperty, StrictSerializability};
 pub use strict_ser::{check_strict_serializability, is_strictly_serializable};
@@ -110,7 +110,10 @@ mod tests {
 
     #[test]
     fn auto_checker_matches_exact_on_figures() {
-        assert_eq!(check_opacity_auto(&figures::figure_1()), CheckOutcome::Holds);
+        assert_eq!(
+            check_opacity_auto(&figures::figure_1()),
+            CheckOutcome::Holds
+        );
         assert_eq!(
             check_opacity_auto(&figures::figure_3()),
             CheckOutcome::Violated

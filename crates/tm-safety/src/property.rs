@@ -95,7 +95,11 @@ mod tests {
 
     #[test]
     fn opacity_implies_strict_serializability_on_figures() {
-        for h in [figures::figure_1(), figures::figure_3(), figures::figure_4()] {
+        for h in [
+            figures::figure_1(),
+            figures::figure_3(),
+            figures::figure_4(),
+        ] {
             if Opacity.holds(&h) {
                 assert!(StrictSerializability.holds(&h));
             }

@@ -88,7 +88,10 @@ pub fn find_witness(txs: &[Transaction]) -> Result<Option<Vec<usize>>, TooManyTr
         if mask == full {
             return true;
         }
-        let key = (mask, state.iter().map(|(&k, &v)| (k, v)).collect::<Vec<_>>());
+        let key = (
+            mask,
+            state.iter().map(|(&k, &v)| (k, v)).collect::<Vec<_>>(),
+        );
         if failed.contains(&key) {
             return false;
         }
@@ -102,8 +105,7 @@ pub fn find_witness(txs: &[Transaction]) -> Result<Option<Vec<usize>>, TooManyTr
                 Err(_) => continue,
                 Ok(writes) => {
                     order.push(i);
-                    let next_state = if txs[i].status == TxStatus::Committed && !writes.is_empty()
-                    {
+                    let next_state = if txs[i].status == TxStatus::Committed && !writes.is_empty() {
                         let mut s = state.clone();
                         s.extend(writes);
                         s
@@ -145,14 +147,22 @@ mod tests {
 
     #[test]
     fn single_legal_transaction() {
-        let h = HistoryBuilder::new().read(P1, X, 0).commit(P1).build().unwrap();
+        let h = HistoryBuilder::new()
+            .read(P1, X, 0)
+            .commit(P1)
+            .build()
+            .unwrap();
         let txs = h.transactions();
         assert_eq!(find_witness(&txs).unwrap(), Some(vec![0]));
     }
 
     #[test]
     fn single_illegal_transaction_has_no_witness() {
-        let h = HistoryBuilder::new().read(P1, X, 9).commit(P1).build().unwrap();
+        let h = HistoryBuilder::new()
+            .read(P1, X, 9)
+            .commit(P1)
+            .build()
+            .unwrap();
         let txs = h.transactions();
         assert_eq!(find_witness(&txs).unwrap(), None);
     }

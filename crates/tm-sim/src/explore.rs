@@ -3,19 +3,90 @@
 //! Theorem 3 claims **every** finite history of `Fgp` is opaque. For an
 //! automaton-level ∀-claim the executable analogue is bounded-exhaustive
 //! checking: enumerate *all* schedules of `n` deterministic clients up to
-//! a depth, replay each against a fresh TM instance, and verify the
-//! produced history. Acceptance uses the fast commit-order certifier and
-//! falls back to the exact witness search on rejection, so every reported
-//! violation is definitive.
+//! a depth and verify every produced history. Acceptance uses the fast
+//! commit-order certifier and falls back to the exact witness search on
+//! rejection, so every reported violation is definitive.
+//!
+//! # Prefix-sharing DFS
+//!
+//! Schedules of length `d` over `n` processes form the complete `n`-ary
+//! tree of depth `d`; two schedules with a common prefix reach the *same*
+//! intermediate state. The explorer therefore walks that tree depth-first
+//! and extends the parent state by **one step per edge** instead of
+//! replaying each of the `n^d` schedules from scratch:
+//!
+//! * the TM branches via [`tm_stm::SteppedTm::fork`] (all but a node's
+//!   last child fork; the last child consumes the parent's instance, so a
+//!   binary tree performs about one fork per node, not two);
+//! * the client that stepped backtracks via an O(1)
+//!   [`Client::mark`]/[`Client::restore`] snapshot;
+//! * the commit-order certifier advances one event at a time and unwinds
+//!   through [`IncrementalChecker::rollback`], so a rejection latches at
+//!   the **shortest failing prefix** of the branch (reported per
+//!   violation in [`Violation::fast_reject_at`]).
+//!
+//! Per-edge cost is thereby amortized O(1) TM/client/certifier work plus
+//! one TM fork, versus the naive enumerator's O(depth) replay and
+//! O(history) re-certification per schedule — the asymptotic gap grows
+//! linearly with depth. The naive enumerator survives as
+//! [`explore_schedules_naive`] for differential testing; both explorers
+//! produce *identical* [`Exploration`] reports (same schedule counts,
+//! fallback counts and violation lists, in the same lexicographic
+//! order).
+//!
+//! # Parallel frontier
+//!
+//! With [`ExploreConfig::parallel`], the tree is split at a fixed depth:
+//! every node at that depth becomes a subtree root carrying its own
+//! forked TM, client snapshots and a compacted clone of the certifier,
+//! and the roots are distributed over a thread pool (dynamic dealing —
+//! idle workers claim the next root, so skewed subtrees balance). Roots
+//! are processed in lexicographic order and merged in order, keeping the
+//! report deterministic regardless of thread count.
+//!
+//! # Sleep-set pruning
+//!
+//! With [`ExploreConfig::sleep_sets`], schedules that differ only by
+//! swapping adjacent **independent** steps are explored once. Two steps
+//! are treated as independent exactly when both are operation steps
+//! (read or write) by different processes on **different t-variables**
+//! *and* the TM has opted into
+//! [`tm_stm::SteppedTm::disjoint_var_ops_commute`] — an audited,
+//! per-algorithm contract that such steps map TM states to the same
+//! state in either order with the same responses. For TMs that keep
+//! the conservative default (the blocking global-lock TM acquires the
+//! lock on its first operation; SwissTM draws a fresh global
+//! begin-timestamp), the explorer silently disables pruning instead of
+//! risking a false certification. The remaining soundness argument:
+//!
+//! * `tryC` steps mutate global state (clocks, committed values,
+//!   dooming) and are never classified independent;
+//! * poll steps of blocking TMs depend on the global lock state and are
+//!   likewise never independent;
+//! * client state is per-process, so steps of different processes
+//!   commute trivially;
+//! * the certifier's verdict is invariant under swapping adjacent events
+//!   of different processes on different variables when no commit
+//!   intervenes (candidate slots are pruned per-variable against a
+//!   committed-state sequence that only `tryC` extends).
+//!
+//! Swapping adjacent independent steps therefore maps each pruned
+//! schedule to an explored one with an identical safety verdict: the
+//! pruned exploration reports a violation iff the full exploration does.
+//! Pruning changes the *number* of schedules visited (that is its
+//! point), so differential tests comparing counts run with it disabled;
+//! a separate test checks verdict equivalence with it enabled.
 
-use tm_core::{Event, History, ProcessId};
+use tm_core::{Event, History, Invocation, ProcessId, TVarId};
 use tm_safety::{check_opacity, IncrementalChecker, Mode, SafetyVerdict};
-use tm_stm::{BoxedTm, Outcome};
+use tm_stm::{BoxedTm, Outcome, SteppedTm};
+
+use rayon::prelude::*;
 
 use crate::workload::{Client, ClientScript};
 
 /// A definitive safety violation found during exploration.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Violation {
     /// The schedule (process per step) that produced the history.
     pub schedule: Vec<ProcessId>,
@@ -23,17 +94,22 @@ pub struct Violation {
     pub history: History,
     /// Why it is not opaque.
     pub detail: String,
+    /// Index of the event at which the commit-order certifier first
+    /// rejected — the shortest failing prefix of this schedule's branch.
+    pub fast_reject_at: usize,
 }
 
 /// Outcome of an exploration.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Exploration {
-    /// Complete schedules replayed.
+    /// Complete schedules replayed (leaves visited).
     pub schedules: usize,
     /// Histories that needed the exact checker (fast path rejected).
     pub exact_fallbacks: usize,
-    /// Definitive opacity violations.
+    /// Definitive opacity violations, in schedule-lexicographic order.
     pub violations: Vec<Violation>,
+    /// Subtrees skipped by sleep-set pruning (0 unless enabled).
+    pub pruned_subtrees: usize,
 }
 
 impl Exploration {
@@ -41,16 +117,475 @@ impl Exploration {
     pub fn all_opaque(&self) -> bool {
         self.violations.is_empty()
     }
+
+    fn absorb(&mut self, other: Exploration) {
+        self.schedules += other.schedules;
+        self.exact_fallbacks += other.exact_fallbacks;
+        self.violations.extend(other.violations);
+        self.pruned_subtrees += other.pruned_subtrees;
+    }
+}
+
+/// Configuration for [`explore_with`].
+#[derive(Debug, Clone)]
+pub struct ExploreConfig {
+    /// Schedule length to explore exhaustively.
+    pub depth: usize,
+    /// Distribute subtrees over a thread pool.
+    pub parallel: bool,
+    /// Prefix length at which the tree is split into parallel subtree
+    /// roots; `None` picks the smallest prefix yielding at least eight
+    /// roots per worker thread.
+    pub split_depth: Option<usize>,
+    /// Skip schedules differing only by swaps of adjacent independent
+    /// steps (see the module docs for the soundness argument). Changes
+    /// `schedules` counts, never verdicts. Takes effect only for TMs
+    /// whose [`tm_stm::SteppedTm::disjoint_var_ops_commute`] contract
+    /// holds; for the rest pruning is silently disabled.
+    pub sleep_sets: bool,
+}
+
+impl ExploreConfig {
+    /// Exhaustive exploration to `depth`: parallel, no pruning — the
+    /// drop-in semantics of [`explore_schedules`].
+    pub fn new(depth: usize) -> Self {
+        ExploreConfig {
+            depth,
+            parallel: true,
+            split_depth: None,
+            sleep_sets: false,
+        }
+    }
+
+    /// Disables the parallel frontier.
+    pub fn sequential(mut self) -> Self {
+        self.parallel = false;
+        self
+    }
+
+    /// Enables sleep-set pruning.
+    pub fn with_sleep_sets(mut self) -> Self {
+        self.sleep_sets = true;
+        self
+    }
+
+    /// Pins the parallel split depth.
+    pub fn with_split_depth(mut self, split: usize) -> Self {
+        self.split_depth = Some(split);
+        self
+    }
+}
+
+/// What a process's next step would do, for the independence relation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Footprint {
+    /// An operation step confined to one t-variable.
+    Var(TVarId),
+    /// A step whose effect or outcome depends on global TM state
+    /// (`tryC`, or polling a blocking TM).
+    Global,
+}
+
+/// One step of process `k`: deliver a withheld response if one exists,
+/// otherwise issue the client's next invocation. Events are appended to
+/// `history` and pushed into `checker` (whose verdict latches on
+/// rejection).
+fn step(
+    tm: &mut BoxedTm,
+    clients: &mut [Client],
+    k: usize,
+    history: &mut Vec<Event>,
+    checker: &mut IncrementalChecker,
+) {
+    let p = ProcessId(k);
+    if tm.has_pending(p) {
+        if let Some(resp) = tm.poll(p) {
+            let event = Event::response(p, resp);
+            history.push(event);
+            let _ = checker.push(event);
+            clients[k].observe(resp);
+        }
+        return;
+    }
+    let inv = clients[k].next_invocation();
+    history.push(Event::invocation(p, inv));
+    match tm.invoke(p, inv) {
+        Outcome::Response(resp) => {
+            history.push(Event::response(p, resp));
+            // Fused invocation+response certification: one record lookup
+            // and one undo entry, observationally identical to two
+            // `push` calls.
+            let _ = checker.push_call(p, inv, resp);
+            clients[k].observe(resp);
+        }
+        Outcome::Pending => {
+            let _ = checker.push(Event::invocation(p, inv));
+        }
+    }
+}
+
+fn footprint(tm: &BoxedTm, clients: &[Client], k: usize) -> Footprint {
+    if tm.has_pending(ProcessId(k)) {
+        return Footprint::Global;
+    }
+    match clients[k].next_invocation() {
+        Invocation::Read(x) | Invocation::Write(x, _) => Footprint::Var(x),
+        Invocation::TryCommit => Footprint::Global,
+    }
+}
+
+fn independent(a: Footprint, b: Footprint) -> bool {
+    match (a, b) {
+        (Footprint::Var(x), Footprint::Var(y)) => x != y,
+        _ => false,
+    }
+}
+
+/// Certify a completed schedule exactly as the naive enumerator does:
+/// count it, and when the (latched) fast certifier rejected somewhere on
+/// this branch, fall back to the exact checker on the full history.
+fn certify_leaf(
+    path: &[usize],
+    history: &[Event],
+    checker: &IncrementalChecker,
+    out: &mut Exploration,
+) {
+    out.schedules += 1;
+    let Some(reject) = checker.violation() else {
+        return;
+    };
+    out.exact_fallbacks += 1;
+    let fast_reject_at = reject.position;
+    let mut full = History::new();
+    for &event in history {
+        full.push(event);
+    }
+    match check_opacity(&full) {
+        Ok(SafetyVerdict::Satisfied { .. }) => {}
+        Ok(SafetyVerdict::Violated) => {
+            out.violations.push(Violation {
+                schedule: path.iter().copied().map(ProcessId).collect(),
+                history: full,
+                detail: "no legal sequential witness exists".to_string(),
+                fast_reject_at,
+            });
+        }
+        Err(e) => {
+            out.violations.push(Violation {
+                schedule: path.iter().copied().map(ProcessId).collect(),
+                history: full,
+                detail: format!("exact check infeasible: {e}"),
+                fast_reject_at,
+            });
+        }
+    }
+}
+
+/// The per-path mutable state of the depth-first walk. The TM is owned
+/// and consumed per call (the last child of a node steals the parent's
+/// instance); everything else unwinds in place.
+struct Walk<'a> {
+    clients: &'a mut Vec<Client>,
+    path: &'a mut Vec<usize>,
+    history: &'a mut Vec<Event>,
+    checker: &'a mut IncrementalChecker,
+    out: &'a mut Exploration,
+    /// Recycled TM boxes: sibling forks re-initialize one of these via
+    /// [`SteppedTm::refork_from`] instead of allocating. Left empty for
+    /// TMs without that fast path (probed once per exploration), so
+    /// they pay no per-edge pop/refork-attempt overhead.
+    spare: &'a mut Vec<BoxedTm>,
+    /// Whether the TM under exploration supports `refork_from`.
+    recycle: bool,
+}
+
+/// Per-node footprints of every process's next step, on the stack (no
+/// allocation in the hot recursion).
+type Feet = [Footprint; 64];
+
+/// The sleep set `sleep` filtered down for the child reached by stepping
+/// `k`: a sibling stays asleep only while its step is independent of the
+/// step just taken.
+fn filtered_sleep(sleep: u64, feet: &Feet, k: usize, n: usize) -> u64 {
+    let mut kept = 0u64;
+    for q in 0..n {
+        if sleep & (1 << q) != 0 && independent(feet[q], feet[k]) {
+            kept |= 1 << q;
+        }
+    }
+    kept
+}
+
+/// Depth-first walk of the schedule tree below the current path,
+/// invoking `leaf` at depth `remaining == 0` with ownership of the TM.
+/// Returns the TM box for recycling (`None` if a leaf kept it).
+///
+/// `sleep` is the sleep set: processes whose next step is provably
+/// covered by an already-explored sibling subtree. When `sleep_sets` is
+/// false it is always empty.
+fn walk_tree<L>(
+    walk: &mut Walk<'_>,
+    mut tm: BoxedTm,
+    remaining: usize,
+    mut sleep: u64,
+    sleep_sets: bool,
+    leaf: &mut L,
+) -> Option<BoxedTm>
+where
+    L: FnMut(&mut Walk<'_>, BoxedTm, u64) -> Option<BoxedTm>,
+{
+    if remaining == 0 {
+        return leaf(walk, tm, sleep);
+    }
+    let n = walk.clients.len();
+    walk.out.pruned_subtrees += sleep.count_ones() as usize;
+    // Only materialize footprints when pruning is on: the array init is
+    // measurable in the no-pruning hot path.
+    let feet: Option<Feet> = if sleep_sets {
+        let mut feet: Feet = [Footprint::Global; 64];
+        for (k, foot) in feet.iter_mut().enumerate().take(n) {
+            *foot = footprint(&tm, walk.clients, k);
+        }
+        Some(feet)
+    } else {
+        None
+    };
+    let last = (0..n)
+        .rev()
+        .find(|k| sleep & (1 << k) == 0)
+        .expect("a step is always possible");
+    for k in 0..n {
+        if sleep & (1 << k) != 0 || k == last {
+            continue;
+        }
+        let checkpoint = walk.checker.checkpoint();
+        let history_len = walk.history.len();
+        let mark = walk.clients[k].mark();
+        walk.path.push(k);
+        let mut child = match walk.spare.pop() {
+            Some(mut spare) => {
+                if spare.refork_from(&*tm) {
+                    spare
+                } else {
+                    tm.fork()
+                }
+            }
+            None => tm.fork(),
+        };
+        step(&mut child, walk.clients, k, walk.history, walk.checker);
+        let child_sleep = feet.as_ref().map_or(0, |f| filtered_sleep(sleep, f, k, n));
+        let recycled = walk_tree(walk, child, remaining - 1, child_sleep, sleep_sets, leaf);
+        if let Some(recycled) = recycled {
+            if walk.recycle {
+                walk.spare.push(recycled);
+            }
+        }
+        walk.path.pop();
+        walk.history.truncate(history_len);
+        walk.checker.rollback(checkpoint);
+        walk.clients[k].restore(mark);
+        sleep |= 1 << k;
+    }
+    // The last child consumes the parent's TM instance: no fork.
+    // (Deferring this edge's rollback to an ancestor is semantically
+    // sound but measurably slower — it trades the undo log's tight LIFO
+    // locality for large cold sweeps.)
+    let checkpoint = walk.checker.checkpoint();
+    let history_len = walk.history.len();
+    let mark = walk.clients[last].mark();
+    walk.path.push(last);
+    let child_sleep = feet
+        .as_ref()
+        .map_or(0, |f| filtered_sleep(sleep, f, last, n));
+    step(&mut tm, walk.clients, last, walk.history, walk.checker);
+    let recycled = walk_tree(walk, tm, remaining - 1, child_sleep, sleep_sets, leaf);
+    walk.path.pop();
+    walk.history.truncate(history_len);
+    walk.checker.rollback(checkpoint);
+    walk.clients[last].restore(mark);
+    recycled
+}
+
+/// A node at the parallel split depth, carrying everything a worker
+/// needs to explore its subtree independently.
+struct SubtreeRoot {
+    tm: BoxedTm,
+    clients: Vec<Client>,
+    checker: IncrementalChecker,
+    path: Vec<usize>,
+    history: Vec<Event>,
+    sleep: u64,
+}
+
+fn auto_split_depth(n: usize, depth: usize) -> usize {
+    let workers = rayon::current_num_threads();
+    if workers <= 1 {
+        return 0;
+    }
+    let target = workers * 8;
+    let mut split = 0;
+    let mut roots = 1usize;
+    while roots < target && split < depth.saturating_sub(1) {
+        roots *= n;
+        split += 1;
+    }
+    split
+}
+
+/// Explores every schedule of length `config.depth` over `scripts.len()`
+/// processes against TMs built by `factory` (called once; the tree
+/// branches via [`tm_stm::SteppedTm::fork`]), checking opacity of every
+/// produced history — and, because the certifier is incremental and
+/// eager, of every prefix.
+///
+/// # Panics
+///
+/// Panics if `scripts` is empty, has more than 64 entries, or does not
+/// match the factory's process count.
+pub fn explore_with<F>(factory: F, scripts: &[ClientScript], config: &ExploreConfig) -> Exploration
+where
+    F: Fn() -> BoxedTm,
+{
+    let n = scripts.len();
+    assert!(n > 0, "need at least one process");
+    assert!(n <= 64, "sleep sets are a u64 bitmask");
+    let tm = factory();
+    assert_eq!(tm.process_count(), n, "factory must match scripts");
+    // Sleep sets are sound only for TMs whose disjoint-variable
+    // operations provably commute (an audited, opt-in trait contract);
+    // for the rest, pruning silently disables rather than risking a
+    // false certification.
+    let sleep_sets = config.sleep_sets && tm.disjoint_var_ops_commute();
+    // Probe refork support once: TMs without it keep the spare pool
+    // empty rather than paying a failed dynamic refork per tree edge.
+    let recycle = {
+        let mut probe = tm.fork();
+        probe.refork_from(&*tm)
+    };
+
+    let mut clients: Vec<Client> = scripts.iter().cloned().map(Client::new).collect();
+    let mut checker = IncrementalChecker::new(Mode::Opacity);
+    let mut path = Vec::with_capacity(config.depth);
+    let mut history = Vec::with_capacity(config.depth * 2);
+    let mut out = Exploration::default();
+    let mut spare = Vec::new();
+
+    let split = if config.parallel {
+        config
+            .split_depth
+            .unwrap_or_else(|| auto_split_depth(n, config.depth))
+            .min(config.depth)
+    } else {
+        0
+    };
+
+    if !config.parallel || split == 0 {
+        let mut walk = Walk {
+            clients: &mut clients,
+            path: &mut path,
+            history: &mut history,
+            checker: &mut checker,
+            out: &mut out,
+            spare: &mut spare,
+            recycle,
+        };
+        walk_tree(
+            &mut walk,
+            tm,
+            config.depth,
+            0,
+            sleep_sets,
+            &mut |walk, tm, _sleep| {
+                certify_leaf(walk.path, walk.history, walk.checker, walk.out);
+                Some(tm)
+            },
+        );
+        return out;
+    }
+
+    let mut roots = Vec::new();
+    {
+        let mut walk = Walk {
+            clients: &mut clients,
+            path: &mut path,
+            history: &mut history,
+            checker: &mut checker,
+            out: &mut out,
+            spare: &mut spare,
+            recycle,
+        };
+        walk_tree(
+            &mut walk,
+            tm,
+            split,
+            0,
+            sleep_sets,
+            &mut |walk, tm, sleep| {
+                let mut checker = walk.checker.clone();
+                checker.compact();
+                roots.push(SubtreeRoot {
+                    tm,
+                    clients: walk.clients.clone(),
+                    checker,
+                    path: walk.path.clone(),
+                    history: walk.history.clone(),
+                    sleep,
+                });
+                None
+            },
+        );
+    }
+    let remaining = config.depth - split;
+    let results: Vec<Exploration> = roots
+        .into_par_iter()
+        .map(move |mut root| {
+            let mut sub = Exploration::default();
+            let mut spare = Vec::new();
+            let mut walk = Walk {
+                clients: &mut root.clients,
+                path: &mut root.path,
+                history: &mut root.history,
+                checker: &mut root.checker,
+                out: &mut sub,
+                spare: &mut spare,
+                recycle,
+            };
+            walk_tree(
+                &mut walk,
+                root.tm,
+                remaining,
+                root.sleep,
+                sleep_sets,
+                &mut |walk, tm, _sleep| {
+                    certify_leaf(walk.path, walk.history, walk.checker, walk.out);
+                    Some(tm)
+                },
+            );
+            sub
+        })
+        .collect();
+    for sub in results {
+        out.absorb(sub);
+    }
+    out
 }
 
 /// Explores every schedule of length `depth` over `scripts.len()`
-/// processes against TMs built by `factory`, checking opacity of every
-/// produced history (and thereby of every prefix — the certifier is
-/// incremental).
-///
-/// Cost is `processes^depth` replays of `depth` steps each; keep
-/// `depth ≲ 12` for 2 processes, `≲ 9` for 3.
+/// processes: the drop-in entry point (prefix-sharing DFS, parallel
+/// frontier, no pruning — reports are identical to the naive
+/// enumerator's).
 pub fn explore_schedules<F>(factory: F, scripts: &[ClientScript], depth: usize) -> Exploration
+where
+    F: Fn() -> BoxedTm,
+{
+    explore_with(factory, scripts, &ExploreConfig::new(depth))
+}
+
+/// The seed enumerator: replays every one of the `processes^depth`
+/// schedules from scratch and certifies each complete history from event
+/// zero. Quadratically wasteful — kept (not exported to the prelude) as
+/// the differential-testing baseline for [`explore_with`].
+pub fn explore_schedules_naive<F>(factory: F, scripts: &[ClientScript], depth: usize) -> Exploration
 where
     F: Fn() -> BoxedTm,
 {
@@ -63,8 +598,7 @@ where
         // Replay this schedule.
         let mut tm = factory();
         assert_eq!(tm.process_count(), n, "factory must match scripts");
-        let mut clients: Vec<Client> =
-            scripts.iter().cloned().map(Client::new).collect();
+        let mut clients: Vec<Client> = scripts.iter().cloned().map(Client::new).collect();
         let mut history = History::new();
         for &k in &schedule {
             let p = ProcessId(k);
@@ -89,8 +623,9 @@ where
 
         // Certify; fall back to the exact checker on rejection.
         let mut fast = IncrementalChecker::new(Mode::Opacity);
-        if fast.push_all(history.iter().copied()).is_err() {
+        if let Err(reject) = fast.push_all(history.iter().copied()) {
             exploration.exact_fallbacks += 1;
+            let fast_reject_at = reject.position;
             match check_opacity(&history) {
                 Ok(SafetyVerdict::Satisfied { .. }) => {}
                 Ok(SafetyVerdict::Violated) => {
@@ -98,6 +633,7 @@ where
                         schedule: schedule.iter().copied().map(ProcessId).collect(),
                         history: history.clone(),
                         detail: "no legal sequential witness exists".to_string(),
+                        fast_reject_at,
                     });
                 }
                 Err(e) => {
@@ -105,6 +641,7 @@ where
                         schedule: schedule.iter().copied().map(ProcessId).collect(),
                         history: history.clone(),
                         detail: format!("exact check infeasible: {e}"),
+                        fast_reject_at,
                     });
                 }
             }
@@ -142,11 +679,8 @@ mod tests {
     #[test]
     fn fgp_all_histories_opaque_two_processes() {
         for variant in [FgpVariant::Strict, FgpVariant::CpOnly] {
-            let result = explore_schedules(
-                || Box::new(FgpTm::new(2, 1, variant)),
-                &two_increments(),
-                9,
-            );
+            let result =
+                explore_schedules(|| Box::new(FgpTm::new(2, 1, variant)), &two_increments(), 9);
             assert_eq!(result.schedules, 512);
             assert!(result.all_opaque(), "{variant:?}: {:?}", result.violations);
         }
@@ -173,11 +707,17 @@ mod tests {
             !result.all_opaque(),
             "expected the literal-Fgp leak to surface within depth 10"
         );
+        // Violations surface their shortest failing prefix.
+        for v in &result.violations {
+            assert!(v.fast_reject_at < v.history.len());
+        }
     }
+
+    type Factory = Box<dyn Fn() -> BoxedTm>;
 
     #[test]
     fn every_catalog_tm_is_opaque_at_depth_eight() {
-        let factories: Vec<(&str, Box<dyn Fn() -> BoxedTm>)> = vec![
+        let factories: Vec<(&str, Factory)> = vec![
             ("tl2", Box::new(|| Box::new(Tl2::new(2, 1)) as BoxedTm)),
             ("tiny", Box::new(|| Box::new(TinyStm::new(2, 1)) as BoxedTm)),
             ("norec", Box::new(|| Box::new(NOrec::new(2, 1)) as BoxedTm)),
@@ -208,5 +748,131 @@ mod tests {
         );
         assert_eq!(result.schedules, 3usize.pow(7));
         assert!(result.all_opaque());
+    }
+
+    #[test]
+    fn dfs_matches_naive_exactly_on_an_opaque_tm() {
+        let scripts = two_increments();
+        let naive = explore_schedules_naive(
+            || Box::new(FgpTm::new(2, 1, FgpVariant::CpOnly)),
+            &scripts,
+            8,
+        );
+        let dfs = explore_with(
+            || Box::new(FgpTm::new(2, 1, FgpVariant::CpOnly)),
+            &scripts,
+            &ExploreConfig::new(8).sequential(),
+        );
+        assert_eq!(naive, dfs);
+    }
+
+    #[test]
+    fn dfs_matches_naive_exactly_on_the_buggy_tm() {
+        let scripts = vec![
+            ClientScript::increment(X),
+            ClientScript::new(vec![
+                crate::workload::PlannedOp::Read(X),
+                crate::workload::PlannedOp::Write(X, 5),
+            ]),
+        ];
+        let naive = explore_schedules_naive(|| tm_stm::literal_fgp(2, 1), &scripts, 9);
+        let dfs = explore_with(
+            || tm_stm::literal_fgp(2, 1),
+            &scripts,
+            &ExploreConfig::new(9).sequential(),
+        );
+        assert!(!naive.all_opaque());
+        assert_eq!(naive, dfs);
+    }
+
+    #[test]
+    fn parallel_split_depths_do_not_change_the_report() {
+        let scripts = two_increments();
+        let base = explore_with(
+            || Box::new(Tl2::new(2, 1)),
+            &scripts,
+            &ExploreConfig::new(9).sequential(),
+        );
+        for split in [0, 1, 3, 5, 9] {
+            let par = explore_with(
+                || Box::new(Tl2::new(2, 1)),
+                &scripts,
+                &ExploreConfig::new(9).with_split_depth(split),
+            );
+            assert_eq!(base, par, "split depth {split}");
+        }
+    }
+
+    #[test]
+    fn sleep_sets_prune_but_preserve_verdicts() {
+        // Two processes on disjoint variables: almost everything commutes.
+        let scripts = vec![
+            ClientScript::increment(X),
+            ClientScript::increment(TVarId(1)),
+        ];
+        let full = explore_with(
+            || Box::new(Tl2::new(2, 2)),
+            &scripts,
+            &ExploreConfig::new(8).sequential(),
+        );
+        let pruned = explore_with(
+            || Box::new(Tl2::new(2, 2)),
+            &scripts,
+            &ExploreConfig::new(8).sequential().with_sleep_sets(),
+        );
+        assert!(pruned.schedules < full.schedules);
+        assert!(pruned.pruned_subtrees > 0);
+        assert_eq!(full.all_opaque(), pruned.all_opaque());
+    }
+
+    #[test]
+    fn sleep_sets_disable_for_tms_without_the_commutation_contract() {
+        // The global-lock TM acquires the global lock on its first
+        // operation, and TinySTM's aborts roll back (and unlock) the
+        // transaction's whole write set across variables — in both
+        // cases disjoint-variable steps do NOT commute, so the explorer
+        // must ignore the pruning request and visit every schedule.
+        let scripts = vec![
+            ClientScript::increment(X),
+            ClientScript::increment(TVarId(1)),
+        ];
+        let factories: Vec<(&str, Factory)> = vec![
+            (
+                "global-lock",
+                Box::new(|| Box::new(GlobalLock::new(2, 2)) as BoxedTm),
+            ),
+            ("tiny", Box::new(|| Box::new(TinyStm::new(2, 2)) as BoxedTm)),
+        ];
+        for (name, factory) in factories {
+            let pruned = explore_with(
+                &*factory,
+                &scripts,
+                &ExploreConfig::new(8).sequential().with_sleep_sets(),
+            );
+            assert_eq!(pruned.schedules, 1 << 8, "{name}");
+            assert_eq!(pruned.pruned_subtrees, 0, "{name}");
+            let full = explore_with(&*factory, &scripts, &ExploreConfig::new(8).sequential());
+            assert_eq!(full, pruned, "{name}");
+        }
+    }
+
+    #[test]
+    fn sleep_sets_still_catch_the_buggy_tm() {
+        let scripts = vec![
+            ClientScript::increment(X),
+            ClientScript::new(vec![
+                crate::workload::PlannedOp::Read(X),
+                crate::workload::PlannedOp::Write(X, 5),
+            ]),
+        ];
+        let pruned = explore_with(
+            || tm_stm::literal_fgp(2, 1),
+            &scripts,
+            &ExploreConfig::new(10).with_sleep_sets(),
+        );
+        assert!(
+            !pruned.all_opaque(),
+            "pruning must preserve the violation verdict"
+        );
     }
 }

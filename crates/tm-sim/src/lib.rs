@@ -48,8 +48,10 @@ pub mod runner;
 pub mod scheduler;
 pub mod workload;
 
-pub use explore::{explore_schedules, Exploration, Violation};
+pub use explore::{
+    explore_schedules, explore_schedules_naive, explore_with, Exploration, ExploreConfig, Violation,
+};
 pub use faults::{parasitic_script, Fault, FaultPlan};
 pub use runner::{simulate, SimConfig, SimReport};
 pub use scheduler::{FixedSchedule, RandomScheduler, RoundRobin, Scheduler, WeightedScheduler};
-pub use workload::{random_script, Client, ClientScript, PlannedOp, WorkloadConfig};
+pub use workload::{random_script, Client, ClientMark, ClientScript, PlannedOp, WorkloadConfig};

@@ -119,11 +119,11 @@ pub fn simulate(
 
     for step in 0..config.steps {
         // Trigger parasitic turns scheduled for this step.
-        for k in 0..n {
+        for (k, client) in clients.iter_mut().enumerate() {
             let p = ProcessId(k);
             if faults.parasitic_turn_at(p, step) {
                 let x = tm_core::TVarId(0);
-                clients[k].replace_script(parasitic_script(x));
+                client.replace_script(parasitic_script(x));
             }
         }
         let eligible: Vec<ProcessId> = (0..n)
@@ -305,10 +305,7 @@ mod tests {
             SimConfig::steps(2_000),
         );
         // p2 committed only before its parasitic turn.
-        assert!(report
-            .commit_log
-            .iter()
-            .all(|&(s, p)| p != P2 || s < 50));
+        assert!(report.commit_log.iter().all(|&(s, p)| p != P2 || s < 50));
         // p1 keeps going.
         assert!(report.commits[0] > 50);
     }

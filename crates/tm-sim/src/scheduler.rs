@@ -172,7 +172,9 @@ mod tests {
         let eligible = ids(&[0, 1, 2, 3]);
         let picks = |seed| {
             let mut s = RandomScheduler::new(seed);
-            (0..20).map(|i| s.pick(i, &eligible).index()).collect::<Vec<_>>()
+            (0..20)
+                .map(|i| s.pick(i, &eligible).index())
+                .collect::<Vec<_>>()
         };
         assert_eq!(picks(7), picks(7));
         assert_ne!(picks(7), picks(8));

@@ -119,6 +119,16 @@ pub fn random_script<R: Rng>(config: &WorkloadConfig, rng: &mut R) -> ClientScri
     ClientScript::new(ops)
 }
 
+/// A snapshot of a [`Client`]'s execution state, taken by
+/// [`Client::mark`] and consumed by [`Client::restore`].
+#[derive(Debug, Clone, Copy)]
+pub struct ClientMark {
+    position: usize,
+    last_read: Option<Value>,
+    commits: usize,
+    aborts: usize,
+}
+
 /// The execution state of a client: which operation of its current
 /// transaction attempt is next.
 #[derive(Debug, Clone)]
@@ -151,9 +161,7 @@ impl Client {
         match self.script.ops().get(self.position) {
             Some(PlannedOp::Read(x)) => Invocation::Read(*x),
             Some(PlannedOp::Write(x, v)) => Invocation::Write(*x, *v),
-            Some(PlannedOp::Bump(x)) => {
-                Invocation::Write(*x, self.last_read.map_or(1, |v| v + 1))
-            }
+            Some(PlannedOp::Bump(x)) => Invocation::Write(*x, self.last_read.map_or(1, |v| v + 1)),
             None => Invocation::TryCommit,
         }
     }
@@ -180,6 +188,26 @@ impl Client {
                 self.position += 1;
             }
         }
+    }
+
+    /// Snapshots the execution state (not the script, which is immutable
+    /// during exploration). With [`Client::restore`] this lets the model
+    /// checker backtrack one step in O(1) without cloning the client.
+    pub fn mark(&self) -> ClientMark {
+        ClientMark {
+            position: self.position,
+            last_read: self.last_read,
+            commits: self.commits,
+            aborts: self.aborts,
+        }
+    }
+
+    /// Restores a snapshot taken by [`Client::mark`].
+    pub fn restore(&mut self, mark: ClientMark) {
+        self.position = mark.position;
+        self.last_read = mark.last_read;
+        self.commits = mark.commits;
+        self.aborts = mark.aborts;
     }
 
     /// Replaces the script (used by parasitic fault injection, which

@@ -72,6 +72,56 @@ pub trait SteppedTm {
 
     /// Whether `process` has an invocation awaiting its response.
     fn has_pending(&self, process: ProcessId) -> bool;
+
+    /// Forks an independent copy of the TM in its current state.
+    ///
+    /// Branching the state machine is what lets the model checker share
+    /// schedule prefixes: a tree node extends its parent by *one* step
+    /// instead of replaying the whole schedule against a fresh instance.
+    /// The fork must be deterministic and observationally identical to
+    /// the original — every stepped TM here is a plain value, so this is
+    /// a structural clone behind a boxed trait object.
+    fn fork(&self) -> BoxedTm;
+
+    /// The concrete TM as [`std::any::Any`], enabling the state-reuse
+    /// downcast behind [`SteppedTm::refork_from`]. Wrappers may return
+    /// `None` (the default), falling back to allocating forks.
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        None
+    }
+
+    /// Re-initializes `self` as a fork of `source`, reusing existing
+    /// buffers where possible, and reports success. `false` (the
+    /// default) means the types or configurations differ and the caller
+    /// must fall back to [`SteppedTm::fork`].
+    ///
+    /// The model checker recycles TM boxes through this hook, making the
+    /// per-tree-edge fork allocation-free for TMs that implement it.
+    fn refork_from(&mut self, source: &dyn SteppedTm) -> bool {
+        let _ = source;
+        false
+    }
+
+    /// Whether two *operation* steps (a read or write invocation
+    /// answered immediately, no `tryC`) by **different processes** on
+    /// **different t-variables** always commute: executing them in
+    /// either order yields the same TM state and the same responses.
+    ///
+    /// This is the independence contract behind the model checker's
+    /// sleep-set pruning; it is strictly opt-in, audited per algorithm:
+    ///
+    /// * holds when per-operation effects are confined to process-local
+    ///   bookkeeping and state indexed by the operation's t-variable,
+    ///   and any *global* state read at transaction begin (version
+    ///   clocks, sequence numbers) is only ever advanced by `tryC`;
+    /// * does **not** hold when an operation mutates global state — the
+    ///   blocking global-lock TM acquires the lock on its first
+    ///   operation, and SwissTM draws a fresh global begin-timestamp —
+    ///   so those keep the conservative default `false`, and pruning
+    ///   is disabled for them automatically.
+    fn disjoint_var_ops_commute(&self) -> bool {
+        false
+    }
 }
 
 /// Extension helpers for driving a [`SteppedTm`] through whole operations.
@@ -97,8 +147,51 @@ pub trait SteppedTmExt: SteppedTm {
 impl<T: SteppedTm + ?Sized> SteppedTmExt for T {}
 
 /// A boxed stepped TM, the form used by harnesses that iterate over every
-/// algorithm.
-pub type BoxedTm = Box<dyn SteppedTm>;
+/// algorithm. `Send` so the model checker's parallel frontier can move
+/// forked instances across worker threads.
+pub type BoxedTm = Box<dyn SteppedTm + Send>;
+
+impl SteppedTm for BoxedTm {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn process_count(&self) -> usize {
+        (**self).process_count()
+    }
+
+    fn tvar_count(&self) -> usize {
+        (**self).tvar_count()
+    }
+
+    fn invoke(&mut self, process: ProcessId, invocation: Invocation) -> Outcome {
+        (**self).invoke(process, invocation)
+    }
+
+    fn poll(&mut self, process: ProcessId) -> Option<Response> {
+        (**self).poll(process)
+    }
+
+    fn has_pending(&self, process: ProcessId) -> bool {
+        (**self).has_pending(process)
+    }
+
+    fn fork(&self) -> BoxedTm {
+        (**self).fork()
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        (**self).as_any()
+    }
+
+    fn refork_from(&mut self, source: &dyn SteppedTm) -> bool {
+        (**self).refork_from(source)
+    }
+
+    fn disjoint_var_ops_commute(&self) -> bool {
+        (**self).disjoint_var_ops_commute()
+    }
+}
 
 #[cfg(test)]
 mod tests {

@@ -115,9 +115,7 @@ mod tests {
         });
         assert_eq!(sum, 7);
         assert_eq!(aborts, 0);
-        let (v, _) = atomically(&tm, |tx| {
-            Ok(tx.read(TVarId(0))? + tx.read(TVarId(1))?)
-        });
+        let (v, _) = atomically(&tm, |tx| Ok(tx.read(TVarId(0))? + tx.read(TVarId(1))?));
         assert_eq!(v, 7);
     }
 }

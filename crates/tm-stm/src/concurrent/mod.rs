@@ -22,7 +22,7 @@ pub mod recording;
 pub mod tl2;
 
 pub use api::{atomically, ConcurrentTm, Transaction, TxAbort};
-pub use recording::{atomically_recorded, RecordingTm, RecordingTx};
 pub use global_lock::ConcurrentGlobalLock;
 pub use norec::ConcurrentNOrec;
+pub use recording::{atomically_recorded, RecordingTm, RecordingTx};
 pub use tl2::ConcurrentTl2;

@@ -173,9 +173,7 @@ mod tests {
             tx.write(TVarId(0), 10)?;
             tx.write(TVarId(1), 20)
         });
-        let (sum, _) = atomically(&tm, |tx| {
-            Ok(tx.read(TVarId(0))? + tx.read(TVarId(1))?)
-        });
+        let (sum, _) = atomically(&tm, |tx| Ok(tx.read(TVarId(0))? + tx.read(TVarId(1))?));
         assert_eq!(sum, 30);
     }
 

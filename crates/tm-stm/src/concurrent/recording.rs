@@ -142,7 +142,11 @@ impl<'a, T: ConcurrentTm> RecordingTx<'a, T> {
 
 /// Retry loop for recording transactions: runs `body` until commit,
 /// returning the number of aborted attempts.
-pub fn atomically_recorded<T, R, F>(tm: &RecordingTm<T>, process: ProcessId, mut body: F) -> (R, u64)
+pub fn atomically_recorded<T, R, F>(
+    tm: &RecordingTm<T>,
+    process: ProcessId,
+    mut body: F,
+) -> (R, u64)
 where
     T: ConcurrentTm,
     F: FnMut(&mut RecordingTx<'_, T>) -> Result<R, TxAbort>,

@@ -107,7 +107,7 @@ impl Transaction for Tl2Tx<'_> {
         // Phase 1: lock the write set in canonical order (BTreeMap iterates
         // sorted, so deadlock-free).
         let mut locked: Vec<(usize, u64)> = Vec::with_capacity(self.writes.len());
-        for (&j, _) in &self.writes {
+        for &j in self.writes.keys() {
             let slot = &self.tm.slots[j];
             let cur = slot.vlock.load(Ordering::Acquire);
             let acquired = cur & 1 == 0
@@ -187,9 +187,7 @@ mod tests {
             tx.write(TVarId(0), 1)?;
             tx.write(TVarId(1), 2)
         });
-        let (pair, _) = atomically(&tm, |tx| {
-            Ok((tx.read(TVarId(0))?, tx.read(TVarId(1))?))
-        });
+        let (pair, _) = atomically(&tm, |tx| Ok((tx.read(TVarId(0))?, tx.read(TVarId(1))?)));
         assert_eq!(pair, (1, 2));
     }
 

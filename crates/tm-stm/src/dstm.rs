@@ -18,7 +18,7 @@
 
 use tm_core::{Invocation, ProcessId, Response, TVarId, Value, INITIAL_VALUE};
 
-use crate::api::{Outcome, SteppedTm};
+use crate::api::{BoxedTm, Outcome, SteppedTm};
 
 #[derive(Debug, Clone)]
 struct VarSlot {
@@ -209,6 +209,10 @@ impl SteppedTm for Dstm {
 
     fn has_pending(&self, _process: ProcessId) -> bool {
         false
+    }
+
+    fn fork(&self) -> BoxedTm {
+        Box::new(self.clone())
     }
 }
 

@@ -8,7 +8,7 @@
 use tm_automata::{Fgp, FgpVariant, Runner, TmAutomaton};
 use tm_core::{Invocation, ProcessId, Response, TVarId, Value};
 
-use crate::api::{Outcome, SteppedTm};
+use crate::api::{BoxedTm, Outcome, SteppedTm};
 
 /// Stepped adapter around the `Fgp` I/O automaton.
 ///
@@ -36,8 +36,13 @@ impl FgpTm {
     ///
     /// Panics if `processes` or `tvars` is zero.
     pub fn new(processes: usize, tvars: usize, variant: FgpVariant) -> Self {
+        // The adapter is driven by harnesses that record histories
+        // themselves (`Recorded`, the model checker), so the runner's own
+        // log is dead weight — and would make `fork` O(history).
+        let mut runner = Runner::new(Fgp::new(processes, tvars, variant));
+        runner.disable_recording();
         FgpTm {
-            runner: Runner::new(Fgp::new(processes, tvars, variant)),
+            runner,
             name: match variant {
                 FgpVariant::Literal => "fgp-literal",
                 FgpVariant::Strict => "fgp-strict",
@@ -92,6 +97,37 @@ impl SteppedTm for FgpTm {
 
     fn has_pending(&self, process: ProcessId) -> bool {
         self.runner.state().pending[process.index()].is_some()
+    }
+
+    fn fork(&self) -> BoxedTm {
+        Box::new(self.clone())
+    }
+
+    fn disjoint_var_ops_commute(&self) -> bool {
+        // Audited: an operation inserts into `CP` (a commutative
+        // set-insert), checks/updates only the process's own `Status`
+        // bit and `Val` row, and reads its own row; global view syncing
+        // and dooming happen only at `tryC`.
+        true
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+
+    fn refork_from(&mut self, source: &dyn SteppedTm) -> bool {
+        let Some(source) = source.as_any().and_then(|a| a.downcast_ref::<FgpTm>()) else {
+            return false;
+        };
+        if self.process_count() != source.process_count()
+            || self.tvar_count() != source.tvar_count()
+            || self.variant() != source.variant()
+        {
+            return false;
+        }
+        self.runner.copy_from(&source.runner);
+        self.name = source.name;
+        true
     }
 }
 

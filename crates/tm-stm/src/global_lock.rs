@@ -10,7 +10,7 @@
 use tm_automata::{GlobalLockTm, Runner, TmAutomaton};
 use tm_core::{Invocation, ProcessId, Response, TVarId, Value};
 
-use crate::api::{Outcome, SteppedTm};
+use crate::api::{BoxedTm, Outcome, SteppedTm};
 
 /// Stepped adapter around the global-lock TM automaton.
 ///
@@ -87,6 +87,10 @@ impl SteppedTm for GlobalLock {
     fn has_pending(&self, process: ProcessId) -> bool {
         self.runner.state().pending[process.index()].is_some()
     }
+
+    fn fork(&self) -> BoxedTm {
+        Box::new(self.clone())
+    }
 }
 
 #[cfg(test)]
@@ -136,9 +140,7 @@ mod tests {
         let mut tm = GlobalLock::new(3, 1);
         tm.invoke(P1, Inv::Write(X, 1)); // p1 acquires, then "crashes"
         assert!(tm.invoke(P2, Inv::Read(X)).is_pending());
-        assert!(tm
-            .invoke(ProcessId(2), Inv::Write(X, 9))
-            .is_pending());
+        assert!(tm.invoke(ProcessId(2), Inv::Write(X, 9)).is_pending());
         // No matter how often they poll, nothing arrives.
         for _ in 0..50 {
             assert_eq!(tm.poll(P2), None);

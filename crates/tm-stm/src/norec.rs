@@ -20,7 +20,7 @@ use std::collections::BTreeMap;
 
 use tm_core::{Invocation, ProcessId, Response, TVarId, Value, INITIAL_VALUE};
 
-use crate::api::{Outcome, SteppedTm};
+use crate::api::{BoxedTm, Outcome, SteppedTm};
 
 #[derive(Debug, Clone)]
 struct ActiveTx {
@@ -182,6 +182,17 @@ impl SteppedTm for NOrec {
 
     fn has_pending(&self, _process: ProcessId) -> bool {
         false
+    }
+
+    fn fork(&self) -> BoxedTm {
+        Box::new(self.clone())
+    }
+
+    fn disjoint_var_ops_commute(&self) -> bool {
+        // Audited: begin snapshots the global sequence number (only
+        // commit advances it); value re-validation reads committed
+        // values, which also change only at commit.
+        true
     }
 }
 

@@ -20,7 +20,7 @@ use std::collections::BTreeMap;
 
 use tm_core::{Invocation, ProcessId, Response, TVarId, Value, INITIAL_VALUE};
 
-use crate::api::{Outcome, SteppedTm};
+use crate::api::{BoxedTm, Outcome, SteppedTm};
 
 #[derive(Debug, Clone)]
 struct VarSlot {
@@ -172,6 +172,10 @@ impl SteppedTm for Ostm {
 
     fn has_pending(&self, _process: ProcessId) -> bool {
         false
+    }
+
+    fn fork(&self) -> BoxedTm {
+        Box::new(self.clone())
     }
 }
 

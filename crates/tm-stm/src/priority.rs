@@ -21,12 +21,14 @@ use std::collections::BTreeMap;
 
 use tm_core::{Invocation, ProcessId, Response, TVarId, Value, INITIAL_VALUE};
 
-use crate::api::{Outcome, SteppedTm};
+use crate::api::{BoxedTm, Outcome, SteppedTm};
 
 #[derive(Debug, Clone)]
 enum TxState {
     Idle,
-    Active { writes: BTreeMap<usize, Value> },
+    Active {
+        writes: BTreeMap<usize, Value>,
+    },
     /// Doomed by a higher-or-equal-priority commit; aborts at next event.
     Doomed,
 }
@@ -100,7 +102,9 @@ impl PriorityFgp {
     /// Whether some *other* active transaction outranks process `k`.
     fn shielded_by_higher(&self, k: usize) -> bool {
         self.txs.iter().enumerate().any(|(k2, tx)| {
-            k2 != k && matches!(tx, TxState::Active { .. }) && self.priorities[k2] > self.priorities[k]
+            k2 != k
+                && matches!(tx, TxState::Active { .. })
+                && self.priorities[k2] > self.priorities[k]
         })
     }
 }
@@ -170,6 +174,10 @@ impl SteppedTm for PriorityFgp {
 
     fn has_pending(&self, _process: ProcessId) -> bool {
         false
+    }
+
+    fn fork(&self) -> BoxedTm {
+        Box::new(self.clone())
     }
 }
 

@@ -6,7 +6,7 @@
 
 use tm_core::{Event, History, Invocation, ProcessId, Response};
 
-use crate::api::{Outcome, SteppedTm};
+use crate::api::{BoxedTm, Outcome, SteppedTm};
 
 /// A [`SteppedTm`] that records every event it sees.
 ///
@@ -84,6 +84,20 @@ impl<T: SteppedTm> SteppedTm for Recorded<T> {
 
     fn has_pending(&self, process: ProcessId) -> bool {
         self.inner.has_pending(process)
+    }
+
+    fn fork(&self) -> BoxedTm {
+        // Type-erase the inner TM through its own fork, so recording
+        // wrappers participate in model-checker branching regardless of
+        // whether `T` itself is `Clone`.
+        Box::new(Recorded {
+            inner: self.inner.fork(),
+            history: self.history.clone(),
+        })
+    }
+
+    fn disjoint_var_ops_commute(&self) -> bool {
+        self.inner.disjoint_var_ops_commute()
     }
 }
 

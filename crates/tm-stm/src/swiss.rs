@@ -26,7 +26,7 @@ use std::collections::BTreeMap;
 
 use tm_core::{Invocation, ProcessId, Response, TVarId, Value, INITIAL_VALUE};
 
-use crate::api::{Outcome, SteppedTm};
+use crate::api::{BoxedTm, Outcome, SteppedTm};
 
 #[derive(Debug, Clone)]
 struct VarSlot {
@@ -248,6 +248,10 @@ impl SteppedTm for SwissTm {
     fn has_pending(&self, _process: ProcessId) -> bool {
         false
     }
+
+    fn fork(&self) -> BoxedTm {
+        Box::new(self.clone())
+    }
 }
 
 #[cfg(test)]
@@ -284,7 +288,7 @@ mod tests {
         resp(&mut tm, P1, Inv::Read(X)); // p1: age 1
         resp(&mut tm, P2, Inv::Write(X, 2)); // p2: age 2, owns x
         assert_eq!(resp(&mut tm, P1, Inv::Write(X, 1)), Response::Ok); // steals
-        // p2 learns of its doom at its next event.
+                                                                       // p2 learns of its doom at its next event.
         assert_eq!(resp(&mut tm, P2, Inv::TryCommit), Response::Aborted);
         assert_eq!(resp(&mut tm, P1, Inv::TryCommit), Response::Committed);
         assert_eq!(tm.committed_value(X), 1);
@@ -334,7 +338,10 @@ mod tests {
             // p2, a writer, aborts forever (it is always younger).
             assert_eq!(resp(&mut tm, P2, Inv::Write(X, 2)), Response::Aborted);
             // p3, a reader, commits forever.
-            assert_eq!(resp(&mut tm, ProcessId(2), Inv::Read(X)), Response::Value(0));
+            assert_eq!(
+                resp(&mut tm, ProcessId(2), Inv::Read(X)),
+                Response::Value(0)
+            );
             assert_eq!(
                 resp(&mut tm, ProcessId(2), Inv::TryCommit),
                 Response::Committed

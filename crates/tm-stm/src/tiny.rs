@@ -11,7 +11,7 @@
 
 use tm_core::{Invocation, ProcessId, Response, TVarId, Value, INITIAL_VALUE};
 
-use crate::api::{Outcome, SteppedTm};
+use crate::api::{BoxedTm, Outcome, SteppedTm};
 
 #[derive(Debug, Clone)]
 struct VarSlot {
@@ -217,6 +217,19 @@ impl SteppedTm for TinyStm {
     fn has_pending(&self, _process: ProcessId) -> bool {
         false
     }
+
+    fn fork(&self) -> BoxedTm {
+        Box::new(self.clone())
+    }
+
+    // NOTE: TinySTM must NOT opt into `disjoint_var_ops_commute`:
+    // although encounter-time locks are per-variable, an abort rolls
+    // back the transaction's *entire* undo log — releasing locks and
+    // restoring values on every variable it wrote. Two steps on
+    // disjoint variables can therefore decide *which* transaction
+    // aborts (and which locks get released) depending on order, so the
+    // conservative default `false` stands and sleep-set pruning stays
+    // disabled for this TM.
 }
 
 #[cfg(test)]

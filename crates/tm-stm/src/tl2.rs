@@ -18,7 +18,7 @@
 
 use tm_core::{Invocation, ProcessId, Response, TVarId, Value, INITIAL_VALUE};
 
-use crate::api::{Outcome, SteppedTm};
+use crate::api::{BoxedTm, Outcome, SteppedTm};
 
 #[derive(Debug, Clone)]
 struct VarSlot {
@@ -179,6 +179,17 @@ impl SteppedTm for Tl2 {
 
     fn has_pending(&self, _process: ProcessId) -> bool {
         false
+    }
+
+    fn fork(&self) -> BoxedTm {
+        Box::new(self.clone())
+    }
+
+    fn disjoint_var_ops_commute(&self) -> bool {
+        // Audited: begin *samples* the global clock (only commit
+        // advances it), reads touch the variable's own slot, writes are
+        // buffered in the transaction's local write set.
+        true
     }
 }
 

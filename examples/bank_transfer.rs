@@ -71,9 +71,7 @@ fn check_conservation(snapshot: &[u64]) {
 }
 
 fn main() {
-    println!(
-        "Bank: {ACCOUNTS} accounts, {TRANSFERS_PER_THREAD} transfers/thread\n"
-    );
+    println!("Bank: {ACCOUNTS} accounts, {TRANSFERS_PER_THREAD} transfers/thread\n");
     println!(
         "{:<12} {:>8} {:>16} {:>12}",
         "tm", "threads", "transfers/sec", "aborts"
@@ -82,7 +80,10 @@ fn main() {
         let gl = Arc::new(ConcurrentGlobalLock::new(ACCOUNTS));
         let (tput, aborts) = run_bank(Arc::clone(&gl), threads);
         check_conservation(&gl.snapshot());
-        println!("{:<12} {threads:>8} {tput:>16.0} {aborts:>12}", "global-lock");
+        println!(
+            "{:<12} {threads:>8} {tput:>16.0} {aborts:>12}",
+            "global-lock"
+        );
 
         let tl2 = Arc::new(ConcurrentTl2::new(ACCOUNTS));
         let (tput, aborts) = run_bank(Arc::clone(&tl2), threads);

@@ -32,8 +32,14 @@ fn main() {
     audit("Figure 7 (solo progress)", &figures::figure_7());
     audit("Figure 9 (Algorithm 1, p1 crashes)", &figures::figure_9());
     audit("Figure 10 (Algorithm 1, p1 correct)", &figures::figure_10());
-    audit("Figure 12 (Algorithm 2, p1 parasitic)", &figures::figure_12());
-    audit("Figure 14 (blocking: no nonblocking property)", &figures::figure_14());
+    audit(
+        "Figure 12 (Algorithm 2, p1 parasitic)",
+        &figures::figure_12(),
+    );
+    audit(
+        "Figure 14 (blocking: no nonblocking property)",
+        &figures::figure_14(),
+    );
 
     println!("=== Property classes over the figure corpus (§5.1) ===");
     let corpus = figures::all_figures();

@@ -8,12 +8,14 @@ use tm_liveness_repro::prelude::*;
 use tm_liveness_repro::sim::PlannedOp;
 use tm_liveness_repro::stm::BoxedTm;
 
+use tm_liveness_repro::sim::explore_schedules_naive;
+
 fn main() {
     let x = TVarId(0);
 
     println!("== 1. Figure 15: the reachable states of Fgp (1 proc, 1 binary var) ==\n");
-    let graph = enumerate_states(&Fgp::new(1, 1, FgpVariant::CpOnly), &[0, 1], 1_000)
-        .expect("tiny graph");
+    let graph =
+        enumerate_states(&Fgp::new(1, 1, FgpVariant::CpOnly), &[0, 1], 1_000).expect("tiny graph");
     println!(
         "   {} states, {} edges, abort edges: {}\n",
         graph.state_count(),
@@ -21,7 +23,7 @@ fn main() {
         graph.has_abort_edges()
     );
 
-    println!("== 2. Exhaustive opacity check of every TM, all 2^10 schedules ==\n");
+    println!("== 2. Exhaustive opacity check of every TM, all 2^12 schedules ==\n");
     let scripts = vec![ClientScript::increment(x), ClientScript::increment(x)];
     for factory_name in ["fgp", "tl2", "tinystm", "swisstm", "norec", "ostm", "dstm"] {
         let name = factory_name.to_string();
@@ -33,7 +35,7 @@ fn main() {
                     .expect("catalogue name")
             },
             &scripts,
-            10,
+            12,
         );
         println!(
             "   {:<10} schedules={} violations={}",
@@ -43,6 +45,35 @@ fn main() {
         );
         assert!(result.all_opaque());
     }
+
+    println!("\n== 2b. The prefix-sharing DFS makes depth 16 routine ==\n");
+    let deep = explore_with(
+        || Box::new(tm_liveness_repro::stm::FgpTm::new(2, 1, FgpVariant::CpOnly)) as BoxedTm,
+        &scripts,
+        &ExploreConfig::new(16),
+    );
+    println!(
+        "   fgp        schedules={} (2^16) violations={}",
+        deep.schedules,
+        deep.violations.len()
+    );
+    assert!(deep.all_opaque());
+
+    println!("\n== 2c. Sleep sets skip commuting interleavings (disjoint vars) ==\n");
+    let disjoint = vec![
+        ClientScript::increment(x),
+        ClientScript::increment(TVarId(1)),
+    ];
+    let pruned = explore_with(
+        || Box::new(tm_liveness_repro::stm::FgpTm::new(2, 2, FgpVariant::CpOnly)) as BoxedTm,
+        &disjoint,
+        &ExploreConfig::new(12).with_sleep_sets(),
+    );
+    println!(
+        "   fgp        schedules={} of 4096 after pruning ({} subtrees skipped)",
+        pruned.schedules, pruned.pruned_subtrees
+    );
+    assert!(pruned.all_opaque());
 
     println!("\n== 3. The literal Fgp formal rules fail the same check ==\n");
     let scripts = vec![
@@ -66,4 +97,28 @@ fn main() {
     }
     println!("   The paper's prose is fine; its formal write rule forgets to gate");
     println!("   Val updates on Status[k] = c. See EXPERIMENTS.md for the analysis.");
+
+    println!("\n== 4. Differential check: DFS explorer ≡ the naive enumerator ==\n");
+    let start = std::time::Instant::now();
+    let naive = explore_schedules_naive(
+        || tm_liveness_repro::stm::literal_fgp(2, 1) as BoxedTm,
+        &scripts,
+        10,
+    );
+    let naive_time = start.elapsed();
+    let start = std::time::Instant::now();
+    let dfs = explore_schedules(
+        || tm_liveness_repro::stm::literal_fgp(2, 1) as BoxedTm,
+        &scripts,
+        10,
+    );
+    let dfs_time = start.elapsed();
+    assert_eq!(naive, dfs, "explorers must produce identical reports");
+    println!(
+        "   identical reports ({} schedules, {} violations); naive {:?}, dfs {:?}",
+        dfs.schedules,
+        dfs.violations.len(),
+        naive_time,
+        dfs_time,
+    );
 }

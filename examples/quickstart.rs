@@ -2,8 +2,8 @@
 //!
 //! Run with: `cargo run --example quickstart`
 
-use tm_liveness_repro::prelude::*;
 use tm_liveness::figures as live_figures;
+use tm_liveness_repro::prelude::*;
 
 fn main() {
     println!("== 1. Build the paper's example histories and check safety ==\n");

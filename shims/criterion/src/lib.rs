@@ -1,0 +1,285 @@
+//! Offline shim for `criterion`.
+//!
+//! Provides the benchmark-definition API this workspace uses
+//! (`criterion_group!` / `criterion_main!`, benchmark groups,
+//! `bench_with_input`, throughput annotation, `black_box`) with a
+//! simple wall-clock measurement loop: per sample, the routine is
+//! repeated until ≥ 2 ms elapse, and the median over `sample_size`
+//! samples is reported. Statistical machinery (outlier analysis,
+//! HTML reports) is intentionally absent. When invoked with `--test`
+//! (as `cargo test --benches` does) every routine runs exactly once.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier, preventing the optimizer from deleting work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter.
+    pub fn new(function: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// An id made of the parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            label: s.to_string(),
+        }
+    }
+}
+
+/// Throughput annotation for a group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Timing loop handle passed to benchmark closures.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    sample_size: usize,
+    test_mode: bool,
+    /// Median per-iteration time of the last `iter` call.
+    median_ns: f64,
+}
+
+impl Bencher {
+    /// Times `routine`, storing the median per-iteration duration.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        if self.test_mode {
+            black_box(routine());
+            self.median_ns = 0.0;
+            return;
+        }
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut iters: u64 = 0;
+            let start = Instant::now();
+            let mut elapsed;
+            loop {
+                black_box(routine());
+                iters += 1;
+                elapsed = start.elapsed();
+                if elapsed >= Duration::from_millis(2) {
+                    break;
+                }
+            }
+            samples.push(elapsed.as_nanos() as f64 / iters as f64);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.median_ns = samples[samples.len() / 2];
+    }
+}
+
+fn format_time(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Annotates per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark over `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            test_mode: self.criterion.test_mode,
+            median_ns: 0.0,
+        };
+        f(&mut bencher, input);
+        self.report(&id.label, &bencher);
+        self
+    }
+
+    /// Runs one benchmark with no input.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            test_mode: self.criterion.test_mode,
+            median_ns: 0.0,
+        };
+        f(&mut bencher);
+        self.report(&id.label, &bencher);
+        self
+    }
+
+    fn report(&self, label: &str, bencher: &Bencher) {
+        if self.criterion.test_mode {
+            println!("{}/{label}: ok (test mode)", self.name);
+            return;
+        }
+        let mut line = format!(
+            "{}/{label:<32} time: [{}]",
+            self.name,
+            format_time(bencher.median_ns)
+        );
+        if let Some(Throughput::Elements(n)) = self.throughput {
+            let per_sec = n as f64 / (bencher.median_ns / 1e9);
+            line.push_str(&format!("  thrpt: [{:.3} Kelem/s]", per_sec / 1e3));
+        }
+        println!("{line}");
+    }
+
+    /// Ends the group (printing is immediate; this is API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark harness entry point.
+#[derive(Debug)]
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test")
+            || std::env::var_os("CRITERION_SHIM_TEST_MODE").is_some();
+        Criterion { test_mode }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group(name.to_string())
+            .sample_size(10)
+            .bench_function("bench", f);
+        self
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Declares the benchmark `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default();
+            $($group(&mut criterion);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher {
+            sample_size: 3,
+            test_mode: false,
+            median_ns: 0.0,
+        };
+        b.iter(|| black_box((0..1000u64).sum::<u64>()));
+        assert!(b.median_ns > 0.0);
+    }
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut b = Bencher {
+            sample_size: 10,
+            test_mode: true,
+            median_ns: 1.0,
+        };
+        let mut runs = 0;
+        b.iter(|| runs += 1);
+        assert_eq!(runs, 1);
+        assert_eq!(b.median_ns, 0.0);
+    }
+
+    #[test]
+    fn ids_format() {
+        assert_eq!(BenchmarkId::new("exact", 32).label, "exact/32");
+        assert_eq!(BenchmarkId::from_parameter(7).label, "7");
+    }
+
+    #[test]
+    fn time_formatting() {
+        assert!(format_time(0.5e3).contains("ns") || format_time(0.5e3).contains("µs"));
+        assert!(format_time(2.5e6).contains("ms"));
+        assert!(format_time(3.0e9).contains(" s"));
+    }
+}

@@ -1,0 +1,330 @@
+//! Offline shim for `proptest`.
+//!
+//! Implements the subset of the proptest API this workspace's
+//! property-based tests use: range / tuple / `prop_map` / collection
+//! strategies, `proptest::bool::ANY`, the `proptest!` macro with an
+//! optional `proptest_config` attribute, and `prop_assert!` /
+//! `prop_assert_eq!`. Cases are sampled from a deterministic per-test
+//! generator (seeded by the test name), so runs are reproducible;
+//! there is no shrinking — a failing case reports its inputs via
+//! `Debug` where available and the assertion message otherwise.
+
+#![forbid(unsafe_code)]
+
+use std::ops::Range;
+
+use rand::rngs::StdRng;
+
+/// Re-exported so the `proptest!` macro can construct generators.
+pub use rand::{Rng, SeedableRng};
+
+/// A generator of values for property-based tests.
+///
+/// Unlike real proptest there is no value tree / shrinking: a strategy
+/// is just a deterministic sampler.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { base: self, f }
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.base.generate(rng))
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(u8, u16, u32, u64, usize, f64);
+
+macro_rules! tuple_strategy {
+    ($($s:ident/$v:ident),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                let ($($v,)+) = self;
+                ($($v.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A / a, B / b);
+tuple_strategy!(A / a, B / b, C / c);
+tuple_strategy!(A / a, B / b, C / c, D / d);
+tuple_strategy!(A / a, B / b, C / c, D / d, E / e);
+tuple_strategy!(A / a, B / b, C / c, D / d, E / e, F / f);
+
+/// Collection strategies (`proptest::collection`).
+pub mod collection {
+    use super::{Range, StdRng, Strategy};
+    use rand::Rng;
+
+    /// Strategy for `Vec`s with lengths drawn from `size`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// `Vec` strategy: `size.len()` elements of `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.clone());
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Boolean strategies (`proptest::bool`).
+pub mod bool {
+    use super::{StdRng, Strategy};
+    use rand::Rng;
+
+    /// Uniform boolean strategy.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// `proptest::bool::ANY`: either boolean, equiprobable.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+
+        fn generate(&self, rng: &mut StdRng) -> bool {
+            rng.gen_range(0..2u32) == 1
+        }
+    }
+}
+
+/// Test-runner plumbing (`proptest::test_runner`).
+pub mod test_runner {
+    /// Number of cases to run per property.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Cases sampled per property.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 256 }
+        }
+    }
+
+    /// A failed property case.
+    #[derive(Debug)]
+    pub struct TestCaseError(String);
+
+    impl TestCaseError {
+        /// A failure with the given message.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError(msg.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    /// Per-case verdict used by `proptest!` bodies.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// Deterministic per-test seed derived from the test's name.
+    pub fn seed_for(name: &str, case: u32) -> u64 {
+        // FNV-1a over the name, mixed with the case index.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h ^ (u64::from(case) << 32) ^ u64::from(case)
+    }
+}
+
+/// `ProptestConfig` as exported by the real prelude.
+pub use test_runner::Config as ProptestConfig;
+
+/// Asserts a condition inside a `proptest!` body, failing the case (not
+/// panicking directly) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ..) { body }`
+/// becomes a `#[test]` running `cases` deterministic samples.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests!{
+            ($crate::test_runner::Config::default()) $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[macro_export]
+macro_rules! __proptest_tests {
+    (($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $cfg;
+            for case in 0..config.cases {
+                let mut __proptest_rng = <$crate::__StdRng as $crate::SeedableRng>::seed_from_u64(
+                    $crate::test_runner::seed_for(stringify!($name), case),
+                );
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut __proptest_rng);)+
+                let __proptest_outcome: $crate::test_runner::TestCaseResult = (|| {
+                    $body
+                    #[allow(unreachable_code)]
+                    ::std::result::Result::Ok(())
+                })();
+                if let ::std::result::Result::Err(e) = __proptest_outcome {
+                    panic!("proptest case {case} of {} failed: {e}", stringify!($name));
+                }
+            }
+        }
+    )*};
+}
+
+/// Re-export for the macros above.
+pub use rand::rngs::StdRng as __StdRng;
+
+/// The proptest prelude.
+pub mod prelude {
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, proptest, Strategy};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..9, y in 0u64..5) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!(y < 5);
+        }
+
+        #[test]
+        fn map_and_vec_strategies(v in crate::collection::vec((0usize..4, 0u64..7), 0..12)) {
+            prop_assert!(v.len() < 12);
+            for (a, b) in v {
+                prop_assert!(a < 4);
+                prop_assert!(b < 7);
+            }
+        }
+
+        #[test]
+        fn bool_any_and_early_return(flag in crate::bool::ANY) {
+            if flag {
+                return Ok(());
+            }
+            prop_assert!(!flag);
+        }
+    }
+
+    #[test]
+    fn prop_map_transforms() {
+        use crate::SeedableRng;
+        let strat = (0usize..5).prop_map(|x| x * 10);
+        let mut rng = crate::__StdRng::seed_from_u64(3);
+        for _ in 0..50 {
+            let v = strat.generate(&mut rng);
+            assert!(v % 10 == 0 && v < 50);
+        }
+    }
+
+    #[test]
+    fn seeds_are_deterministic_per_name() {
+        assert_eq!(
+            crate::test_runner::seed_for("a", 0),
+            crate::test_runner::seed_for("a", 0)
+        );
+        assert_ne!(
+            crate::test_runner::seed_for("a", 0),
+            crate::test_runner::seed_for("b", 0)
+        );
+    }
+}

@@ -1,0 +1,169 @@
+//! Offline shim for `rayon`.
+//!
+//! Provides the small parallel-iterator surface the explorer uses —
+//! `into_par_iter().map(..).collect::<Vec<_>>()` plus
+//! [`current_num_threads`] — on scoped `std::thread`s with an atomic
+//! item counter as the work-dealing mechanism: idle workers pull the
+//! next unclaimed index, so uneven subtree sizes balance dynamically
+//! (the property we need from a work-stealing pool) without any unsafe
+//! code or external dependency.
+
+#![forbid(unsafe_code)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Number of worker threads a parallel iterator will use.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Conversion into a parallel iterator, mirroring
+/// `rayon::iter::IntoParallelIterator`.
+pub trait IntoParallelIterator {
+    /// The item type.
+    type Item: Send;
+    /// The parallel iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// A data-parallel pipeline over an owned collection.
+pub trait ParallelIterator: Sized {
+    /// The item type.
+    type Item: Send;
+
+    /// Maps every item through `f` in parallel.
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync + Send,
+    {
+        Map { base: self, f }
+    }
+
+    /// Drains the pipeline into a collection, preserving input order.
+    fn collect<C: FromParallelIterator<Self::Item>>(self) -> C;
+}
+
+/// Collection from a parallel iterator, mirroring
+/// `rayon::iter::FromParallelIterator`.
+pub trait FromParallelIterator<T: Send> {
+    /// Builds the collection from an ordered item vector.
+    fn from_ordered_vec(items: Vec<T>) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_ordered_vec(items: Vec<T>) -> Self {
+        items
+    }
+}
+
+/// Parallel iterator over an owned `Vec`.
+pub struct VecParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = VecParIter<T>;
+
+    fn into_par_iter(self) -> VecParIter<T> {
+        VecParIter { items: self }
+    }
+}
+
+impl<T: Send> ParallelIterator for VecParIter<T> {
+    type Item = T;
+
+    fn collect<C: FromParallelIterator<T>>(self) -> C {
+        C::from_ordered_vec(self.items)
+    }
+}
+
+/// The result of [`ParallelIterator::map`].
+pub struct Map<I, F> {
+    base: I,
+    f: F,
+}
+
+impl<T, R, F> ParallelIterator for Map<VecParIter<T>, F>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync + Send,
+{
+    type Item = R;
+
+    fn collect<C: FromParallelIterator<R>>(self) -> C {
+        let items = self.base.items;
+        let f = &self.f;
+        let n = items.len();
+        let threads = current_num_threads().min(n.max(1));
+        if threads <= 1 {
+            return C::from_ordered_vec(items.into_iter().map(f).collect());
+        }
+        // Hand out one slot per item; workers claim the next unclaimed
+        // index, so long items don't serialize behind a static split.
+        let work: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+        let next = AtomicUsize::new(0);
+        let mut results: Vec<Mutex<Option<R>>> = Vec::new();
+        results.resize_with(n, || Mutex::new(None));
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let item = work[i].lock().unwrap().take().expect("claimed once");
+                    let r = f(item);
+                    *results[i].lock().unwrap() = Some(r);
+                });
+            }
+        });
+        C::from_ordered_vec(
+            results
+                .into_iter()
+                .map(|slot| slot.into_inner().unwrap().expect("worker filled slot"))
+                .collect(),
+        )
+    }
+}
+
+/// `use rayon::prelude::*;` compatibility.
+pub mod prelude {
+    pub use crate::{FromParallelIterator, IntoParallelIterator, ParallelIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<usize> = (0..1000).collect();
+        let doubled: Vec<usize> = v.into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn uneven_work_completes() {
+        let v: Vec<u64> = (0..64).collect();
+        let out: Vec<u64> = v
+            .into_par_iter()
+            .map(|x| {
+                // Skew the work to exercise dynamic dealing.
+                (0..(x % 7) * 10_000).fold(x, |acc, i| acc.wrapping_add(i))
+            })
+            .collect();
+        assert_eq!(out.len(), 64);
+    }
+
+    #[test]
+    fn thread_count_is_positive() {
+        assert!(super::current_num_threads() >= 1);
+    }
+}

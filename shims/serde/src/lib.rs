@@ -1,0 +1,19 @@
+//! Offline shim for `serde`.
+//!
+//! The build container has no access to a crates registry, so this
+//! workspace vendors the *minimal* surface the codebase actually uses:
+//! the `Serialize` / `Deserialize` marker traits and their derives. No
+//! serialization format crate exists here, so the traits carry no
+//! methods; the derives emit empty impls. Swap this shim for the real
+//! crate by editing the workspace manifests once a registry is
+//! reachable — no source change is required.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}

@@ -1,0 +1,57 @@
+//! Offline shim for `serde_derive`: derives that emit empty impls of the
+//! marker traits in the sibling `serde` shim.
+//!
+//! Supported input shape: non-generic `struct` / `enum` / `union` items
+//! (which is every serde-derived type in this workspace). Generic items
+//! are rejected at compile time with a clear error rather than silently
+//! miscompiled.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the item name and asserts the item is non-generic.
+fn item_name(input: &TokenStream) -> Result<String, String> {
+    let mut tokens = input.clone().into_iter().peekable();
+    while let Some(tt) = tokens.next() {
+        if let TokenTree::Ident(ident) = &tt {
+            let kw = ident.to_string();
+            if kw == "struct" || kw == "enum" || kw == "union" {
+                let name = match tokens.next() {
+                    Some(TokenTree::Ident(name)) => name.to_string(),
+                    other => return Err(format!("expected item name, found {other:?}")),
+                };
+                if let Some(TokenTree::Punct(p)) = tokens.peek() {
+                    if p.as_char() == '<' {
+                        return Err(format!(
+                            "serde shim derive does not support generic type `{name}`"
+                        ));
+                    }
+                }
+                return Ok(name);
+            }
+        }
+    }
+    Err("no struct/enum/union found in derive input".to_string())
+}
+
+fn emit(input: TokenStream, make_impl: impl Fn(&str) -> String) -> TokenStream {
+    match item_name(&input) {
+        Ok(name) => make_impl(&name).parse().expect("generated impl parses"),
+        Err(msg) => format!("compile_error!({msg:?});").parse().expect("valid"),
+    }
+}
+
+/// No-op `Serialize` derive.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    emit(input, |name| {
+        format!("impl ::serde::Serialize for {name} {{}}")
+    })
+}
+
+/// No-op `Deserialize` derive.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    emit(input, |name| {
+        format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+    })
+}

@@ -68,12 +68,12 @@ pub mod prelude {
         is_strictly_serializable, IncrementalChecker, Mode, SafetyProperty,
     };
     pub use tm_sim::{
-        explore_schedules, simulate, Client, ClientScript, FaultPlan, RandomScheduler, RoundRobin,
-        Scheduler, SimConfig,
+        explore_schedules, explore_with, simulate, Client, ClientScript, ExploreConfig, FaultPlan,
+        RandomScheduler, RoundRobin, Scheduler, SimConfig,
     };
     pub use tm_stm::{
         concurrent::{atomically, ConcurrentGlobalLock, ConcurrentNOrec, ConcurrentTl2},
-        full_catalog, nonblocking_catalog, Dstm, FgpTm, GlobalLock, NOrec, Ostm, Outcome,
-        Recorded, SteppedTm, TinyStm, Tl2,
+        full_catalog, nonblocking_catalog, Dstm, FgpTm, GlobalLock, NOrec, Ostm, Outcome, Recorded,
+        SteppedTm, TinyStm, Tl2,
     };
 }

@@ -1,0 +1,213 @@
+//! Differential suite: the prefix-sharing DFS explorer and the seed's
+//! naive from-scratch enumerator must report **identical** results —
+//! same schedule counts, same exact-checker fallback counts, same
+//! violation lists (schedules, histories, details and shortest failing
+//! prefixes) in the same order — across catalogue TMs, process counts
+//! and parallel configurations. One deliberately buggy TM (the literal
+//! `Fgp` formal rules) is included: both explorers must *catch* it, not
+//! merely agree on silence.
+
+use tm_core::TVarId;
+use tm_sim::{
+    explore_schedules_naive, explore_with, ClientScript, Exploration, ExploreConfig, PlannedOp,
+};
+use tm_stm::{BoxedTm, Dstm, FgpTm, GlobalLock, NOrec, Tl2};
+
+use tm_automata::FgpVariant;
+
+const X: TVarId = TVarId(0);
+const Y: TVarId = TVarId(1);
+
+type Factory = Box<dyn Fn() -> BoxedTm>;
+
+/// The catalogue slice under differential test: four opaque TMs spanning
+/// the design space (automaton-based, deferred-update, value-validating,
+/// obstruction-free, blocking) plus the seeded-buggy literal `Fgp`.
+fn factories(processes: usize, tvars: usize) -> Vec<(&'static str, Factory)> {
+    vec![
+        (
+            "fgp",
+            Box::new(move || Box::new(FgpTm::new(processes, tvars, FgpVariant::CpOnly)) as BoxedTm)
+                as Factory,
+        ),
+        (
+            "tl2",
+            Box::new(move || Box::new(Tl2::new(processes, tvars)) as BoxedTm),
+        ),
+        (
+            "norec",
+            Box::new(move || Box::new(NOrec::new(processes, tvars)) as BoxedTm),
+        ),
+        (
+            "dstm",
+            Box::new(move || Box::new(Dstm::new(processes, tvars)) as BoxedTm),
+        ),
+        (
+            "global-lock",
+            Box::new(move || Box::new(GlobalLock::new(processes, tvars)) as BoxedTm),
+        ),
+        (
+            "fgp-literal",
+            Box::new(move || tm_stm::literal_fgp(processes, tvars)),
+        ),
+    ]
+}
+
+fn assert_identical(name: &str, naive: &Exploration, dfs: &Exploration, what: &str) {
+    assert_eq!(
+        naive.schedules, dfs.schedules,
+        "{name} ({what}): schedule counts diverged"
+    );
+    assert_eq!(
+        naive.exact_fallbacks, dfs.exact_fallbacks,
+        "{name} ({what}): fallback counts diverged"
+    );
+    assert_eq!(
+        naive.violations, dfs.violations,
+        "{name} ({what}): violation sets diverged"
+    );
+}
+
+#[test]
+fn two_process_reports_are_identical_across_the_catalogue() {
+    let scripts = vec![
+        ClientScript::increment(X),
+        ClientScript::new(vec![PlannedOp::Read(X), PlannedOp::Write(X, 5)]),
+    ];
+    let mut buggy_caught = false;
+    for (name, factory) in factories(2, 1) {
+        let naive = explore_schedules_naive(&*factory, &scripts, 8);
+        let dfs = explore_with(&*factory, &scripts, &ExploreConfig::new(8).sequential());
+        assert_eq!(naive.schedules, 1 << 8, "{name}");
+        assert_identical(name, &naive, &dfs, "2p depth 8 sequential");
+        if name == "fgp-literal" {
+            assert!(
+                !naive.all_opaque() && !dfs.all_opaque(),
+                "both explorers must catch the literal-Fgp leak"
+            );
+            buggy_caught = true;
+        } else {
+            assert!(naive.all_opaque(), "{name}: unexpectedly non-opaque");
+        }
+    }
+    assert!(buggy_caught);
+}
+
+#[test]
+fn three_process_reports_are_identical_across_the_catalogue() {
+    let scripts = vec![
+        ClientScript::increment(X),
+        ClientScript::transfer(X, Y),
+        ClientScript::read_both(X, Y),
+    ];
+    for (name, factory) in factories(3, 2) {
+        let naive = explore_schedules_naive(&*factory, &scripts, 6);
+        let dfs = explore_with(&*factory, &scripts, &ExploreConfig::new(6).sequential());
+        assert_eq!(naive.schedules, 3usize.pow(6), "{name}");
+        assert_identical(name, &naive, &dfs, "3p depth 6 sequential");
+    }
+}
+
+#[test]
+fn parallel_frontier_matches_naive_at_every_split_depth() {
+    let scripts = vec![
+        ClientScript::increment(X),
+        ClientScript::new(vec![PlannedOp::Read(X), PlannedOp::Write(X, 5)]),
+    ];
+    let naive = explore_schedules_naive(|| tm_stm::literal_fgp(2, 1), &scripts, 8);
+    for split in [0, 1, 2, 4, 8] {
+        let par = explore_with(
+            || tm_stm::literal_fgp(2, 1),
+            &scripts,
+            &ExploreConfig::new(8).with_split_depth(split),
+        );
+        assert_identical("fgp-literal", &naive, &par, &format!("split {split}"));
+    }
+}
+
+#[test]
+fn violations_carry_their_shortest_failing_prefix() {
+    let scripts = vec![
+        ClientScript::increment(X),
+        ClientScript::new(vec![PlannedOp::Read(X), PlannedOp::Write(X, 5)]),
+    ];
+    let dfs = explore_with(
+        || tm_stm::literal_fgp(2, 1),
+        &scripts,
+        &ExploreConfig::new(9),
+    );
+    assert!(!dfs.violations.is_empty());
+    for v in &dfs.violations {
+        assert!(
+            v.fast_reject_at < v.history.len(),
+            "the certifier rejected inside the history"
+        );
+        // The prefix up to (excluding) the rejection point is clean: the
+        // certifier accepts it.
+        let mut checker = tm_safety::IncrementalChecker::new(tm_safety::Mode::Opacity);
+        for &event in v.history.events().iter().take(v.fast_reject_at) {
+            checker
+                .push(event)
+                .expect("prefix before rejection is clean");
+        }
+    }
+}
+
+#[test]
+fn sleep_sets_prune_and_still_catch_violations_on_disjoint_variables() {
+    // Non-vacuous verdict preservation: on a disjoint-variable workload
+    // the processes' operation steps ARE independent (literal Fgp opts
+    // into the commutation contract), so pruning genuinely fires — and
+    // the literal-Fgp leak still surfaces, because Fgp conflicts are
+    // CP-membership-based, not variable-based: p1's commit dooms p2,
+    // p2's doomed write to Y leaks into its next transaction's read.
+    let scripts = vec![
+        ClientScript::increment(X),
+        ClientScript::new(vec![PlannedOp::Read(Y), PlannedOp::Write(Y, 5)]),
+    ];
+    let full = explore_with(
+        || tm_stm::literal_fgp(2, 2),
+        &scripts,
+        &ExploreConfig::new(9).sequential(),
+    );
+    let pruned = explore_with(
+        || tm_stm::literal_fgp(2, 2),
+        &scripts,
+        &ExploreConfig::new(9).sequential().with_sleep_sets(),
+    );
+    assert!(
+        pruned.pruned_subtrees > 0,
+        "independence must fire on disjoint variables"
+    );
+    assert!(pruned.schedules < full.schedules);
+    assert!(
+        !full.all_opaque(),
+        "the leak exists in the full exploration"
+    );
+    assert!(
+        !pruned.all_opaque(),
+        "pruning must preserve the violation verdict"
+    );
+}
+
+#[test]
+fn sleep_sets_preserve_every_catalogue_verdict() {
+    // Pruning changes schedule counts by design; verdicts must survive.
+    let scripts = vec![
+        ClientScript::increment(X),
+        ClientScript::new(vec![PlannedOp::Read(X), PlannedOp::Write(X, 5)]),
+    ];
+    for (name, factory) in factories(2, 1) {
+        let full = explore_with(&*factory, &scripts, &ExploreConfig::new(8).sequential());
+        let pruned = explore_with(
+            &*factory,
+            &scripts,
+            &ExploreConfig::new(8).sequential().with_sleep_sets(),
+        );
+        assert_eq!(
+            full.all_opaque(),
+            pruned.all_opaque(),
+            "{name}: sleep sets changed the verdict"
+        );
+    }
+}

@@ -35,6 +35,9 @@ impl SteppedTm for FatBox {
     fn has_pending(&self, p: ProcessId) -> bool {
         self.0.has_pending(p)
     }
+    fn fork(&self) -> tm_stm::BoxedTm {
+        Box::new(FatBox(self.0.fork()))
+    }
 }
 
 #[test]
@@ -72,7 +75,10 @@ fn priority_shield_defeats_algorithm_1_without_faults() {
     let report = run_game(&mut tm, &mut adversary, GameConfig::steps(6_000));
     assert_eq!(report.rounds, 0, "p2 can never commit over the shield");
     assert_eq!(report.commits[1], 0);
-    assert!(report.aborts[1] > 500, "p2 keeps aborting against the shield");
+    assert!(
+        report.aborts[1] > 500,
+        "p2 keeps aborting against the shield"
+    );
 }
 
 #[test]
@@ -117,7 +123,11 @@ fn swisstm_participates_in_all_adversary_games() {
     assert!(names.contains(&"swisstm".to_string()));
     let mut tm = tm_stm::SwissTm::new(2, 1);
     let mut adversary = Algorithm1::new(X);
-    let report = run_game(&mut tm, &mut adversary, GameConfig::steps(6_000).check_opacity());
+    let report = run_game(
+        &mut tm,
+        &mut adversary,
+        GameConfig::steps(6_000).check_opacity(),
+    );
     assert_eq!(report.commits[0], 0);
     assert!(report.commits[1] > 500);
     assert!(report.safety_ok);

@@ -10,9 +10,7 @@
 //!   contention (ABL2).
 
 use tm_core::{ProcessId, TVarId};
-use tm_sim::{
-    simulate, Client, ClientScript, FaultPlan, RandomScheduler, RoundRobin, SimConfig,
-};
+use tm_sim::{simulate, Client, ClientScript, FaultPlan, RandomScheduler, RoundRobin, SimConfig};
 use tm_stm::{GlobalLock, TinyStm, Tl2};
 
 const P1: ProcessId = ProcessId(0);
@@ -69,11 +67,7 @@ fn global_lock_crash_starves_everyone_abl1() {
         &faults,
         SimConfig::steps(3_000),
     );
-    let commits_after: usize = report
-        .commit_log
-        .iter()
-        .filter(|&&(s, _)| s >= 4)
-        .count();
+    let commits_after: usize = report.commit_log.iter().filter(|&&(s, _)| s >= 4).count();
     assert_eq!(
         commits_after, 0,
         "a crashed lock holder must block all further commits"

@@ -308,4 +308,7 @@ impl SteppedTm for FatBox {
     fn has_pending(&self, p: ProcessId) -> bool {
         self.0.has_pending(p)
     }
+    fn fork(&self) -> tm_stm::BoxedTm {
+        Box::new(FatBox(self.0.fork()))
+    }
 }

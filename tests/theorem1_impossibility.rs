@@ -16,10 +16,7 @@ const P1: ProcessId = ProcessId(0);
 /// Fresh strategy instances (strategies are stateful; every game needs its
 /// own, paired with a fresh TM).
 fn fresh_strategies() -> Vec<Box<dyn Strategy>> {
-    vec![
-        Box::new(Algorithm1::new(X)),
-        Box::new(Algorithm2::new(X)),
-    ]
+    vec![Box::new(Algorithm1::new(X)), Box::new(Algorithm2::new(X))]
 }
 
 #[test]

@@ -11,7 +11,8 @@
 use tm_automata::FgpVariant;
 use tm_core::{ProcessId, TVarId};
 use tm_sim::{
-    explore_schedules, simulate, Client, ClientScript, FaultPlan, RandomScheduler, SimConfig,
+    explore_schedules, explore_with, simulate, Client, ClientScript, ExploreConfig, FaultPlan,
+    RandomScheduler, SimConfig,
 };
 use tm_stm::{BoxedTm, FgpTm};
 
@@ -20,16 +21,13 @@ const Y: TVarId = TVarId(1);
 
 #[test]
 fn fgp_model_checked_opaque_over_all_interleavings() {
+    // Depth 12 (4096 interleavings per script set) was beyond the seed's
+    // from-scratch enumerator budget; the prefix-sharing DFS makes it
+    // routine.
     let script_sets: Vec<Vec<ClientScript>> = vec![
         vec![ClientScript::increment(X), ClientScript::increment(X)],
-        vec![
-            ClientScript::transfer(X, Y),
-            ClientScript::read_both(X, Y),
-        ],
-        vec![
-            ClientScript::blind_write(X, 3),
-            ClientScript::increment(X),
-        ],
+        vec![ClientScript::transfer(X, Y), ClientScript::read_both(X, Y)],
+        vec![ClientScript::blind_write(X, 3), ClientScript::increment(X)],
     ];
     for variant in [FgpVariant::Strict, FgpVariant::CpOnly] {
         for scripts in &script_sets {
@@ -37,9 +35,9 @@ fn fgp_model_checked_opaque_over_all_interleavings() {
             let result = explore_schedules(
                 || Box::new(FgpTm::new(scripts.len(), tvars, variant)) as BoxedTm,
                 scripts,
-                10,
+                12,
             );
-            assert_eq!(result.schedules, 1 << 10);
+            assert_eq!(result.schedules, 1 << 12);
             assert!(
                 result.all_opaque(),
                 "{variant:?}: violations {:?}",
@@ -47,6 +45,37 @@ fn fgp_model_checked_opaque_over_all_interleavings() {
             );
         }
     }
+}
+
+#[test]
+fn fgp_model_checked_opaque_at_depth_fourteen() {
+    // The deep-bound headline: every one of the 2^14 = 16384 length-14
+    // interleavings of two increment clients is opaque.
+    let result = explore_schedules(
+        || Box::new(FgpTm::new(2, 1, FgpVariant::CpOnly)) as BoxedTm,
+        &[ClientScript::increment(X), ClientScript::increment(X)],
+        14,
+    );
+    assert_eq!(result.schedules, 1 << 14);
+    assert!(result.all_opaque());
+}
+
+#[test]
+fn fgp_three_processes_model_checked_at_depth_ten() {
+    // 3^10 = 59049 interleavings of three processes — far past the
+    // seed's ≲9 guidance for three processes.
+    let scripts = vec![
+        ClientScript::increment(X),
+        ClientScript::increment(X),
+        ClientScript::read_both(X, Y),
+    ];
+    let result = explore_with(
+        || Box::new(FgpTm::new(3, 2, FgpVariant::CpOnly)) as BoxedTm,
+        &scripts,
+        &ExploreConfig::new(10),
+    );
+    assert_eq!(result.schedules, 3usize.pow(10));
+    assert!(result.all_opaque());
 }
 
 #[test]
