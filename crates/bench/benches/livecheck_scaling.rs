@@ -1,0 +1,312 @@
+//! PERF4 — the liveness subsystem's scaling story.
+//!
+//! Three measurements, emitted as `BENCH_livecheck.json` at the
+//! workspace root so the perf trajectory is tracked across PRs:
+//!
+//! 1. **Digest dedup** — the safety explorer with the cross-schedule
+//!    seen set on vs off. On bounded-domain workloads the schedule tree
+//!    collapses to the (small) set of distinct canonical states, turning
+//!    exponential depths into near-constant work and unlocking bounds
+//!    the plain DFS cannot touch.
+//! 2. **Refork across the catalogue** — `refork_from` (hand-written
+//!    `clone_from`, allocation-free) vs allocating `fork` for the TMs
+//!    newly wired into the fast path (TL2, NOrec), per the ROADMAP item.
+//! 3. **Livecheck scaling** — the liveness checker's cost as the bound
+//!    grows: states/edges/steps stay flat once the canonical graph is
+//!    saturated, while the equivalent schedule tree grows as `2^depth`.
+//!
+//! Run: `cargo bench -p bench --bench livecheck_scaling`
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tm_automata::FgpVariant;
+use tm_core::TVarId;
+use tm_sim::{explore_with, livecheck, ClientScript, ExploreConfig, LivecheckConfig, PlannedOp};
+use tm_stm::{BoxedTm, FgpTm, GlobalLock, NOrec, SteppedTm, Tl2};
+
+const X: TVarId = TVarId(0);
+
+fn fgp() -> BoxedTm {
+    Box::new(FgpTm::new(2, 1, FgpVariant::CpOnly))
+}
+
+/// Unbounded-domain workload (increments): values grow along a path, so
+/// dedup merges only across same-level permutations.
+fn increments() -> Vec<ClientScript> {
+    vec![ClientScript::increment(X), ClientScript::increment(X)]
+}
+
+/// Bounded-domain workload (constant writes): the canonical state space
+/// is finite, so dedup collapses the tree completely.
+fn bounded() -> Vec<ClientScript> {
+    vec![
+        ClientScript::new(vec![PlannedOp::Write(X, 1)]),
+        ClientScript::new(vec![PlannedOp::Read(X), PlannedOp::Write(X, 2)]),
+    ]
+}
+
+fn bench_dedup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("explorer-dedup/2p");
+    group.sample_size(10);
+    for depth in [10usize, 12] {
+        for (workload, scripts) in [("incr", increments()), ("bounded", bounded())] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{workload}-off"), depth),
+                &depth,
+                |b, &d| b.iter(|| explore_with(fgp, &scripts, &ExploreConfig::new(d).sequential())),
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("{workload}-on"), depth),
+                &depth,
+                |b, &d| {
+                    b.iter(|| {
+                        explore_with(
+                            fgp,
+                            &scripts,
+                            &ExploreConfig::new(d).sequential().with_dedup(),
+                        )
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_livecheck(c: &mut Criterion) {
+    let mut group = c.benchmark_group("livecheck/2p");
+    group.sample_size(10);
+    let scripts = bounded();
+    for depth in [12usize, 16] {
+        group.bench_with_input(BenchmarkId::new("fgp", depth), &depth, |b, &d| {
+            b.iter(|| livecheck(fgp, &scripts, &LivecheckConfig::new(d)))
+        });
+        group.bench_with_input(BenchmarkId::new("global-lock", depth), &depth, |b, &d| {
+            b.iter(|| {
+                livecheck(
+                    || Box::new(GlobalLock::new(2, 1)),
+                    &scripts,
+                    &LivecheckConfig::new(d),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Minimum wall-clock seconds per execution over `runs` rounds (the
+/// noise-robust estimator for deterministic workloads; see PERF3).
+fn best_secs(runs: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..runs.max(1) {
+        let mut iters = 0u32;
+        let start = Instant::now();
+        loop {
+            f();
+            iters += 1;
+            if start.elapsed() >= std::time::Duration::from_millis(2) {
+                break;
+            }
+        }
+        best = best.min(start.elapsed().as_secs_f64() / f64::from(iters));
+    }
+    best
+}
+
+fn emit_json(_c: &mut Criterion) {
+    use bench::Json;
+    let test_mode = std::env::args().any(|a| a == "--test");
+    let runs = if test_mode { 1 } else { 7 };
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    // 1. Dedup on/off across workloads and depths.
+    let mut dedup_rows = Vec::new();
+    let mut headline_speedup = 0.0;
+    let table: &[(&str, usize)] = if test_mode {
+        &[("bounded", 8)]
+    } else {
+        &[
+            ("incr", 10),
+            ("incr", 12),
+            ("bounded", 10),
+            ("bounded", 12),
+            ("bounded", 14),
+        ]
+    };
+    for &(workload, depth) in table {
+        let scripts = if workload == "incr" {
+            increments()
+        } else {
+            bounded()
+        };
+        let (mut off, mut on) = (f64::INFINITY, f64::INFINITY);
+        for _ in 0..runs {
+            off = off.min(best_secs(1, || {
+                explore_with(fgp, &scripts, &ExploreConfig::new(depth).sequential());
+            }));
+            on = on.min(best_secs(1, || {
+                explore_with(
+                    fgp,
+                    &scripts,
+                    &ExploreConfig::new(depth).sequential().with_dedup(),
+                );
+            }));
+        }
+        let sample = explore_with(
+            fgp,
+            &scripts,
+            &ExploreConfig::new(depth).sequential().with_dedup(),
+        );
+        if workload == "bounded" && depth == 12 {
+            headline_speedup = off / on;
+        }
+        dedup_rows.push(Json::Obj(vec![
+            ("workload".into(), Json::str(workload)),
+            ("depth".into(), Json::Int(depth as i64)),
+            ("schedules".into(), Json::Int(1i64 << depth)),
+            ("dedup_hits".into(), Json::Int(sample.dedup_hits as i64)),
+            ("dfs_ms".into(), Json::Num(off * 1e3)),
+            ("dedup_ms".into(), Json::Num(on * 1e3)),
+            ("speedup_dedup_vs_dfs".into(), Json::Num(off / on)),
+        ]));
+    }
+
+    // Deep bounds only dedup can reach: exponential schedule counts,
+    // near-flat wall clock (the state graph saturates).
+    let mut deep = Vec::new();
+    let deep_depths: &[usize] = if test_mode { &[10] } else { &[16, 20, 24] };
+    for &depth in deep_depths {
+        let scripts = bounded();
+        let on = best_secs(runs.min(3), || {
+            let result = explore_with(
+                fgp,
+                &scripts,
+                &ExploreConfig::new(depth).sequential().with_dedup(),
+            );
+            assert!(result.all_opaque());
+        });
+        deep.push(Json::Obj(vec![
+            ("depth".into(), Json::Int(depth as i64)),
+            ("schedules".into(), Json::Int(1i64 << depth)),
+            ("dedup_ms".into(), Json::Num(on * 1e3)),
+        ]));
+    }
+
+    // 2. Refork vs fork for the newly wired TMs (and Fgp as reference).
+    let mut refork_rows = Vec::new();
+    let factories: Vec<(&str, BoxedTm)> = vec![
+        ("tl2", Box::new(Tl2::new(2, 2))),
+        ("norec", Box::new(NOrec::new(2, 2))),
+        ("fgp", Box::new(FgpTm::new(2, 2, FgpVariant::CpOnly))),
+    ];
+    for (name, mut tm) in factories {
+        // Put the TM mid-transaction so the fork copies real state.
+        tm.invoke(tm_core::ProcessId(0), tm_core::Invocation::Read(X));
+        tm.invoke(tm_core::ProcessId(0), tm_core::Invocation::Write(X, 3));
+        let mut spare = tm.fork();
+        assert!(spare.refork_from(&*tm), "{name} must support refork");
+        let fork_s = best_secs(runs, || {
+            criterion::black_box(tm.fork());
+        });
+        let refork_s = best_secs(runs, || {
+            criterion::black_box(spare.refork_from(&*tm));
+        });
+        refork_rows.push(Json::Obj(vec![
+            ("tm".into(), Json::str(name)),
+            ("fork_ns".into(), Json::Num(fork_s * 1e9)),
+            ("refork_ns".into(), Json::Num(refork_s * 1e9)),
+            (
+                "speedup_refork_vs_fork".into(),
+                Json::Num(fork_s / refork_s),
+            ),
+        ]));
+    }
+
+    // 3. Livecheck scaling with the exploration bound.
+    let mut live_rows = Vec::new();
+    let live_table: &[(&str, usize)] = if test_mode {
+        &[("fgp", 8)]
+    } else {
+        &[
+            ("fgp", 12),
+            ("fgp", 16),
+            ("fgp", 20),
+            ("tl2", 16),
+            ("norec", 16),
+            ("global-lock", 16),
+        ]
+    };
+    for &(name, depth) in live_table {
+        let factory: Box<dyn Fn() -> BoxedTm> = match name {
+            "fgp" => Box::new(fgp),
+            "tl2" => Box::new(|| Box::new(Tl2::new(2, 1)) as BoxedTm),
+            "norec" => Box::new(|| Box::new(NOrec::new(2, 1)) as BoxedTm),
+            _ => Box::new(|| Box::new(GlobalLock::new(2, 1)) as BoxedTm),
+        };
+        let scripts = bounded();
+        let config = LivecheckConfig::new(depth);
+        let secs = best_secs(runs.min(3), || {
+            criterion::black_box(livecheck(&*factory, &scripts, &config));
+        });
+        let report = livecheck(&*factory, &scripts, &config);
+        assert_eq!(report.rejected_cycles, 0, "{name}: canonicalization bug");
+        live_rows.push(Json::Obj(vec![
+            ("tm".into(), Json::str(name)),
+            ("depth".into(), Json::Int(depth as i64)),
+            ("schedules".into(), Json::Int(1i64 << depth)),
+            ("states".into(), Json::Int(report.states as i64)),
+            ("edges".into(), Json::Int(report.edges as i64)),
+            ("steps".into(), Json::Int(report.steps as i64)),
+            ("cycles".into(), Json::Int(report.cycles_detected as i64)),
+            ("lassos".into(), Json::Int(report.lassos.len() as i64)),
+            (
+                "starvation_free".into(),
+                Json::Bool(report.lasso_starvation_free()),
+            ),
+            ("ms".into(), Json::Num(secs * 1e3)),
+        ]));
+    }
+
+    // Report parity: dedup must not change what the explorer reports.
+    let parity = {
+        let scripts = increments();
+        let depth = if test_mode { 7 } else { 10 };
+        let plain = explore_with(fgp, &scripts, &ExploreConfig::new(depth).sequential());
+        let deduped = explore_with(
+            fgp,
+            &scripts,
+            &ExploreConfig::new(depth).sequential().with_dedup(),
+        );
+        plain.report() == deduped.report()
+    };
+
+    let report = Json::Obj(vec![
+        ("bench".into(), Json::str("livecheck_scaling")),
+        ("cores".into(), Json::Int(cores as i64)),
+        ("test_mode".into(), Json::Bool(test_mode)),
+        ("dedup_comparison".into(), Json::Arr(dedup_rows)),
+        ("dedup_deep_bounds".into(), Json::Arr(deep)),
+        ("refork".into(), Json::Arr(refork_rows)),
+        ("livecheck".into(), Json::Arr(live_rows)),
+        (
+            "headline_speedup_dedup_vs_dfs_bounded_depth12".into(),
+            Json::Num(headline_speedup),
+        ),
+        ("report_parity_with_plain_dfs".into(), Json::Bool(parity)),
+    ]);
+    if test_mode {
+        // Smoke mode (CI, local `-- --test`) exercises the emitter but
+        // must not clobber the committed full-run artifact with
+        // throwaway depth-8 rows.
+        println!("test mode: skipping BENCH_livecheck.json write\n{report}");
+    } else {
+        bench::write_bench_json("livecheck", &report).expect("write artifact");
+    }
+    assert!(parity, "dedup changed the exploration report");
+}
+
+// `emit_json` runs first so the committed artifact reflects steady-state
+// rather than post-throttle timing (see PERF3).
+criterion_group!(benches, emit_json, bench_dedup, bench_livecheck);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Stable, dependency-free 64-bit hashing for state fingerprints.
+//!
+//! The model checker's cross-schedule dedup and the liveness lasso search
+//! both key hash tables on *canonical state digests* of TMs, clients and
+//! certifiers. Those digests must be deterministic within a run but need
+//! no cryptographic strength and no DoS resistance (all inputs are
+//! machine-generated states, not attacker-controlled keys), so a plain
+//! FNV-1a over the [`std::hash::Hash`] byte stream is the right tool:
+//! allocation-free, seedless, and identical across threads — the parallel
+//! frontier's per-worker seen sets agree on every digest.
+//!
+//! A 64-bit digest makes collisions a real (if astronomically unlikely)
+//! possibility; every consumer is therefore *redundantly checked* — the
+//! explorer's digest-dedup is differential-tested report-identical against
+//! the non-dedup explorer, which would surface a collision as a count
+//! mismatch.
+
+use std::hash::{Hash, Hasher};
+
+/// A deterministic, seedless 64-bit FNV-1a [`Hasher`].
+#[derive(Debug, Clone)]
+pub struct StableHasher(u64);
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl StableHasher {
+    /// Creates a hasher at the FNV-1a offset basis.
+    pub fn new() -> Self {
+        StableHasher(FNV_OFFSET)
+    }
+}
+
+impl Default for StableHasher {
+    fn default() -> Self {
+        StableHasher::new()
+    }
+}
+
+impl Hasher for StableHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// The FNV-1a digest of any hashable value.
+pub fn digest_of<T: Hash + ?Sized>(value: &T) -> u64 {
+    let mut hasher = StableHasher::new();
+    value.hash(&mut hasher);
+    hasher.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digests_are_deterministic() {
+        let a = digest_of(&(1u64, vec![2u8, 3], "x"));
+        let b = digest_of(&(1u64, vec![2u8, 3], "x"));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn digests_separate_nearby_values() {
+        assert_ne!(digest_of(&1u64), digest_of(&2u64));
+        assert_ne!(digest_of(&[1u8, 2]), digest_of(&[2u8, 1]));
+        // Structure matters, not just content bytes.
+        assert_ne!(
+            digest_of(&(vec![1u8], vec![2u8])),
+            digest_of(&(vec![1u8, 2u8], Vec::<u8>::new()))
+        );
+    }
+
+    #[test]
+    fn empty_input_hashes_to_offset_basis() {
+        assert_eq!(StableHasher::new().finish(), FNV_OFFSET);
+    }
+}

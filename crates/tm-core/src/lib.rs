@@ -34,6 +34,7 @@
 #![warn(missing_docs)]
 
 pub mod builder;
+pub mod digest;
 pub mod event;
 pub mod history;
 pub mod ids;
@@ -42,6 +43,7 @@ pub mod text;
 pub mod transaction;
 
 pub use builder::HistoryBuilder;
+pub use digest::{digest_of, StableHasher};
 pub use event::{Event, EventKind, Invocation, Response};
 pub use history::{History, WellFormednessError};
 pub use ids::{ProcessId, TVarId, Value, INITIAL_VALUE};

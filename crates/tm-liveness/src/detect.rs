@@ -11,9 +11,9 @@
 //! paper's formal liveness verdicts (see the `thm1_liveness_bridge`
 //! harness).
 
-use tm_core::History;
+use tm_core::{Event, History};
 
-use crate::lasso::InfiniteHistory;
+use crate::lasso::{InfiniteHistory, LassoError};
 
 /// Searches for the smallest period `p` such that the history ends with at
 /// least `min_repeats` exact repetitions of a `p`-event cycle (a trailing
@@ -70,6 +70,34 @@ pub fn detect_lasso(history: &History, min_repeats: usize) -> Option<InfiniteHis
         }
     }
     None
+}
+
+/// Builds a validated lasso from an explorer-detected state-graph cycle:
+/// `prefix` is the event sequence up to the first occurrence of the
+/// repeated canonical state, `cycle` the events between its two
+/// occurrences.
+///
+/// This is the ingestion point for model checkers that find cycles by
+/// state fingerprint (`tm_sim::livecheck`) rather than by event-suffix
+/// periodicity ([`detect_lasso`]): the two occurrences of the state need
+/// *not* produce textually repeating events, only behaviourally
+/// equivalent futures, so the suffix matcher would miss many of these
+/// cycles.
+///
+/// # Errors
+///
+/// The [`LassoError`] rejection paths of [`InfiniteHistory::new`]:
+/// an empty cycle, an ill-formed `prefix · cycle`, or a pending-state
+/// mismatch at the cycle boundary. A cycle detected on a *sound*
+/// canonical state key never trips the latter two (the fingerprint
+/// contract covers pending invocations), so a rejection here is
+/// evidence of a fingerprint canonicalization bug — callers surface it
+/// rather than silently dropping the cycle.
+pub fn lasso_from_cycle(prefix: &[Event], cycle: &[Event]) -> Result<InfiniteHistory, LassoError> {
+    InfiniteHistory::new(
+        History::from_events_unchecked(prefix.to_vec()),
+        History::from_events_unchecked(cycle.to_vec()),
+    )
 }
 
 #[cfg(test)]
@@ -184,5 +212,80 @@ mod tests {
         let h = b.build().unwrap();
         assert!(detect_lasso(&h, 3).is_some());
         assert!(detect_lasso(&h, 4).is_none());
+    }
+
+    #[test]
+    fn min_repeats_zero_is_clamped_to_one() {
+        // 0 would make "ends with 0 repetitions" vacuously true for any
+        // period; the clamp makes it behave exactly like 1.
+        let mut b = HistoryBuilder::new();
+        for _ in 0..2 {
+            b.read(P1, X, 0).commit(P1);
+        }
+        let h = b.build().unwrap();
+        let zero = detect_lasso(&h, 0).expect("clamped to 1");
+        let one = detect_lasso(&h, 1).expect("one repetition suffices");
+        assert_eq!(zero, one);
+        assert!(detect_lasso(&History::new(), 0).is_none());
+    }
+
+    #[test]
+    fn min_repeats_one_accepts_a_single_occurrence() {
+        // One committed transaction, no textual repetition: with
+        // min_repeats 1 a single occurrence counts, and the smallest
+        // *valid* period wins — the trailing `tryC·C` pair (an empty
+        // transaction committing forever), not the full transaction.
+        let h = HistoryBuilder::new()
+            .read(P1, X, 0)
+            .commit(P1)
+            .build()
+            .unwrap();
+        let lasso = detect_lasso(&h, 1).expect("single occurrence");
+        assert_eq!(lasso.prefix().len(), 2);
+        assert_eq!(lasso.cycle().len(), 2);
+        assert_eq!(lasso.commits_per_cycle(P1), 1);
+        assert_eq!(classify(&lasso, P1), ProcessClass::Progressing);
+        // With min_repeats 2 the same history is aperiodic.
+        assert!(detect_lasso(&h, 2).is_none());
+    }
+
+    #[test]
+    fn crash_only_cycle_is_recovered_from_its_unrolling() {
+        // crash_only_lasso: p1 reads once (prefix), p2 reads forever
+        // without ever invoking tryC — the cycle contains only the
+        // "crash-adjacent" faulty behaviours (p1 crashed, p2 parasitic).
+        let reference = crate::figures::crash_only_lasso();
+        let unrolled = reference.unroll(5);
+        let detected = detect_lasso(&unrolled, 3).expect("periodic");
+        assert_eq!(detected.cycle(), reference.cycle());
+        assert_eq!(classify(&detected, P1), ProcessClass::Crashed);
+        assert_eq!(classify(&detected, P2), ProcessClass::Parasitic);
+        // All participants faulty: every TM-liveness property holds
+        // vacuously on the recovered lasso, as on the reference.
+        assert!(LocalProgress.contains(&detected));
+        assert!(GlobalProgress.contains(&detected));
+    }
+
+    #[test]
+    fn lasso_from_cycle_builds_explorer_cycles() {
+        let reference = crate::figures::figure_6();
+        let prefix = reference.prefix().events();
+        let cycle = reference.cycle().events();
+        let rebuilt = lasso_from_cycle(prefix, cycle).expect("valid cycle");
+        assert_eq!(&rebuilt, &reference);
+    }
+
+    #[test]
+    fn lasso_from_cycle_propagates_rejections() {
+        use crate::lasso::LassoError;
+        use tm_core::Event;
+        // Empty cycle.
+        assert_eq!(lasso_from_cycle(&[], &[]), Err(LassoError::EmptyCycle));
+        // A cycle that stacks pending invocations at the boundary.
+        let cycle = [Event::read(P1, X)];
+        assert!(matches!(
+            lasso_from_cycle(&[], &cycle),
+            Err(LassoError::InconsistentCycle { .. })
+        ));
     }
 }

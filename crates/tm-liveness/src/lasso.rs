@@ -256,6 +256,47 @@ mod tests {
     }
 
     #[test]
+    fn mismatched_response_in_concatenation_rejected() {
+        // The cycle answers the prefix's pending read with `Ok` (a write
+        // acknowledgement): `prefix · cycle` violates Σ_k with a
+        // MismatchedResponse, surfacing as IllFormed.
+        let prefix = HistoryBuilder::new()
+            .invoke(P1, Invocation::Read(X))
+            .build()
+            .unwrap();
+        let cycle = History::from_events_unchecked(vec![Event::ok(P1)]);
+        assert!(matches!(
+            InfiniteHistory::new(prefix, cycle),
+            Err(LassoError::IllFormed(
+                tm_core::WellFormednessError::MismatchedResponse { .. }
+            ))
+        ));
+    }
+
+    #[test]
+    fn response_without_invocation_rejected() {
+        let cycle = History::from_events_unchecked(vec![Event::committed(P1)]);
+        assert!(matches!(
+            InfiniteHistory::new(History::new(), cycle),
+            Err(LassoError::IllFormed(
+                tm_core::WellFormednessError::ResponseWithoutInvocation { .. }
+            ))
+        ));
+    }
+
+    #[test]
+    fn inconsistent_cycle_names_the_offending_process() {
+        // P2's lone invocation stacks at the boundary; the error must
+        // name P2, not P1 (whose projection is fine).
+        let prefix = HistoryBuilder::new().read(P1, X, 0).build().unwrap();
+        let cycle = History::from_events_unchecked(vec![Event::read(P2, X)]);
+        assert_eq!(
+            InfiniteHistory::new(prefix, cycle),
+            Err(LassoError::InconsistentCycle { process: P2 })
+        );
+    }
+
+    #[test]
     fn open_transaction_across_cycle_is_allowed() {
         // A parasitic process keeps a transaction open forever with
         // completed ops: no pending invocation at the boundary.

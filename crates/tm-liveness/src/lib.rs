@@ -40,7 +40,7 @@ pub use classify::{
     classify, classify_all, correct_processes, is_correct, is_crashed, is_faulty, is_parasitic,
     is_pending, is_starving, makes_progress, progressing_processes, runs_alone, ProcessClass,
 };
-pub use detect::detect_lasso;
+pub use detect::{detect_lasso, lasso_from_cycle};
 pub use lasso::{InfiniteHistory, LassoError};
 pub use meta::{satisfies_biprogressing_condition, satisfies_nonblocking_condition};
 pub use properties::{

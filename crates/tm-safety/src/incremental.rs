@@ -580,6 +580,44 @@ impl IncrementalChecker {
         }
     }
 
+    /// A canonical 64-bit digest of the certifier's *verdict-relevant*
+    /// state: two certifiers with equal digests accept and reject exactly
+    /// the same future event sequences (modulo 64-bit collisions).
+    ///
+    /// Covered: the mode, the committed-state sequence (candidate slots
+    /// index into it), every open transaction's pending invocation,
+    /// read/write sets and candidate slots, and whether a violation has
+    /// latched. Deliberately excluded, with the canonicalization
+    /// rationale of `tm_stm::SteppedTm::state_digest`:
+    ///
+    /// * the event position and the latched violation's detail — they
+    ///   parameterize *reports*, never verdicts (the explorer's dedup
+    ///   only ever merges subtrees that report nothing);
+    /// * the undo log and logging flag — rollback bookkeeping;
+    /// * trailing `None` entries of the dense open-transaction table —
+    ///   an artifact of which process ids have been touched;
+    /// * each candidate set's base/spill representation — the digest
+    ///   hashes the slot *values* in ascending order.
+    pub fn state_digest(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = tm_core::StableHasher::new();
+        matches!(self.mode, Mode::Opacity).hash(&mut h);
+        self.states.hash(&mut h);
+        for (k, open) in self.open.iter().enumerate() {
+            let Some(tx) = open else { continue };
+            k.hash(&mut h);
+            tx.pending.hash(&mut h);
+            tx.reads.hash(&mut h);
+            tx.writes.hash(&mut h);
+            for slot in tx.candidates.iter() {
+                slot.hash(&mut h);
+            }
+            u64::MAX.hash(&mut h); // terminator between transactions
+        }
+        self.violation.is_some().hash(&mut h);
+        h.finish()
+    }
+
     /// Number of commit events processed so far.
     pub fn commits(&self) -> usize {
         self.states.len() - 1

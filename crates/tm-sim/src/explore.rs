@@ -76,6 +76,44 @@
 //! Pruning changes the *number* of schedules visited (that is its
 //! point), so differential tests comparing counts run with it disabled;
 //! a separate test checks verdict equivalence with it enabled.
+//!
+//! # Digest dedup: collapsing the tree into a DAG
+//!
+//! Distinct schedule prefixes routinely reach the *same* configuration —
+//! the same TM state, client cursors and certifier state (permuting two
+//! processes' already-certified steps is the canonical case). The subtree
+//! below such a configuration depends on nothing else, so with
+//! [`ExploreConfig::dedup`] the explorer keys a seen set on
+//!
+//! `(TM state digest, client cursors, certifier digest, sleep set,
+//!   remaining depth)`
+//!
+//! and, on a hit, *replays the memoized subtree summary* (schedule and
+//! pruned-subtree counts) instead of walking the subtree again — turning
+//! the schedule tree into a DAG. TM digests come from the per-algorithm
+//! [`tm_stm::SteppedTm::state_digest`] canonicalization contract;
+//! certifier digests from
+//! [`tm_safety::IncrementalChecker::state_digest`]. For TMs without a
+//! fingerprint the option silently disables (mirroring sleep sets).
+//!
+//! Two rules keep the reports **byte-identical** to the exhaustive
+//! explorer's (differential-tested across the catalogue):
+//!
+//! * a subtree is memoized only when it certified *silently* — no
+//!   violations and no exact-checker fallbacks. Those rare subtrees
+//!   carry path-dependent report data (violation schedules/histories,
+//!   exact re-checks of the full history), so every prefix re-explores
+//!   them and reports its own copy;
+//! * no lookup happens while a fast-certifier rejection is latched (all
+//!   leaves below it fall back to the exact checker).
+//!
+//! Equal keys imply equal futures: the TM digest determines every future
+//! response (the fingerprint contract), cursors determine every future
+//! invocation, and the certifier digest determines every future verdict —
+//! so the memoized counts transfer exactly, collision risk aside (which
+//! is what the differential suite guards).
+
+use std::collections::HashMap;
 
 use tm_core::{Event, History, Invocation, ProcessId, TVarId};
 use tm_safety::{check_opacity, IncrementalChecker, Mode, SafetyVerdict};
@@ -83,7 +121,7 @@ use tm_stm::{BoxedTm, Outcome, SteppedTm};
 
 use rayon::prelude::*;
 
-use crate::workload::{Client, ClientScript};
+use crate::workload::{clients_digest, Client, ClientScript};
 
 /// A definitive safety violation found during exploration.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -110,6 +148,8 @@ pub struct Exploration {
     pub violations: Vec<Violation>,
     /// Subtrees skipped by sleep-set pruning (0 unless enabled).
     pub pruned_subtrees: usize,
+    /// Subtrees replayed from the digest seen set (0 unless enabled).
+    pub dedup_hits: usize,
 }
 
 impl Exploration {
@@ -118,11 +158,20 @@ impl Exploration {
         self.violations.is_empty()
     }
 
+    /// The *report* portion of the exploration — schedule count, exact
+    /// fallback count and violations. Search diagnostics (pruned-subtree
+    /// and dedup-hit counts) are excluded: two explorations "report
+    /// identically" iff these match.
+    pub fn report(&self) -> (usize, usize, &[Violation]) {
+        (self.schedules, self.exact_fallbacks, &self.violations)
+    }
+
     fn absorb(&mut self, other: Exploration) {
         self.schedules += other.schedules;
         self.exact_fallbacks += other.exact_fallbacks;
         self.violations.extend(other.violations);
         self.pruned_subtrees += other.pruned_subtrees;
+        self.dedup_hits += other.dedup_hits;
     }
 }
 
@@ -143,6 +192,12 @@ pub struct ExploreConfig {
     /// whose [`tm_stm::SteppedTm::disjoint_var_ops_commute`] contract
     /// holds; for the rest pruning is silently disabled.
     pub sleep_sets: bool,
+    /// Collapse the schedule tree into a DAG via the digest seen set
+    /// (see the module docs). Reports stay byte-identical; `schedules`
+    /// still counts every leaf of the full tree. Takes effect only for
+    /// TMs implementing [`tm_stm::SteppedTm::state_digest`]; for the
+    /// rest dedup is silently disabled.
+    pub dedup: bool,
 }
 
 impl ExploreConfig {
@@ -154,6 +209,7 @@ impl ExploreConfig {
             parallel: true,
             split_depth: None,
             sleep_sets: false,
+            dedup: false,
         }
     }
 
@@ -172,6 +228,12 @@ impl ExploreConfig {
     /// Pins the parallel split depth.
     pub fn with_split_depth(mut self, split: usize) -> Self {
         self.split_depth = Some(split);
+        self
+    }
+
+    /// Enables digest dedup (the cross-schedule seen set).
+    pub fn with_dedup(mut self) -> Self {
+        self.dedup = true;
         self
     }
 }
@@ -281,6 +343,41 @@ fn certify_leaf(
     }
 }
 
+/// Key of the digest seen set: one explored configuration of the search,
+/// at one remaining depth (memoized subtree summaries only transfer
+/// between identical residual searches).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct MemoKey {
+    tm: u64,
+    clients: u64,
+    checker: u64,
+    sleep: u64,
+    remaining: u32,
+}
+
+/// The memoized summary of a silently-certified subtree.
+#[derive(Debug, Clone, Copy)]
+struct MemoDelta {
+    schedules: usize,
+    pruned_subtrees: usize,
+}
+
+/// The digest seen set (one per sequential walk / parallel worker).
+#[derive(Debug, Default)]
+struct Memo {
+    enabled: bool,
+    table: HashMap<MemoKey, MemoDelta>,
+}
+
+impl Memo {
+    fn new(enabled: bool) -> Self {
+        Memo {
+            enabled,
+            ..Memo::default()
+        }
+    }
+}
+
 /// The per-path mutable state of the depth-first walk. The TM is owned
 /// and consumed per call (the last child of a node steals the parent's
 /// instance); everything else unwinds in place.
@@ -297,6 +394,9 @@ struct Walk<'a> {
     spare: &'a mut Vec<BoxedTm>,
     /// Whether the TM under exploration supports `refork_from`.
     recycle: bool,
+    /// The digest seen set (disabled during the parallel split walk,
+    /// whose "leaves" collect subtree roots rather than certifying).
+    memo: &'a mut Memo,
 }
 
 /// Per-node footprints of every process's next step, on the stack (no
@@ -337,6 +437,36 @@ where
     if remaining == 0 {
         return leaf(walk, tm, sleep);
     }
+    // Digest dedup: replay a memoized subtree summary, or note the entry
+    // counters so this subtree can be memoized on the way out. No lookup
+    // while a rejection is latched (every leaf below falls back to the
+    // exact checker on the full, path-dependent history).
+    let memo_note = if walk.memo.enabled && walk.checker.violation().is_none() {
+        let key = MemoKey {
+            tm: tm
+                .state_digest()
+                .expect("dedup runs only for fingerprinting TMs"),
+            clients: clients_digest(walk.clients),
+            checker: walk.checker.state_digest(),
+            sleep,
+            remaining: remaining as u32,
+        };
+        if let Some(&delta) = walk.memo.table.get(&key) {
+            walk.out.schedules += delta.schedules;
+            walk.out.pruned_subtrees += delta.pruned_subtrees;
+            walk.out.dedup_hits += 1;
+            return Some(tm);
+        }
+        Some((
+            key,
+            walk.out.schedules,
+            walk.out.exact_fallbacks,
+            walk.out.violations.len(),
+            walk.out.pruned_subtrees,
+        ))
+    } else {
+        None
+    };
     let n = walk.clients.len();
     walk.out.pruned_subtrees += sleep.count_ones() as usize;
     // Only materialize footprints when pruning is on: the array init is
@@ -403,6 +533,20 @@ where
     walk.history.truncate(history_len);
     walk.checker.rollback(checkpoint);
     walk.clients[last].restore(mark);
+    // Memoize only silently-certified subtrees: violations and exact
+    // fallbacks carry path-dependent report data that must be recomputed
+    // per prefix (see the module docs).
+    if let Some((key, schedules, fallbacks, violations, pruned)) = memo_note {
+        if walk.out.exact_fallbacks == fallbacks && walk.out.violations.len() == violations {
+            walk.memo.table.insert(
+                key,
+                MemoDelta {
+                    schedules: walk.out.schedules - schedules,
+                    pruned_subtrees: walk.out.pruned_subtrees - pruned,
+                },
+            );
+        }
+    }
     recycled
 }
 
@@ -462,6 +606,9 @@ where
         let mut probe = tm.fork();
         probe.refork_from(&*tm)
     };
+    // Digest dedup silently disables for TMs without a fingerprint,
+    // mirroring the sleep-set probe above.
+    let dedup = config.dedup && tm.state_digest().is_some();
 
     let mut clients: Vec<Client> = scripts.iter().cloned().map(Client::new).collect();
     let mut checker = IncrementalChecker::new(Mode::Opacity);
@@ -480,6 +627,7 @@ where
     };
 
     if !config.parallel || split == 0 {
+        let mut memo = Memo::new(dedup);
         let mut walk = Walk {
             clients: &mut clients,
             path: &mut path,
@@ -488,6 +636,7 @@ where
             out: &mut out,
             spare: &mut spare,
             recycle,
+            memo: &mut memo,
         };
         walk_tree(
             &mut walk,
@@ -505,6 +654,10 @@ where
 
     let mut roots = Vec::new();
     {
+        // The split walk's "leaves" collect subtree roots instead of
+        // certifying, so its subtree summaries would be vacuous: dedup
+        // stays off here and runs per worker below.
+        let mut memo = Memo::new(false);
         let mut walk = Walk {
             clients: &mut clients,
             path: &mut path,
@@ -513,6 +666,7 @@ where
             out: &mut out,
             spare: &mut spare,
             recycle,
+            memo: &mut memo,
         };
         walk_tree(
             &mut walk,
@@ -541,6 +695,10 @@ where
         .map(move |mut root| {
             let mut sub = Exploration::default();
             let mut spare = Vec::new();
+            // Per-worker seen set: sound (digests are thread-agnostic),
+            // deterministic, and lock-free; only cross-subtree hits are
+            // forgone relative to the sequential walk.
+            let mut memo = Memo::new(dedup);
             let mut walk = Walk {
                 clients: &mut root.clients,
                 path: &mut root.path,
@@ -549,6 +707,7 @@ where
                 out: &mut sub,
                 spare: &mut spare,
                 recycle,
+                memo: &mut memo,
             };
             walk_tree(
                 &mut walk,
@@ -854,6 +1013,79 @@ mod tests {
             let full = explore_with(&*factory, &scripts, &ExploreConfig::new(8).sequential());
             assert_eq!(full, pruned, "{name}");
         }
+    }
+
+    #[test]
+    fn dedup_replays_subtrees_but_reports_identically() {
+        let scripts = two_increments();
+        let full = explore_with(
+            || Box::new(FgpTm::new(2, 1, FgpVariant::CpOnly)),
+            &scripts,
+            &ExploreConfig::new(10).sequential(),
+        );
+        let deduped = explore_with(
+            || Box::new(FgpTm::new(2, 1, FgpVariant::CpOnly)),
+            &scripts,
+            &ExploreConfig::new(10).sequential().with_dedup(),
+        );
+        assert!(deduped.dedup_hits > 0, "the increment workload must merge");
+        assert_eq!(full.report(), deduped.report());
+        assert_eq!(deduped.schedules, 1 << 10, "hits still count every leaf");
+    }
+
+    #[test]
+    fn dedup_still_catches_the_buggy_tm_with_identical_violations() {
+        let scripts = vec![
+            ClientScript::increment(X),
+            ClientScript::new(vec![
+                crate::workload::PlannedOp::Read(X),
+                crate::workload::PlannedOp::Write(X, 5),
+            ]),
+        ];
+        let full = explore_with(
+            || tm_stm::literal_fgp(2, 1),
+            &scripts,
+            &ExploreConfig::new(10).sequential(),
+        );
+        let deduped = explore_with(
+            || tm_stm::literal_fgp(2, 1),
+            &scripts,
+            &ExploreConfig::new(10).sequential().with_dedup(),
+        );
+        assert!(!full.all_opaque());
+        assert_eq!(full.report(), deduped.report());
+    }
+
+    #[test]
+    fn dedup_composes_with_sleep_sets_and_parallelism() {
+        let scripts = vec![
+            ClientScript::increment(X),
+            ClientScript::increment(TVarId(1)),
+        ];
+        let base = explore_with(
+            || Box::new(Tl2::new(2, 2)),
+            &scripts,
+            &ExploreConfig::new(9).sequential().with_sleep_sets(),
+        );
+        let deduped = explore_with(
+            || Box::new(Tl2::new(2, 2)),
+            &scripts,
+            &ExploreConfig::new(9)
+                .sequential()
+                .with_sleep_sets()
+                .with_dedup(),
+        );
+        assert_eq!(base.report(), deduped.report());
+        assert_eq!(base.pruned_subtrees, deduped.pruned_subtrees);
+        let parallel = explore_with(
+            || Box::new(Tl2::new(2, 2)),
+            &scripts,
+            &ExploreConfig::new(9)
+                .with_split_depth(3)
+                .with_sleep_sets()
+                .with_dedup(),
+        );
+        assert_eq!(base.report(), parallel.report());
     }
 
     #[test]

@@ -15,7 +15,11 @@
 //!   accounting and optional online opacity certification;
 //! * [`explore_schedules`] — bounded-exhaustive enumeration of all
 //!   interleavings, the executable analogue of Theorem 3's "every finite
-//!   history of `Fgp` is opaque".
+//!   history of `Fgp` is opaque";
+//! * [`livecheck`] — bounded *liveness* model checking: lasso detection
+//!   over the canonical state graph, classifying which processes a TM
+//!   can starve, block, or keep progressing (the paper's Figure 2
+//!   taxonomy, decided mechanically).
 //!
 //! ```
 //! use tm_core::TVarId;
@@ -44,6 +48,7 @@
 
 pub mod explore;
 pub mod faults;
+pub mod livecheck;
 pub mod runner;
 pub mod scheduler;
 pub mod workload;
@@ -52,6 +57,9 @@ pub use explore::{
     explore_schedules, explore_schedules_naive, explore_with, Exploration, ExploreConfig, Violation,
 };
 pub use faults::{parasitic_script, Fault, FaultPlan};
+pub use livecheck::{
+    livecheck, LassoFinding, LivecheckConfig, LivecheckReport, ProcessCycleVerdicts,
+};
 pub use runner::{simulate, SimConfig, SimReport};
 pub use scheduler::{FixedSchedule, RandomScheduler, RoundRobin, Scheduler, WeightedScheduler};
 pub use workload::{random_script, Client, ClientMark, ClientScript, PlannedOp, WorkloadConfig};

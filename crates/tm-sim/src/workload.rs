@@ -119,6 +119,22 @@ pub fn random_script<R: Rng>(config: &WorkloadConfig, rng: &mut R) -> ClientScri
     ClientScript::new(ops)
 }
 
+/// Digest of every client's [`Client::cursor`] — the client component of
+/// the model checkers' configuration keys: exactly the state that
+/// determines all future invocations, with the commit/abort tallies
+/// excluded (they differ between merged prefixes and influence nothing
+/// the checkers observe). Allocation-free: this sits on the per-node
+/// hot path of the dedup explorer and the per-step path of livecheck.
+pub(crate) fn clients_digest(clients: &[Client]) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut hasher = tm_core::StableHasher::new();
+    clients.len().hash(&mut hasher);
+    for client in clients {
+        client.cursor().hash(&mut hasher);
+    }
+    hasher.finish()
+}
+
 /// A snapshot of a [`Client`]'s execution state, taken by
 /// [`Client::mark`] and consumed by [`Client::restore`].
 #[derive(Debug, Clone, Copy)]
@@ -208,6 +224,26 @@ impl Client {
         self.last_read = mark.last_read;
         self.commits = mark.commits;
         self.aborts = mark.aborts;
+    }
+
+    /// The client's transaction cursor: the operation position and the
+    /// last read value — exactly the state that determines every future
+    /// invocation. The commit/abort tallies are deliberately excluded
+    /// (they are observation counters, not behaviour), which is what
+    /// lets the model checker's digest dedup and the liveness lasso
+    /// search merge configurations reached by different prefixes.
+    pub fn cursor(&self) -> (usize, Option<Value>) {
+        (self.position, self.last_read)
+    }
+
+    /// Restarts the current transaction attempt without touching the
+    /// commit/abort tallies. The liveness checker uses this to model
+    /// *parasitic* processes (paper §2.3): instead of reaching the
+    /// script's implicit `tryC`, a parasitic client loops its operations
+    /// forever.
+    pub fn restart_transaction(&mut self) {
+        self.position = 0;
+        self.last_read = None;
     }
 
     /// Replaces the script (used by parasitic fault injection, which

@@ -102,6 +102,42 @@ pub trait SteppedTm {
         false
     }
 
+    /// A canonical 64-bit digest of the TM's current state, or `None` if
+    /// the algorithm has not opted into fingerprinting.
+    ///
+    /// # Canonicalization contract
+    ///
+    /// Digests feed the model checker's cross-schedule seen sets: two
+    /// instances (created by the same factory — digests are never compared
+    /// across algorithms or configurations) whose digests are equal are
+    /// treated as **observationally equivalent**, i.e. every future
+    /// invocation sequence produces the same responses and equal digests
+    /// again. An implementation must therefore:
+    ///
+    /// * **cover** every mutable component that can influence any future
+    ///   response or poll outcome (pending invocations, per-transaction
+    ///   read/write sets, locks, doom marks, committed values, …) — an
+    ///   omission makes the seen set unsound;
+    /// * **canonicalize** components whose concrete representation can
+    ///   differ between behaviourally equivalent reachable states. The
+    ///   recurring case is unbounded monotonic counters compared only
+    ///   relatively: a TL2-style version clock must be hashed as the
+    ///   *rank pattern* of `{clock, slot versions, transaction rvs}`
+    ///   rather than as absolute values (behaviour is invariant under
+    ///   order-preserving remapping, and absolute values would keep
+    ///   states from ever recurring — defeating both the dedup and the
+    ///   lasso search); a NOrec-style sequence number is compared only
+    ///   for equality and is hashed as per-transaction staleness bits.
+    ///   Extra precision is always *sound* (it only splits equivalence
+    ///   classes, never merges them) but costs collapsing power.
+    ///
+    /// Collisions of the 64-bit digest are possible in principle; the
+    /// dedup explorer is differential-tested report-identical against the
+    /// exhaustive explorer to keep that risk visible.
+    fn state_digest(&self) -> Option<u64> {
+        None
+    }
+
     /// Whether two *operation* steps (a read or write invocation
     /// answered immediately, no `tryC`) by **different processes** on
     /// **different t-variables** always commute: executing them in
@@ -186,6 +222,10 @@ impl SteppedTm for BoxedTm {
 
     fn refork_from(&mut self, source: &dyn SteppedTm) -> bool {
         (**self).refork_from(source)
+    }
+
+    fn state_digest(&self) -> Option<u64> {
+        (**self).state_digest()
     }
 
     fn disjoint_var_ops_commute(&self) -> bool {

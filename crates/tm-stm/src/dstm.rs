@@ -214,6 +214,34 @@ impl SteppedTm for Dstm {
     fn fork(&self) -> BoxedTm {
         Box::new(self.clone())
     }
+
+    fn state_digest(&self) -> Option<u64> {
+        use std::hash::Hash;
+        // No clocks — the state is naturally recurrent. One
+        // canonicalization: an unowned slot's `new_value` is stale
+        // residue from a finished owner (doom and abort release the
+        // slot without clearing it), so it is hashed only while owned.
+        let mut h = tm_core::StableHasher::new();
+        for slot in &self.vars {
+            (
+                slot.committed,
+                slot.owner,
+                slot.owner.map(|_| slot.new_value),
+            )
+                .hash(&mut h);
+        }
+        for tx in &self.txs {
+            match tx {
+                TxState::Idle => 0u8.hash(&mut h),
+                TxState::Doomed => 2u8.hash(&mut h),
+                TxState::Active(tx) => {
+                    1u8.hash(&mut h);
+                    tx.reads.hash(&mut h);
+                }
+            }
+        }
+        Some(std::hash::Hasher::finish(&h))
+    }
 }
 
 #[cfg(test)]

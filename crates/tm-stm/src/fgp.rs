@@ -111,6 +111,13 @@ impl SteppedTm for FgpTm {
         true
     }
 
+    fn state_digest(&self) -> Option<u64> {
+        // The automaton state `(Status, CP, Val, f)` is already canonical:
+        // no unbounded counters, every component behaviour-relevant. The
+        // runner's (disabled) history is deliberately excluded.
+        Some(tm_core::digest_of(self.runner.state()))
+    }
+
     fn as_any(&self) -> Option<&dyn std::any::Any> {
         Some(self)
     }

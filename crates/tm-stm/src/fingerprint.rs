@@ -1,0 +1,31 @@
+//! Shared canonicalization helpers behind [`crate::SteppedTm::state_digest`].
+
+/// Rank table for timestamp canonicalization: the sorted, deduplicated
+/// multiset of every timestamp occurring in a TM state (global clock,
+/// slot versions, transaction begin stamps).
+///
+/// Version-clock TMs (TL2, TinySTM, SwissTM) compare timestamps only
+/// *relatively* (`version > rv`; commit draws a fresh maximum), so state
+/// digests hash each timestamp's **rank** in this table rather than its
+/// absolute value: states differing only by an order-preserving remap of
+/// the clock domain digest equal, which is what lets the model checkers'
+/// seen sets observe recurrence at all. This rule is the load-bearing
+/// soundness contract of those digests (see
+/// [`crate::SteppedTm::state_digest`]) — keep it in this one place.
+pub(crate) struct Ranks(Vec<u64>);
+
+impl Ranks {
+    /// Builds the table from every timestamp the state contains. The
+    /// collection must be *complete*: ranking an uncollected stamp
+    /// panics rather than mis-canonicalizing.
+    pub(crate) fn new(mut stamps: Vec<u64>) -> Self {
+        stamps.sort_unstable();
+        stamps.dedup();
+        Ranks(stamps)
+    }
+
+    /// The canonical rank of a collected timestamp.
+    pub(crate) fn rank(&self, stamp: u64) -> u64 {
+        self.0.binary_search(&stamp).expect("stamp was collected") as u64
+    }
+}

@@ -91,6 +91,13 @@ impl SteppedTm for GlobalLock {
     fn fork(&self) -> BoxedTm {
         Box::new(self.clone())
     }
+
+    fn state_digest(&self) -> Option<u64> {
+        // `(vals, owner, pending)` is already canonical — the lock TM has
+        // no clocks. The runner's recorded history is excluded: it is an
+        // observation log, not behaviour-relevant state.
+        Some(tm_core::digest_of(self.runner.state()))
+    }
 }
 
 #[cfg(test)]

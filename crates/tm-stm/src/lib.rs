@@ -44,6 +44,7 @@ pub mod catalog;
 pub mod concurrent;
 pub mod dstm;
 pub mod fgp;
+mod fingerprint;
 pub mod global_lock;
 pub mod norec;
 pub mod ostm;

@@ -188,6 +188,58 @@ impl SteppedTm for NOrec {
         Box::new(self.clone())
     }
 
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+
+    fn refork_from(&mut self, source: &dyn SteppedTm) -> bool {
+        let Some(source) = source.as_any().and_then(|a| a.downcast_ref::<NOrec>()) else {
+            return false;
+        };
+        if self.txs.len() != source.txs.len() || self.vars.len() != source.vars.len() {
+            return false;
+        }
+        self.seq = source.seq;
+        self.vars.clone_from(&source.vars);
+        for (dst, src) in self.txs.iter_mut().zip(&source.txs) {
+            match (dst, src) {
+                // Same-variant case reuses the read vector's and write
+                // map's existing buffers instead of reallocating.
+                (TxState::Active(dst), TxState::Active(src)) => {
+                    dst.snapshot = src.snapshot;
+                    dst.reads.clone_from(&src.reads);
+                    dst.writes.clone_from(&src.writes);
+                }
+                (dst, src) => *dst = src.clone(),
+            }
+        }
+        true
+    }
+
+    fn state_digest(&self) -> Option<u64> {
+        use std::hash::Hash;
+        // NOrec compares its sequence number only for *equality*
+        // (`snapshot == seq` decides whether a value revalidation runs),
+        // so the canonical digest reduces each transaction's snapshot to
+        // a staleness bit and drops the absolute sequence number — a
+        // commit flips every staleness bit identically in any two states
+        // digesting equal (see [`SteppedTm::state_digest`]).
+        let mut h = tm_core::StableHasher::new();
+        self.vars.hash(&mut h);
+        for tx in &self.txs {
+            match tx {
+                TxState::Idle => 0u8.hash(&mut h),
+                TxState::Active(tx) => {
+                    1u8.hash(&mut h);
+                    (tx.snapshot == self.seq).hash(&mut h);
+                    tx.reads.hash(&mut h);
+                    tx.writes.hash(&mut h);
+                }
+            }
+        }
+        Some(std::hash::Hasher::finish(&h))
+    }
+
     fn disjoint_var_ops_commute(&self) -> bool {
         // Audited: begin snapshots the global sequence number (only
         // commit advances it); value re-validation reads committed

@@ -177,6 +177,33 @@ impl SteppedTm for Ostm {
     fn fork(&self) -> BoxedTm {
         Box::new(self.clone())
     }
+
+    fn state_digest(&self) -> Option<u64> {
+        use std::hash::Hash;
+        // Per-object versions are compared only for *equality* against a
+        // transaction's recorded read versions (and versions only grow),
+        // so the canonical digest reduces each recorded read to a
+        // validity bit and drops absolute versions entirely: a commit on
+        // object `j` invalidates `j`'s readers identically in any two
+        // states digesting equal (see [`SteppedTm::state_digest`]).
+        let mut h = tm_core::StableHasher::new();
+        for slot in &self.vars {
+            slot.value.hash(&mut h);
+        }
+        for tx in &self.txs {
+            match tx {
+                TxState::Idle => 0u8.hash(&mut h),
+                TxState::Active(tx) => {
+                    1u8.hash(&mut h);
+                    for &(j, ver) in &tx.reads {
+                        (j, self.vars[j].version == ver).hash(&mut h);
+                    }
+                    tx.writes.hash(&mut h);
+                }
+            }
+        }
+        Some(std::hash::Hasher::finish(&h))
+    }
 }
 
 #[cfg(test)]

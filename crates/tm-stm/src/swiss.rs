@@ -252,6 +252,51 @@ impl SteppedTm for SwissTm {
     fn fork(&self) -> BoxedTm {
         Box::new(self.clone())
     }
+
+    fn state_digest(&self) -> Option<u64> {
+        use std::hash::Hash;
+        // Two unbounded counters, both compared only relatively, both
+        // rank-canonicalized (see [`SteppedTm::state_digest`]):
+        //
+        // * the version clock (`version > rv`; commit draws a fresh
+        //   maximum) — ranked over `{clock, versions, rvs}`;
+        // * transaction ages (greedy CM compares `my_age < owner_age`;
+        //   a fresh transaction draws `next_age + 1`, a fresh maximum
+        //   above every *active* age) — ranked among active ages, with
+        //   `next_age` itself excluded.
+        let mut stamps = Vec::with_capacity(self.vars.len() + self.txs.len() + 1);
+        stamps.push(self.clock);
+        stamps.extend(self.vars.iter().map(|s| s.version));
+        let mut ages = Vec::with_capacity(self.txs.len());
+        for tx in &self.txs {
+            if let TxState::Active(tx) = tx {
+                stamps.push(tx.rv);
+                ages.push(tx.age);
+            }
+        }
+        let stamps = crate::fingerprint::Ranks::new(stamps);
+        let ages = crate::fingerprint::Ranks::new(ages);
+        let rank = |t: u64| stamps.rank(t);
+        let age_rank = |a: u64| ages.rank(a);
+        let mut h = tm_core::StableHasher::new();
+        rank(self.clock).hash(&mut h);
+        for slot in &self.vars {
+            (slot.value, rank(slot.version), slot.writer).hash(&mut h);
+        }
+        for tx in &self.txs {
+            match tx {
+                TxState::Idle => 0u8.hash(&mut h),
+                TxState::Doomed => 2u8.hash(&mut h),
+                TxState::Active(tx) => {
+                    1u8.hash(&mut h);
+                    (age_rank(tx.age), rank(tx.rv)).hash(&mut h);
+                    tx.reads.hash(&mut h);
+                    tx.writes.hash(&mut h);
+                }
+            }
+        }
+        Some(std::hash::Hasher::finish(&h))
+    }
 }
 
 #[cfg(test)]

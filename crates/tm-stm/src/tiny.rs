@@ -222,6 +222,43 @@ impl SteppedTm for TinyStm {
         Box::new(self.clone())
     }
 
+    fn state_digest(&self) -> Option<u64> {
+        use std::hash::Hash;
+        // Like TL2, TinySTM compares its version clock only relatively
+        // (`version > rv`; commit draws `clock + 1`, a fresh maximum), so
+        // the canonical digest hashes timestamp *ranks* rather than
+        // absolute values (see [`crate::fingerprint::Ranks`]).
+        let mut stamps = Vec::with_capacity(self.vars.len() + self.txs.len() + 1);
+        stamps.push(self.clock);
+        stamps.extend(self.vars.iter().map(|s| s.version));
+        for tx in &self.txs {
+            if let TxState::Active(tx) = tx {
+                stamps.push(tx.rv);
+            }
+        }
+        let ranks = crate::fingerprint::Ranks::new(stamps);
+        let rank = |t: u64| ranks.rank(t);
+        let mut h = tm_core::StableHasher::new();
+        rank(self.clock).hash(&mut h);
+        for slot in &self.vars {
+            // Write-through: the in-place value is exact state whether or
+            // not the slot is locked (the undo log holds the rollback).
+            (slot.value, rank(slot.version), slot.owner).hash(&mut h);
+        }
+        for tx in &self.txs {
+            match tx {
+                TxState::Idle => 0u8.hash(&mut h),
+                TxState::Active(tx) => {
+                    1u8.hash(&mut h);
+                    rank(tx.rv).hash(&mut h);
+                    tx.reads.hash(&mut h);
+                    tx.undo.hash(&mut h);
+                }
+            }
+        }
+        Some(std::hash::Hasher::finish(&h))
+    }
+
     // NOTE: TinySTM must NOT opt into `disjoint_var_ops_commute`:
     // although encounter-time locks are per-variable, an abort rolls
     // back the transaction's *entire* undo log — releasing locks and

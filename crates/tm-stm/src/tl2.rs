@@ -16,6 +16,8 @@
 //! the paper credits it with solo progress even in crash-prone systems
 //! (§3.2.3): a crashed transaction holds nothing that blocks others.
 
+use std::hash::Hash;
+
 use tm_core::{Invocation, ProcessId, Response, TVarId, Value, INITIAL_VALUE};
 
 use crate::api::{BoxedTm, Outcome, SteppedTm};
@@ -112,6 +114,21 @@ impl Tl2 {
         self.txs[k] = TxState::Idle;
         Outcome::Response(Response::Aborted)
     }
+
+    /// Rank table over every timestamp in the state: the clock, each
+    /// slot version and each active transaction's `rv` (see
+    /// [`crate::fingerprint::Ranks`] for why digests hash ranks).
+    fn timestamp_ranks(&self) -> crate::fingerprint::Ranks {
+        let mut stamps = Vec::with_capacity(self.vars.len() + self.txs.len() + 1);
+        stamps.push(self.clock);
+        stamps.extend(self.vars.iter().map(|s| s.version));
+        for tx in &self.txs {
+            if let TxState::Active(tx) = tx {
+                stamps.push(tx.rv);
+            }
+        }
+        crate::fingerprint::Ranks::new(stamps)
+    }
 }
 
 impl SteppedTm for Tl2 {
@@ -183,6 +200,61 @@ impl SteppedTm for Tl2 {
 
     fn fork(&self) -> BoxedTm {
         Box::new(self.clone())
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+
+    fn refork_from(&mut self, source: &dyn SteppedTm) -> bool {
+        let Some(source) = source.as_any().and_then(|a| a.downcast_ref::<Tl2>()) else {
+            return false;
+        };
+        if self.txs.len() != source.txs.len() || self.vars.len() != source.vars.len() {
+            return false;
+        }
+        self.clock = source.clock;
+        self.vars.clone_from(&source.vars);
+        for (dst, src) in self.txs.iter_mut().zip(&source.txs) {
+            match (dst, src) {
+                // Same-variant case reuses the read vector's and write
+                // map's existing buffers instead of reallocating.
+                (TxState::Active(dst), TxState::Active(src)) => {
+                    dst.rv = src.rv;
+                    dst.reads.clone_from(&src.reads);
+                    dst.writes.clone_from(&src.writes);
+                }
+                (dst, src) => *dst = src.clone(),
+            }
+        }
+        true
+    }
+
+    fn state_digest(&self) -> Option<u64> {
+        let ranks = self.timestamp_ranks();
+        let rank = |t: u64| ranks.rank(t);
+        let mut h = tm_core::StableHasher::new();
+        rank(self.clock).hash(&mut h);
+        for slot in &self.vars {
+            (slot.value, rank(slot.version)).hash(&mut h);
+        }
+        for tx in &self.txs {
+            match tx {
+                TxState::Idle => 0u8.hash(&mut h),
+                TxState::Active(tx) => {
+                    1u8.hash(&mut h);
+                    rank(tx.rv).hash(&mut h);
+                    // Read/write sets are exact state: reads are replayed
+                    // against versions at commit, buffered writes shadow
+                    // reads and publish on commit. Their order is already
+                    // canonical (invocation order per the deterministic
+                    // client; key order for the map).
+                    tx.reads.hash(&mut h);
+                    tx.writes.hash(&mut h);
+                }
+            }
+        }
+        Some(std::hash::Hasher::finish(&h))
     }
 
     fn disjoint_var_ops_commute(&self) -> bool {

@@ -68,8 +68,9 @@ pub mod prelude {
         is_strictly_serializable, IncrementalChecker, Mode, SafetyProperty,
     };
     pub use tm_sim::{
-        explore_schedules, explore_with, simulate, Client, ClientScript, ExploreConfig, FaultPlan,
-        RandomScheduler, RoundRobin, Scheduler, SimConfig,
+        explore_schedules, explore_with, livecheck, simulate, Client, ClientScript, ExploreConfig,
+        FaultPlan, LassoFinding, LivecheckConfig, LivecheckReport, RandomScheduler, RoundRobin,
+        Scheduler, SimConfig,
     };
     pub use tm_stm::{
         concurrent::{atomically, ConcurrentGlobalLock, ConcurrentNOrec, ConcurrentTl2},

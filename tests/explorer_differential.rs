@@ -191,6 +191,49 @@ fn sleep_sets_prune_and_still_catch_violations_on_disjoint_variables() {
 }
 
 #[test]
+fn digest_dedup_reports_are_byte_identical_across_the_catalogue() {
+    // The digest seen set merges subtrees by canonical state fingerprint;
+    // a hash collision or an unsound canonicalization (a fingerprint
+    // missing behaviour-relevant state) would merge subtrees with
+    // different futures and diverge the counts. Exercised across all six
+    // catalogue TMs — including the blocking global-lock TM and the
+    // seeded-buggy literal Fgp, whose violating subtrees must be
+    // re-explored per prefix and re-reported identically.
+    let scripts = vec![
+        ClientScript::increment(X),
+        ClientScript::new(vec![PlannedOp::Read(X), PlannedOp::Write(X, 5)]),
+    ];
+    let mut merged_somewhere = false;
+    for (name, factory) in factories(2, 1) {
+        let plain = explore_with(&*factory, &scripts, &ExploreConfig::new(9).sequential());
+        let deduped = explore_with(
+            &*factory,
+            &scripts,
+            &ExploreConfig::new(9).sequential().with_dedup(),
+        );
+        assert_eq!(
+            plain.report(),
+            deduped.report(),
+            "{name}: dedup changed the report"
+        );
+        assert_eq!(plain.schedules, 1 << 9, "{name}");
+        merged_somewhere |= deduped.dedup_hits > 0;
+        // And under the parallel frontier (per-worker seen sets).
+        let parallel = explore_with(
+            &*factory,
+            &scripts,
+            &ExploreConfig::new(9).with_split_depth(3).with_dedup(),
+        );
+        assert_eq!(
+            plain.report(),
+            parallel.report(),
+            "{name}: parallel dedup changed the report"
+        );
+    }
+    assert!(merged_somewhere, "dedup never fired on the catalogue");
+}
+
+#[test]
 fn sleep_sets_preserve_every_catalogue_verdict() {
     // Pruning changes schedule counts by design; verdicts must survive.
     let scripts = vec![

@@ -1,0 +1,219 @@
+//! End-to-end suite for the liveness model checker: explore the canonical
+//! state graph, detect lassos, classify them with the paper's Figure 2
+//! taxonomy, and cross-check the concrete witnesses against the certified
+//! SCC verdicts — across the fingerprinting catalogue.
+
+use tm_automata::FgpVariant;
+use tm_core::{ProcessId, TVarId};
+use tm_liveness::{GlobalProgress, LocalProgress, ProcessClass, TmLivenessProperty};
+use tm_sim::{livecheck, ClientScript, LivecheckConfig, PlannedOp};
+use tm_stm::{BoxedTm, Dstm, FgpTm, GlobalLock, NOrec, Ostm, SteppedTm, SwissTm, TinyStm, Tl2};
+
+const X: TVarId = TVarId(0);
+const P1: ProcessId = ProcessId(0);
+const P2: ProcessId = ProcessId(1);
+
+type Factory = Box<dyn Fn() -> BoxedTm>;
+
+/// Constant-write contention: the value domain is finite, so the
+/// canonical state graph is finite and cycles exist.
+fn contended() -> Vec<ClientScript> {
+    vec![
+        ClientScript::new(vec![PlannedOp::Write(X, 1)]),
+        ClientScript::new(vec![PlannedOp::Read(X), PlannedOp::Write(X, 2)]),
+    ]
+}
+
+fn fingerprinting_catalog() -> Vec<(&'static str, Factory)> {
+    vec![
+        (
+            "fgp",
+            Box::new(|| Box::new(FgpTm::new(2, 1, FgpVariant::CpOnly)) as BoxedTm) as Factory,
+        ),
+        ("tl2", Box::new(|| Box::new(Tl2::new(2, 1)) as BoxedTm)),
+        ("norec", Box::new(|| Box::new(NOrec::new(2, 1)) as BoxedTm)),
+        (
+            "tinystm",
+            Box::new(|| Box::new(TinyStm::new(2, 1)) as BoxedTm),
+        ),
+        (
+            "swisstm",
+            Box::new(|| Box::new(SwissTm::new(2, 1)) as BoxedTm),
+        ),
+        ("ostm", Box::new(|| Box::new(Ostm::new(2, 1)) as BoxedTm)),
+        ("dstm", Box::new(|| Box::new(Dstm::new(2, 1)) as BoxedTm)),
+        (
+            "global-lock",
+            Box::new(|| Box::new(GlobalLock::new(2, 1)) as BoxedTm),
+        ),
+    ]
+}
+
+#[test]
+fn every_catalog_tm_fingerprints_deterministically() {
+    for (name, factory) in fingerprinting_catalog() {
+        let tm = factory();
+        let d0 = tm
+            .state_digest()
+            .unwrap_or_else(|| panic!("{name}: no fingerprint"));
+        // Digests are pure functions of state: a fork digests equally,
+        // and a re-created instance digests equally.
+        assert_eq!(tm.fork().state_digest(), Some(d0), "{name}: fork digest");
+        assert_eq!(factory().state_digest(), Some(d0), "{name}: fresh digest");
+        // Stepping changes the digest (reads mutate transaction state).
+        let mut stepped = factory();
+        stepped.invoke(P1, tm_core::Invocation::Read(X));
+        assert_ne!(stepped.state_digest(), Some(d0), "{name}: step digest");
+    }
+}
+
+#[test]
+fn canonicalization_is_sound_across_the_catalog() {
+    // Every detected cycle must validate as an InfiniteHistory: a
+    // rejection means a fingerprint merged two states with different
+    // pending structure — a canonicalization bug.
+    for (name, factory) in fingerprinting_catalog() {
+        let report = livecheck(&*factory, &contended(), &LivecheckConfig::new(10));
+        assert_eq!(report.rejected_cycles, 0, "{name}: {report:?}");
+        assert!(report.states > 0 && report.edges > 0, "{name}");
+        // The bounded workload must recur: the search collapses well
+        // below the 2^10 schedule tree.
+        assert!(
+            report.steps < 1 << 10,
+            "{name}: no DAG collapse ({} steps)",
+            report.steps
+        );
+    }
+}
+
+#[test]
+fn contended_fgp_yields_a_starvation_lasso_matching_the_paper_taxonomy() {
+    // The acceptance scenario: greedy Fgp under constant-write contention
+    // admits a schedule on which p1 commits forever while p2 aborts
+    // forever — a starving lasso in the Figures 5-7 taxonomy (global
+    // progress holds, local progress fails).
+    let report = livecheck(
+        || Box::new(FgpTm::new(2, 1, FgpVariant::CpOnly)),
+        &contended(),
+        &LivecheckConfig::new(12),
+    );
+    assert!(report.starving_processes().contains(&P2), "{report:?}");
+    let witness = report
+        .lassos
+        .iter()
+        .find(|l| l.starving().contains(&P2) && l.progressing().contains(&P1))
+        .expect("a concrete starving lasso witness");
+    assert!(GlobalProgress.contains(&witness.lasso));
+    assert!(!LocalProgress.contains(&witness.lasso));
+    assert!(!witness.schedule_cycle.is_empty());
+    // Fgp ensures global progress: some process must also be certified
+    // able to progress forever.
+    assert!(!report.progressing_processes().is_empty());
+}
+
+#[test]
+fn global_lock_certified_starvation_free_but_blocking() {
+    let report = livecheck(
+        || Box::new(GlobalLock::new(2, 1)),
+        &contended(),
+        &LivecheckConfig::new(12),
+    );
+    // §1.1: the lock TM never aborts anyone — starvation-free at the
+    // bound — but a crashed holder blocks the other process forever.
+    assert!(report.lasso_starvation_free(), "{report:?}");
+    assert_eq!(report.starving_processes(), vec![]);
+    assert_eq!(report.parasitic_processes(), vec![]);
+    assert_eq!(report.blocked_processes(), vec![P1, P2]);
+    assert!(report.eventless_cycles > 0);
+}
+
+#[test]
+fn encounter_time_locking_tms_starve_contending_writers() {
+    // §3.2.3: TinySTM (timid CM) and SwissTM (greedy CM) both admit
+    // starving cycles under write contention.
+    for (name, factory) in [
+        (
+            "tinystm",
+            Box::new(|| Box::new(TinyStm::new(2, 1)) as BoxedTm) as Factory,
+        ),
+        (
+            "swisstm",
+            Box::new(|| Box::new(SwissTm::new(2, 1)) as BoxedTm),
+        ),
+    ] {
+        let report = livecheck(&*factory, &contended(), &LivecheckConfig::new(12));
+        assert!(
+            !report.lasso_starvation_free(),
+            "{name}: contention must starve someone: {report:?}"
+        );
+        assert_eq!(report.rejected_cycles, 0, "{name}");
+    }
+}
+
+#[test]
+fn lasso_witnesses_agree_with_certified_verdicts() {
+    // Soundness cross-check: every stored witness's starving/parasitic
+    // classification must be certified by the SCC pass (the witness
+    // cycle is a subgraph of the recorded graph).
+    for (name, factory) in fingerprinting_catalog() {
+        let report = livecheck(&*factory, &contended(), &LivecheckConfig::new(10));
+        let starving = report.starving_processes();
+        let parasitic = report.parasitic_processes();
+        for lasso in &report.lassos {
+            for p in lasso.starving() {
+                assert!(starving.contains(&p), "{name}: witness not certified");
+            }
+            for p in lasso.parasitic() {
+                assert!(parasitic.contains(&p), "{name}: witness not certified");
+            }
+        }
+    }
+}
+
+#[test]
+fn parasitic_process_is_classified_and_never_progresses() {
+    // p1 reads forever without ever invoking tryC (§2.3's parasitic
+    // process). The checker must certify a parasitic cycle for p1 and
+    // produce a concrete parasitic lasso — while p2, under Fgp's greedy
+    // rule, still has progressing cycles (the parasitic reader gets
+    // doomed and aborted rather than pinning the writer: exactly how
+    // Fgp keeps global progress in parasitic-prone systems, Theorem 3).
+    let scripts = vec![
+        ClientScript::new(vec![PlannedOp::Read(X)]),
+        ClientScript::new(vec![PlannedOp::Read(X), PlannedOp::Write(X, 2)]),
+    ];
+    let report = livecheck(
+        || Box::new(FgpTm::new(2, 1, FgpVariant::CpOnly)),
+        &scripts,
+        &LivecheckConfig::new(12).with_parasitic(P1),
+    );
+    assert!(report.parasitic_processes().contains(&P1), "{report:?}");
+    assert!(report.lassos.iter().any(|l| l.parasitic().contains(&P1)));
+    // A parasitic process never commits: no cycle may progress p1.
+    assert!(!report.progressing_processes().contains(&P1));
+    for lasso in &report.lassos {
+        assert!(!lasso.progressing().contains(&P1));
+    }
+    assert!(report.progressing_processes().contains(&P2));
+}
+
+#[test]
+fn classes_cover_crashed_processes_abandoned_by_the_scheduler() {
+    // A cycle that only ever schedules p1 leaves p2 with a finite
+    // projection: Crashed (or Absent if it never ran) per Figure 2.
+    let report = livecheck(
+        || Box::new(Tl2::new(2, 1)),
+        &contended(),
+        &LivecheckConfig::new(8),
+    );
+    let solo_cycle = report.lassos.iter().find(|l| {
+        l.schedule_cycle.iter().all(|&p| p == P1)
+            && l.classes
+                .iter()
+                .any(|&(p, c)| p == P2 && matches!(c, ProcessClass::Crashed | ProcessClass::Absent))
+    });
+    assert!(
+        solo_cycle.is_some(),
+        "solo-p1 cycles must classify p2 as crashed/absent: {report:?}"
+    );
+}
