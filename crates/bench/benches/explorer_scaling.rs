@@ -1,11 +1,13 @@
 //! PERF3 — naive enumerator vs prefix-sharing DFS explorer.
 //!
-//! Measures the model checker across depths and process counts in four
+//! Measures the model checker across depths and process counts in five
 //! configurations — the seed's from-scratch enumerator, the DFS explorer
-//! single-threaded, the DFS explorer with its parallel frontier, and DFS
-//! with sleep-set pruning — and emits a machine-readable
-//! `BENCH_explorer.json` at the workspace root so the perf trajectory is
-//! tracked across PRs.
+//! single-threaded, the DFS explorer with its parallel frontier, DFS
+//! with sleep-set pruning, and DFS with source-set DPOR — and emits a
+//! machine-readable `BENCH_explorer.json` at the workspace root so the
+//! perf trajectory is tracked across PRs. Each comparison row records
+//! the *executed* schedule counts under sleep sets and under DPOR: the
+//! equivalence-class reduction headline.
 //!
 //! Run: `cargo bench -p bench --bench explorer_scaling`
 
@@ -63,6 +65,15 @@ fn bench_two_processes(c: &mut Criterion) {
                 )
             })
         });
+        group.bench_with_input(BenchmarkId::new("dfs-dpor", depth), &depth, |b, &d| {
+            b.iter(|| {
+                explore_with(
+                    factory2,
+                    &scripts,
+                    &ExploreConfig::new(d).sequential().with_dpor(),
+                )
+            })
+        });
     }
     group.finish();
 }
@@ -80,6 +91,15 @@ fn bench_three_processes(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("dfs-par", depth), &depth, |b, &d| {
             b.iter(|| explore_with(factory3, &scripts, &ExploreConfig::new(d)))
+        });
+        group.bench_with_input(BenchmarkId::new("dfs-dpor", depth), &depth, |b, &d| {
+            b.iter(|| {
+                explore_with(
+                    factory3,
+                    &scripts,
+                    &ExploreConfig::new(d).sequential().with_dpor(),
+                )
+            })
         });
     }
     group.finish();
@@ -116,6 +136,7 @@ fn emit_json(_c: &mut Criterion) {
 
     let mut rows = Vec::new();
     let mut headline_speedup = 0.0;
+    let mut headline_dpor_reduction = 0.0;
     let table: &[(usize, usize)] = if test_mode {
         &[(2, 6)]
     } else {
@@ -127,10 +148,15 @@ fn emit_json(_c: &mut Criterion) {
         } else {
             (factory3, scripts3())
         };
-        // Interleave the four configurations round by round so slow
+        // Interleave the five configurations round by round so slow
         // drift (thermal, co-tenancy) hits them evenly.
-        let (mut naive, mut dfs, mut par, mut sleep) =
-            (f64::INFINITY, f64::INFINITY, f64::INFINITY, f64::INFINITY);
+        let (mut naive, mut dfs, mut par, mut sleep, mut dpor) = (
+            f64::INFINITY,
+            f64::INFINITY,
+            f64::INFINITY,
+            f64::INFINITY,
+            f64::INFINITY,
+        );
         for _ in 0..runs {
             naive = naive.min(best_secs(1, || {
                 explore_schedules_naive(factory, &scripts, depth);
@@ -148,9 +174,36 @@ fn emit_json(_c: &mut Criterion) {
                     &ExploreConfig::new(depth).sequential().with_sleep_sets(),
                 );
             }));
+            dpor = dpor.min(best_secs(1, || {
+                explore_with(
+                    factory,
+                    &scripts,
+                    &ExploreConfig::new(depth).sequential().with_dpor(),
+                );
+            }));
         }
         if procs == 2 && depth == 10 {
             headline_speedup = naive / dfs;
+        }
+        // Executed-schedule counts: the equivalence-class reduction.
+        let sleep_sample = explore_with(
+            factory,
+            &scripts,
+            &ExploreConfig::new(depth).sequential().with_sleep_sets(),
+        );
+        let dpor_sample = explore_with(
+            factory,
+            &scripts,
+            &ExploreConfig::new(depth).sequential().with_dpor(),
+        );
+        assert_eq!(
+            sleep_sample.all_opaque(),
+            dpor_sample.all_opaque(),
+            "DPOR changed a verdict at {procs}p depth {depth}"
+        );
+        let reduction = sleep_sample.schedules as f64 / dpor_sample.schedules as f64;
+        if procs == 3 && depth == 8 {
+            headline_dpor_reduction = reduction;
         }
         rows.push(Json::Obj(vec![
             ("processes".into(), Json::Int(procs as i64)),
@@ -163,8 +216,19 @@ fn emit_json(_c: &mut Criterion) {
             ("dfs_seq_ms".into(), Json::Num(dfs * 1e3)),
             ("dfs_par_ms".into(), Json::Num(par * 1e3)),
             ("dfs_sleep_ms".into(), Json::Num(sleep * 1e3)),
+            ("dfs_dpor_ms".into(), Json::Num(dpor * 1e3)),
+            (
+                "sleep_schedules".into(),
+                Json::Int(sleep_sample.schedules as i64),
+            ),
+            (
+                "executed_schedules".into(),
+                Json::Int(dpor_sample.schedules as i64),
+            ),
+            ("dpor_reduction_vs_sleep".into(), Json::Num(reduction)),
             ("speedup_dfs_vs_naive".into(), Json::Num(naive / dfs)),
             ("speedup_par_vs_seq".into(), Json::Num(dfs / par)),
+            ("speedup_dpor_vs_sleep".into(), Json::Num(sleep / dpor)),
         ]));
     }
 
@@ -213,6 +277,15 @@ fn emit_json(_c: &mut Criterion) {
         &ExploreConfig::new(parity_depth),
     );
     let parity = naive == dfs;
+    // DPOR parity: identical verdict, and every violation it reports is
+    // one the naive enumerator reports verbatim.
+    let dpor = explore_with(
+        || tm_stm::literal_fgp(2, 1),
+        &buggy_scripts,
+        &ExploreConfig::new(parity_depth).sequential().with_dpor(),
+    );
+    let dpor_parity = naive.all_opaque() == dpor.all_opaque()
+        && dpor.violations.iter().all(|v| naive.violations.contains(v));
 
     let report = Json::Obj(vec![
         ("bench".into(), Json::str("explorer_scaling")),
@@ -225,10 +298,28 @@ fn emit_json(_c: &mut Criterion) {
             "headline_speedup_dfs_vs_naive_2p_depth10".into(),
             Json::Num(headline_speedup),
         ),
+        (
+            "headline_dpor_reduction_vs_sleep_3p_depth8".into(),
+            Json::Num(headline_dpor_reduction),
+        ),
         ("verdict_parity_with_naive".into(), Json::Bool(parity)),
+        ("dpor_verdict_parity".into(), Json::Bool(dpor_parity)),
     ]);
-    bench::write_bench_json("explorer", &report).expect("write artifact");
+    if test_mode {
+        // Smoke mode (CI, local `-- --test`) exercises the emitter but
+        // must not clobber the committed full-run artifact with
+        // throwaway shallow rows.
+        println!("test mode: skipping BENCH_explorer.json write\n{report}");
+    } else {
+        bench::write_bench_json("explorer", &report).expect("write artifact");
+        assert!(
+            headline_dpor_reduction >= 5.0,
+            "DPOR must execute ≥5× fewer schedules than sleep sets at 3p depth 8 \
+             (got {headline_dpor_reduction:.1}×)"
+        );
+    }
     assert!(parity, "DFS and naive explorer reports must be identical");
+    assert!(dpor_parity, "DPOR diverged from the naive verdict");
 }
 
 // `emit_json` runs first: on small single-core runners, minutes of

@@ -9,11 +9,13 @@
 //!    exponential depths into near-constant work and unlocking bounds
 //!    the plain DFS cannot touch.
 //! 2. **Refork across the catalogue** — `refork_from` (hand-written
-//!    `clone_from`, allocation-free) vs allocating `fork` for the TMs
-//!    newly wired into the fast path (TL2, NOrec), per the ROADMAP item.
+//!    `clone_from`, allocation-free) vs allocating `fork`, now wired
+//!    through **all 8** catalogue TMs plus the blocking global-lock TM.
 //! 3. **Livecheck scaling** — the liveness checker's cost as the bound
 //!    grows: states/edges/steps stay flat once the canonical graph is
-//!    saturated, while the equivalent schedule tree grows as `2^depth`.
+//!    saturated, while the equivalent schedule tree grows as `2^depth` —
+//!    with and without the transition-level reduction, whose
+//!    states/lassos/starvation verdicts must match byte for byte.
 //!
 //! Run: `cargo bench -p bench --bench livecheck_scaling`
 
@@ -23,7 +25,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use tm_automata::FgpVariant;
 use tm_core::TVarId;
 use tm_sim::{explore_with, livecheck, ClientScript, ExploreConfig, LivecheckConfig, PlannedOp};
-use tm_stm::{BoxedTm, FgpTm, GlobalLock, NOrec, SteppedTm, Tl2};
+use tm_stm::{BoxedTm, Dstm, FgpTm, GlobalLock, NOrec, Ostm, SteppedTm, SwissTm, TinyStm, Tl2};
 
 const X: TVarId = TVarId(0);
 
@@ -193,12 +195,19 @@ fn emit_json(_c: &mut Criterion) {
         ]));
     }
 
-    // 2. Refork vs fork for the newly wired TMs (and Fgp as reference).
+    // 2. Refork vs fork across the whole catalogue (all 8 TMs plus the
+    // blocking global-lock TM): no explorer path pays an allocating fork
+    // anymore.
     let mut refork_rows = Vec::new();
     let factories: Vec<(&str, BoxedTm)> = vec![
+        ("fgp", Box::new(FgpTm::new(2, 2, FgpVariant::CpOnly))),
         ("tl2", Box::new(Tl2::new(2, 2))),
         ("norec", Box::new(NOrec::new(2, 2))),
-        ("fgp", Box::new(FgpTm::new(2, 2, FgpVariant::CpOnly))),
+        ("tinystm", Box::new(TinyStm::new(2, 2))),
+        ("swisstm", Box::new(SwissTm::new(2, 2))),
+        ("ostm", Box::new(Ostm::new(2, 2))),
+        ("dstm", Box::new(Dstm::new(2, 2))),
+        ("global-lock", Box::new(GlobalLock::new(2, 2))),
     ];
     for (name, mut tm) in factories {
         // Put the TM mid-transaction so the fork copies real state.
@@ -246,11 +255,28 @@ fn emit_json(_c: &mut Criterion) {
         };
         let scripts = bounded();
         let config = LivecheckConfig::new(depth);
+        let reduced_config = LivecheckConfig::new(depth).with_reduction();
         let secs = best_secs(runs.min(3), || {
             criterion::black_box(livecheck(&*factory, &scripts, &config));
         });
+        let reduced_secs = best_secs(runs.min(3), || {
+            criterion::black_box(livecheck(&*factory, &scripts, &reduced_config));
+        });
         let report = livecheck(&*factory, &scripts, &config);
+        let reduced = livecheck(&*factory, &scripts, &reduced_config);
         assert_eq!(report.rejected_cycles, 0, "{name}: canonicalization bug");
+        // The reduction's contract: identical graph, lassos and
+        // verdicts — only TM executions drop. Computed (not assumed) so
+        // the emitted field can never mask a divergence.
+        let reduce_parity = report.states == reduced.states
+            && report.edges == reduced.edges
+            && report.lassos.len() == reduced.lassos.len()
+            && report.verdicts == reduced.verdicts
+            && report.steps == reduced.steps + reduced.replayed_steps;
+        assert!(
+            reduce_parity,
+            "{name}: reduction diverged from the plain search"
+        );
         live_rows.push(Json::Obj(vec![
             ("tm".into(), Json::str(name)),
             ("depth".into(), Json::Int(depth as i64)),
@@ -258,13 +284,24 @@ fn emit_json(_c: &mut Criterion) {
             ("states".into(), Json::Int(report.states as i64)),
             ("edges".into(), Json::Int(report.edges as i64)),
             ("steps".into(), Json::Int(report.steps as i64)),
+            ("steps_reduced".into(), Json::Int(reduced.steps as i64)),
+            (
+                "replayed_steps".into(),
+                Json::Int(reduced.replayed_steps as i64),
+            ),
             ("cycles".into(), Json::Int(report.cycles_detected as i64)),
             ("lassos".into(), Json::Int(report.lassos.len() as i64)),
             (
                 "starvation_free".into(),
                 Json::Bool(report.lasso_starvation_free()),
             ),
+            ("reduce_parity".into(), Json::Bool(reduce_parity)),
             ("ms".into(), Json::Num(secs * 1e3)),
+            ("reduced_ms".into(), Json::Num(reduced_secs * 1e3)),
+            (
+                "speedup_reduced_vs_plain".into(),
+                Json::Num(secs / reduced_secs),
+            ),
         ]));
     }
 

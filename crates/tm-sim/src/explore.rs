@@ -112,12 +112,75 @@
 //! invocation, and the certifier digest determines every future verdict —
 //! so the memoized counts transfer exactly, collision risk aside (which
 //! is what the differential suite guards).
+//!
+//! # Source-set DPOR: equivalence-class pruning
+//!
+//! Most interleavings differ only by swaps of **independent** steps and
+//! therefore carry the same verdict; the paper's quantitative results
+//! are themselves stated per Mazurkiewicz equivalence class. With
+//! [`ExploreConfig::dpor`] the explorer visits **one representative
+//! schedule per class** instead of every member, using source-set
+//! dynamic partial-order reduction (Flanagan–Godefroid backtrack sets
+//! with Abdulla–Aronis–Jonsson–Sagonas source sets and sleep sets).
+//!
+//! **The independence relation.** Per-TM, via the conflict oracle
+//! [`tm_stm::SteppedTm::step_footprint`]: before a step executes, the TM
+//! declares the shared state it may touch — per-variable read/write
+//! masks (including read-set revalidation and abort-time rollback or
+//! lock-release sets), global-channel read/write bits (clocks, sequence
+//! numbers, age counters, cross-process dooming), and whether the step
+//! may complete a transaction now; the driver adds whether it begins
+//! one. Two next-steps by different processes are independent iff their
+//! footprints do not [`tm_stm::StepFootprint::conflicts`]. The oracle's
+//! audited contract is that independent steps *commute*: either order
+//! yields the same TM state and responses. The begin/end flags extend
+//! commutation from states to **verdicts**: a swap of two interior op
+//! steps preserves per-process event sequences, read values, and every
+//! transaction's real-time precedence, so the opacity verdict of each
+//! leaf history — and of every extension — is class-invariant. (A
+//! transaction-*ending* step swapped with a transaction-*beginning* one
+//! would reorder a completion past a start and could relax real-time
+//! precedence, so such pairs are declared conflicting.) TMs that keep
+//! the conservative default oracle conflict on every pair and soundly
+//! degenerate to full exploration — the blocking global-lock TM does so
+//! by audit, not by default.
+//!
+//! **The walk.** Each executed schedule carries vector clocks over the
+//! conflict relation. At every node — leaves included, since at the
+//! depth frontier the racing "second" step never executes — the walk
+//! checks each process's next step against the trace for *races*:
+//! conflicting earlier steps not already ordered before it. For each
+//! race the walk ensures the backtrack set at the earlier step's node
+//! intersects the race's **source set** (the initials of the reversed
+//! continuation), inserting one member if not; each node then explores
+//! exactly its backtrack set, seeded with a single process, under
+//! SDPOR sleep sets. Soundness of the certified verdict: every schedule
+//! of the full tree is reachable from an explored one by swapping
+//! adjacent independent steps, each swap preserves the leaf verdict
+//! (above), and the incremental certifier never accepts a violating
+//! history — so `all_opaque` is preserved exactly, and every violation
+//! DPOR reports is one the unreduced explorer reports verbatim.
+//!
+//! **Composition.** With [`ExploreConfig::dedup`], a memoized subtree
+//! summary additionally stores the union of every footprint the subtree
+//! queried or executed; a hit is replayed only when nothing in the
+//! current trace conflicts with that union — otherwise the skipped walk
+//! could owe race-reversal backtrack points to the prefix. (Subtree
+//! *shape* is prefix-independent: race insertions into the subtree
+//! depend only on its own trace, because trace indices put subtree
+//! steps after every prefix step in the max-scan and happens-before
+//! chains between subtree events cannot route through the prefix.) With
+//! [`ExploreConfig::parallel`], the prefix tree up to the split depth is
+//! enumerated exhaustively — a reduced prefix tree could owe reversals
+//! across the boundary — and each root runs an independent source-set
+//! walk from a fresh trace.
 
 use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 
 use tm_core::{Event, History, Invocation, ProcessId, TVarId};
 use tm_safety::{check_opacity, IncrementalChecker, Mode, SafetyVerdict};
-use tm_stm::{BoxedTm, Outcome, SteppedTm};
+use tm_stm::{BoxedTm, Outcome, StepFootprint, SteppedTm};
 
 use rayon::prelude::*;
 
@@ -198,6 +261,26 @@ pub struct ExploreConfig {
     /// TMs implementing [`tm_stm::SteppedTm::state_digest`]; for the
     /// rest dedup is silently disabled.
     pub dedup: bool,
+    /// Source-set dynamic partial-order reduction (see the module docs):
+    /// explore **one representative schedule per Mazurkiewicz
+    /// equivalence class** of the independence relation declared by the
+    /// TM's conflict oracle ([`tm_stm::SteppedTm::step_footprint`]).
+    /// `schedules` then counts *executed* schedules — typically orders
+    /// of magnitude below `n^depth` — while the violation verdict
+    /// (`all_opaque`, and every violation actually reported) is
+    /// preserved: each reported violation is a real explored schedule
+    /// the unreduced explorer also reports. For TMs that keep the
+    /// conservative default oracle, every step conflicts and the walk
+    /// soundly degenerates to full exploration.
+    pub dpor: bool,
+    /// Share one sharded, lock-striped digest seen set across the
+    /// parallel workers instead of per-worker tables: adds
+    /// cross-subtree dedup hits at the price of lock traffic. Reports
+    /// are byte-identical either way (memoized summaries are exact
+    /// wherever they were computed); the per-worker default is kept
+    /// because its diagnostics (`dedup_hits`) are run-to-run
+    /// deterministic. No effect unless `dedup` and `parallel` are on.
+    pub shared_dedup: bool,
 }
 
 impl ExploreConfig {
@@ -210,6 +293,8 @@ impl ExploreConfig {
             split_depth: None,
             sleep_sets: false,
             dedup: false,
+            dpor: false,
+            shared_dedup: false,
         }
     }
 
@@ -234,6 +319,18 @@ impl ExploreConfig {
     /// Enables digest dedup (the cross-schedule seen set).
     pub fn with_dedup(mut self) -> Self {
         self.dedup = true;
+        self
+    }
+
+    /// Enables source-set dynamic partial-order reduction.
+    pub fn with_dpor(mut self) -> Self {
+        self.dpor = true;
+        self
+    }
+
+    /// Shares the digest seen set across parallel workers (sharded).
+    pub fn with_shared_dedup(mut self) -> Self {
+        self.shared_dedup = true;
         self
     }
 }
@@ -360,20 +457,95 @@ struct MemoKey {
 struct MemoDelta {
     schedules: usize,
     pruned_subtrees: usize,
+    /// Union of every footprint the subtree queried or executed — the
+    /// DPOR-mode replay guard (see the module docs). Unused (empty)
+    /// without DPOR.
+    agg: StepFootprint,
 }
 
-/// The digest seen set (one per sequential walk / parallel worker).
-#[derive(Debug, Default)]
+type MemoMap = HashMap<MemoKey, MemoDelta>;
+
+/// The sharded, lock-striped seen set behind
+/// [`ExploreConfig::shared_dedup`]: workers hash each key to a shard and
+/// take only that shard's lock, so cross-subtree hits come at stripe
+/// (not table) contention.
+#[derive(Debug)]
+struct SharedMemo {
+    shards: Vec<Mutex<MemoMap>>,
+}
+
+impl SharedMemo {
+    const SHARDS: usize = 64;
+
+    fn new() -> Self {
+        SharedMemo {
+            shards: (0..Self::SHARDS)
+                .map(|_| Mutex::new(MemoMap::new()))
+                .collect(),
+        }
+    }
+
+    fn shard(&self, key: &MemoKey) -> &Mutex<MemoMap> {
+        use std::hash::{Hash, Hasher};
+        let mut h = tm_core::StableHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() % Self::SHARDS as u64) as usize]
+    }
+}
+
+/// The digest seen set of one walk: either worker-local or a handle to
+/// the shared sharded table.
+#[derive(Debug)]
+enum MemoBackend {
+    Local(MemoMap),
+    Shared(Arc<SharedMemo>),
+}
+
+#[derive(Debug)]
 struct Memo {
     enabled: bool,
-    table: HashMap<MemoKey, MemoDelta>,
+    backend: MemoBackend,
 }
 
 impl Memo {
     fn new(enabled: bool) -> Self {
         Memo {
             enabled,
-            ..Memo::default()
+            backend: MemoBackend::Local(MemoMap::new()),
+        }
+    }
+
+    fn shared(table: Arc<SharedMemo>) -> Self {
+        Memo {
+            enabled: true,
+            backend: MemoBackend::Shared(table),
+        }
+    }
+
+    fn get(&self, key: &MemoKey) -> Option<MemoDelta> {
+        match &self.backend {
+            MemoBackend::Local(map) => map.get(key).copied(),
+            MemoBackend::Shared(shared) => shared
+                .shard(key)
+                .lock()
+                .expect("memo shard poisoned")
+                .get(key)
+                .copied(),
+        }
+    }
+
+    fn insert(&mut self, key: MemoKey, delta: MemoDelta) {
+        match &mut self.backend {
+            MemoBackend::Local(map) => {
+                map.insert(key, delta);
+            }
+            MemoBackend::Shared(shared) => {
+                shared
+                    .shard(&key)
+                    .lock()
+                    .expect("memo shard poisoned")
+                    .insert(key, delta);
+            }
         }
     }
 }
@@ -451,7 +623,7 @@ where
             sleep,
             remaining: remaining as u32,
         };
-        if let Some(&delta) = walk.memo.table.get(&key) {
+        if let Some(delta) = walk.memo.get(&key) {
             walk.out.schedules += delta.schedules;
             walk.out.pruned_subtrees += delta.pruned_subtrees;
             walk.out.dedup_hits += 1;
@@ -538,16 +710,345 @@ where
     // per prefix (see the module docs).
     if let Some((key, schedules, fallbacks, violations, pruned)) = memo_note {
         if walk.out.exact_fallbacks == fallbacks && walk.out.violations.len() == violations {
-            walk.memo.table.insert(
+            walk.memo.insert(
                 key,
                 MemoDelta {
                     schedules: walk.out.schedules - schedules,
                     pruned_subtrees: walk.out.pruned_subtrees - pruned,
+                    agg: StepFootprint::local(),
                 },
             );
         }
     }
     recycled
+}
+
+/// One executed step of the DPOR trace (the current path of the walk,
+/// annotated with the data race reversal needs).
+#[derive(Debug)]
+struct DporStep {
+    proc: u8,
+    foot: StepFootprint,
+    /// 1-based count of this process's steps up to and including this one.
+    local_index: u32,
+    /// The process's previous step's trace index (restored on pop).
+    prev_of_proc: Option<u32>,
+}
+
+/// The source-set DPOR state riding along the depth-first walk: the
+/// executed trace with vector clocks (happens-before), and the per-node
+/// backtrack sets race detection grows.
+#[derive(Debug)]
+struct Dpor {
+    n: usize,
+    steps: Vec<DporStep>,
+    /// Flat vector-clock matrix: `clocks[i * n + q]` = how many of
+    /// process `q`'s steps happen before (or are) step `i`.
+    clocks: Vec<u32>,
+    /// Per-process trace index of the last executed step.
+    last_of: Vec<Option<u32>>,
+    /// Per-depth backtrack sets (a step's trace index is also the depth
+    /// of the node it was executed from).
+    backtrack: Vec<u64>,
+}
+
+impl Dpor {
+    fn new(n: usize) -> Self {
+        Dpor {
+            n,
+            steps: Vec::new(),
+            clocks: Vec::new(),
+            last_of: vec![None; n],
+            backtrack: Vec::new(),
+        }
+    }
+
+    /// Records the execution of one step by `k` with footprint `foot`:
+    /// its clock is the join of the process's previous clock and the
+    /// clocks of every earlier conflicting step, plus itself.
+    fn push(&mut self, k: usize, foot: StepFootprint) {
+        let n = self.n;
+        let i = self.steps.len();
+        let base = self.clocks.len();
+        match self.last_of[k] {
+            Some(p) => {
+                let row = p as usize * n;
+                for q in 0..n {
+                    let c = self.clocks[row + q];
+                    self.clocks.push(c);
+                }
+            }
+            None => self.clocks.resize(base + n, 0),
+        }
+        for j in 0..i {
+            if self.steps[j].foot.conflicts(&foot) {
+                let row = j * n;
+                for q in 0..n {
+                    if self.clocks[row + q] > self.clocks[base + q] {
+                        self.clocks[base + q] = self.clocks[row + q];
+                    }
+                }
+            }
+        }
+        let local_index = self.last_of[k].map_or(0, |p| self.steps[p as usize].local_index) + 1;
+        self.clocks[base + k] = local_index;
+        self.steps.push(DporStep {
+            proc: u8::try_from(k).expect("≤ 64 processes"),
+            foot,
+            local_index,
+            prev_of_proc: self.last_of[k],
+        });
+        self.last_of[k] = Some(u32::try_from(i).expect("trace fits u32"));
+    }
+
+    fn pop(&mut self) {
+        let step = self.steps.pop().expect("pop matches push");
+        self.last_of[step.proc as usize] = step.prev_of_proc;
+        self.clocks.truncate(self.steps.len() * self.n);
+    }
+
+    /// Whether step `i` happens-before step `j` (`i < j`).
+    fn hb_steps(&self, i: usize, j: usize) -> bool {
+        self.clocks[j * self.n + self.steps[i].proc as usize] >= self.steps[i].local_index
+    }
+
+    /// Whether step `i` happens-before the *next* (unexecuted) step of
+    /// process `q` — i.e. `i` is in the causal past of `q`'s last step.
+    fn hb_to_next(&self, i: usize, q: usize) -> bool {
+        if self.steps[i].proc as usize == q {
+            return true;
+        }
+        match self.last_of[q] {
+            None => false,
+            Some(l) => {
+                self.clocks[l as usize * self.n + self.steps[i].proc as usize]
+                    >= self.steps[i].local_index
+            }
+        }
+    }
+
+    /// SDPOR race detection for the next step of process `k` (footprint
+    /// `fp`) against the trace steps at indices `lo..`: for every step
+    /// in a reversible race with it — conflicting, by another process,
+    /// not already ordered before `k` — ensure the backtrack set at that
+    /// step's node intersects the race's source set, inserting one
+    /// source member if not.
+    ///
+    /// Callers pass `lo = 0` for a full scan, or `lo = len - 1` to check
+    /// only the step just executed: a race ensured at an ancestor stays
+    /// ensured, because an initial of the shorter reversed continuation
+    /// remains an initial of every extension (new events by other
+    /// processes cannot become happens-before predecessors of it), so
+    /// only the *new* step needs checking when neither `k`'s footprint
+    /// nor its clock changed.
+    fn detect_races_from(&mut self, k: usize, fp: &StepFootprint, lo: usize) {
+        for e in (lo..self.steps.len()).rev() {
+            let step = &self.steps[e];
+            if step.proc as usize == k || !step.foot.conflicts(fp) || self.hb_to_next(e, k) {
+                continue;
+            }
+            let initials = self.source_initials(e, k);
+            if self.backtrack[e] & initials == 0 {
+                let add = if initials & (1 << k) != 0 {
+                    k
+                } else {
+                    initials.trailing_zeros() as usize
+                };
+                self.backtrack[e] |= 1 << add;
+            }
+        }
+    }
+
+    /// The source set `I(notdep(e, E) · next_k)`: processes whose first
+    /// step in the race's reversed continuation has no happens-before
+    /// predecessor inside it. Exploring any one of them from `e`'s node
+    /// (eventually) covers the reversal, which is the source-set
+    /// weakening of plain DPOR's "add `k` itself".
+    fn source_initials(&self, e: usize, k: usize) -> u64 {
+        let len = self.steps.len();
+        let mut initials = 0u64;
+        for q in 0..self.n {
+            let first = (e + 1..len).find(|&j| self.steps[j].proc as usize == q);
+            match first {
+                Some(j) => {
+                    if self.hb_steps(e, j) {
+                        continue; // causally after e: not in notdep
+                    }
+                    let blocked =
+                        (e + 1..j).any(|j2| !self.hb_steps(e, j2) && self.hb_steps(j2, j));
+                    if !blocked {
+                        initials |= 1 << q;
+                    }
+                }
+                None => {
+                    if q == k {
+                        initials |= 1 << k;
+                    }
+                }
+            }
+        }
+        if initials == 0 {
+            initials = 1 << k; // defensive: k is always a valid insertion
+        }
+        initials
+    }
+}
+
+/// The next-step footprint of process `q` at the current configuration:
+/// the TM's conflict oracle for the pending invocation, with the
+/// transaction-begin flag supplied by the driver (which owns the client
+/// cursor), or the fully conservative footprint for a blocked poll.
+fn next_footprint(tm: &BoxedTm, clients: &[Client], q: usize) -> StepFootprint {
+    if tm.has_pending(ProcessId(q)) {
+        StepFootprint::global()
+    } else {
+        let mut foot = tm.step_footprint(ProcessId(q), clients[q].next_invocation());
+        foot.begins = !clients[q].mid_transaction();
+        foot
+    }
+}
+
+/// Source-set DPOR walk (see the module docs): at each node, explore
+/// only the processes the race analysis proves necessary, starting from
+/// one arbitrary representative. Returns the TM box for recycling and
+/// the union of every footprint the subtree queried or executed (the
+/// memo replay guard).
+fn walk_dpor(
+    walk: &mut Walk<'_>,
+    dpor: &mut Dpor,
+    tm: BoxedTm,
+    remaining: usize,
+    mut sleep: u64,
+    parent_feet: Option<&[StepFootprint; 64]>,
+) -> (BoxedTm, StepFootprint) {
+    let n = walk.clients.len();
+    let mut feet = [StepFootprint::local(); 64];
+    let mut agg = StepFootprint::local();
+    for (q, foot) in feet.iter_mut().enumerate().take(n) {
+        *foot = next_footprint(&tm, walk.clients, q);
+        agg.merge(foot);
+    }
+    // Race detection at *every* node for *every* process's next step
+    // (Flanagan–Godefroid style), leaves included: at the depth frontier
+    // the conflicting "second" step never executes, so detection keyed
+    // on executed steps alone would miss reversals that only differ in
+    // the final steps of the bounded window. Incremental: a process that
+    // did not just step and whose footprint is unchanged since the
+    // parent node has all its races against older steps already ensured
+    // there (its clock is unchanged too), so only the newest trace step
+    // needs checking — full rescans happen exactly for the process that
+    // stepped or on a state-induced footprint change.
+    let len = dpor.steps.len();
+    if len > 0 {
+        let last_proc = dpor.steps[len - 1].proc as usize;
+        for (q, foot) in feet.iter().enumerate().take(n) {
+            let full = q == last_proc || parent_feet.is_none_or(|pf| pf[q] != *foot);
+            dpor.detect_races_from(q, foot, if full { 0 } else { len - 1 });
+        }
+    }
+    if remaining == 0 {
+        certify_leaf(walk.path, walk.history, walk.checker, walk.out);
+        return (tm, agg);
+    }
+    // Digest dedup, DPOR flavour: a stored subtree summary may be
+    // replayed only when nothing in the current trace conflicts with
+    // anything the stored subtree touched — otherwise the skipped walk
+    // could owe race-reversal backtrack points to the prefix (see the
+    // module docs).
+    let memo_note = if walk.memo.enabled && walk.checker.violation().is_none() {
+        let key = MemoKey {
+            tm: tm
+                .state_digest()
+                .expect("dedup runs only for fingerprinting TMs"),
+            clients: clients_digest(walk.clients),
+            checker: walk.checker.state_digest(),
+            sleep,
+            remaining: remaining as u32,
+        };
+        if let Some(delta) = walk.memo.get(&key) {
+            if dpor.steps.iter().all(|s| !s.foot.conflicts(&delta.agg)) {
+                walk.out.schedules += delta.schedules;
+                walk.out.pruned_subtrees += delta.pruned_subtrees;
+                walk.out.dedup_hits += 1;
+                return (tm, delta.agg);
+            }
+        }
+        Some((
+            key,
+            walk.out.schedules,
+            walk.out.exact_fallbacks,
+            walk.out.violations.len(),
+            walk.out.pruned_subtrees,
+        ))
+    } else {
+        None
+    };
+    let depth = dpor.steps.len();
+    debug_assert_eq!(dpor.backtrack.len(), depth);
+    dpor.backtrack.push(0);
+    // Seed with the first process the sleep set does not prove covered;
+    // race detection grows the set from there. A fully-asleep node is
+    // entirely covered by explored siblings.
+    if let Some(first) = (0..n).find(|q| sleep & (1 << q) == 0) {
+        dpor.backtrack[depth] |= 1 << first;
+    }
+    loop {
+        let avail = dpor.backtrack[depth] & !sleep;
+        if avail == 0 {
+            break;
+        }
+        let k = avail.trailing_zeros() as usize;
+        let checkpoint = walk.checker.checkpoint();
+        let history_len = walk.history.len();
+        let mark = walk.clients[k].mark();
+        walk.path.push(k);
+        let mut child = match walk.spare.pop() {
+            Some(mut spare) => {
+                if spare.refork_from(&*tm) {
+                    spare
+                } else {
+                    tm.fork()
+                }
+            }
+            None => tm.fork(),
+        };
+        step(&mut child, walk.clients, k, walk.history, walk.checker);
+        dpor.push(k, feet[k]);
+        // SDPOR sleep inheritance: a sibling stays asleep only while its
+        // next step is independent of the step just taken.
+        let mut child_sleep = 0u64;
+        for q in 0..n {
+            if sleep & (1 << q) != 0 && !feet[q].conflicts(&feet[k]) {
+                child_sleep |= 1 << q;
+            }
+        }
+        let (recycled, child_agg) =
+            walk_dpor(walk, dpor, child, remaining - 1, child_sleep, Some(&feet));
+        agg.merge(&child_agg);
+        if walk.recycle {
+            walk.spare.push(recycled);
+        }
+        dpor.pop();
+        walk.path.pop();
+        walk.history.truncate(history_len);
+        walk.checker.rollback(checkpoint);
+        walk.clients[k].restore(mark);
+        sleep |= 1 << k; // explored: its subtree covers it for the siblings
+    }
+    dpor.backtrack.pop();
+    if let Some((key, schedules, fallbacks, violations, pruned)) = memo_note {
+        if walk.out.exact_fallbacks == fallbacks && walk.out.violations.len() == violations {
+            walk.memo.insert(
+                key,
+                MemoDelta {
+                    schedules: walk.out.schedules - schedules,
+                    pruned_subtrees: walk.out.pruned_subtrees - pruned,
+                    agg,
+                },
+            );
+        }
+    }
+    (tm, agg)
 }
 
 /// A node at the parallel split depth, carrying everything a worker
@@ -610,6 +1111,72 @@ where
     // mirroring the sleep-set probe above.
     let dedup = config.dedup && tm.state_digest().is_some();
 
+    if config.dpor {
+        // Source-set DPOR. Parallel: the prefix tree up to the split
+        // depth is enumerated **exhaustively** (no sleep sets — a
+        // reduced prefix tree could owe race reversals across the
+        // boundary) and each root runs an independent source-set walk
+        // with a fresh, empty trace; every full schedule then has its
+        // exact prefix explored and a representative of its suffix class
+        // explored from that exact state, which preserves the verdict.
+        let n = scripts.len();
+        return explore_split(
+            tm,
+            scripts,
+            config,
+            recycle,
+            dedup,
+            false,
+            move |walk, tm, remaining, _sleep| {
+                let mut dpor = Dpor::new(n);
+                walk_dpor(walk, &mut dpor, tm, remaining, 0, None);
+            },
+        );
+    }
+
+    explore_split(
+        tm,
+        scripts,
+        config,
+        recycle,
+        dedup,
+        sleep_sets,
+        move |walk, tm, remaining, sleep| {
+            walk_tree(
+                walk,
+                tm,
+                remaining,
+                sleep,
+                sleep_sets,
+                &mut |walk, tm, _sleep| {
+                    certify_leaf(walk.path, walk.history, walk.checker, walk.out);
+                    Some(tm)
+                },
+            );
+        },
+    )
+}
+
+/// The shared driver behind both explorers: runs `walk_root` once from
+/// the initial configuration (sequential / zero split), or splits the
+/// tree at the parallel frontier — the split walk (with
+/// `split_sleep_sets` pruning) collects subtree roots, `walk_root` runs
+/// per root on the rayon pool, and the reports merge in lexicographic
+/// root order, keeping the result deterministic regardless of thread
+/// count.
+fn explore_split<R>(
+    tm: BoxedTm,
+    scripts: &[ClientScript],
+    config: &ExploreConfig,
+    recycle: bool,
+    dedup: bool,
+    split_sleep_sets: bool,
+    walk_root: R,
+) -> Exploration
+where
+    R: Fn(&mut Walk<'_>, BoxedTm, usize, u64) + Sync,
+{
+    let n = scripts.len();
     let mut clients: Vec<Client> = scripts.iter().cloned().map(Client::new).collect();
     let mut checker = IncrementalChecker::new(Mode::Opacity);
     let mut path = Vec::with_capacity(config.depth);
@@ -638,17 +1205,7 @@ where
             recycle,
             memo: &mut memo,
         };
-        walk_tree(
-            &mut walk,
-            tm,
-            config.depth,
-            0,
-            sleep_sets,
-            &mut |walk, tm, _sleep| {
-                certify_leaf(walk.path, walk.history, walk.checker, walk.out);
-                Some(tm)
-            },
-        );
+        walk_root(&mut walk, tm, config.depth, 0);
         return out;
     }
 
@@ -673,7 +1230,7 @@ where
             tm,
             split,
             0,
-            sleep_sets,
+            split_sleep_sets,
             &mut |walk, tm, sleep| {
                 let mut checker = walk.checker.clone();
                 checker.compact();
@@ -689,16 +1246,22 @@ where
             },
         );
     }
+    // Per-worker seen sets by default: sound (digests are
+    // thread-agnostic), deterministic, and lock-free; only cross-subtree
+    // hits are forgone relative to the sequential walk. The opt-in
+    // sharded shared table recovers those hits at stripe-lock cost.
+    let shared = (dedup && config.shared_dedup).then(|| Arc::new(SharedMemo::new()));
     let remaining = config.depth - split;
+    let walk_root = &walk_root;
     let results: Vec<Exploration> = roots
         .into_par_iter()
         .map(move |mut root| {
             let mut sub = Exploration::default();
             let mut spare = Vec::new();
-            // Per-worker seen set: sound (digests are thread-agnostic),
-            // deterministic, and lock-free; only cross-subtree hits are
-            // forgone relative to the sequential walk.
-            let mut memo = Memo::new(dedup);
+            let mut memo = match &shared {
+                Some(table) => Memo::shared(Arc::clone(table)),
+                None => Memo::new(dedup),
+            };
             let mut walk = Walk {
                 clients: &mut root.clients,
                 path: &mut root.path,
@@ -709,17 +1272,7 @@ where
                 recycle,
                 memo: &mut memo,
             };
-            walk_tree(
-                &mut walk,
-                root.tm,
-                remaining,
-                root.sleep,
-                sleep_sets,
-                &mut |walk, tm, _sleep| {
-                    certify_leaf(walk.path, walk.history, walk.checker, walk.out);
-                    Some(tm)
-                },
-            );
+            walk_root(&mut walk, root.tm, remaining, root.sleep);
             sub
         })
         .collect();
@@ -1086,6 +1639,125 @@ mod tests {
                 .with_dedup(),
         );
         assert_eq!(base.report(), parallel.report());
+    }
+
+    #[test]
+    fn dpor_reduces_schedules_and_preserves_verdicts() {
+        let scripts = two_increments();
+        let full = explore_with(
+            || Box::new(FgpTm::new(2, 1, FgpVariant::CpOnly)),
+            &scripts,
+            &ExploreConfig::new(9).sequential(),
+        );
+        let dpor = explore_with(
+            || Box::new(FgpTm::new(2, 1, FgpVariant::CpOnly)),
+            &scripts,
+            &ExploreConfig::new(9).sequential().with_dpor(),
+        );
+        assert!(
+            dpor.schedules < full.schedules,
+            "reduction must fire: {} vs {}",
+            dpor.schedules,
+            full.schedules
+        );
+        assert_eq!(full.all_opaque(), dpor.all_opaque());
+    }
+
+    #[test]
+    fn dpor_still_catches_the_buggy_tm_with_a_subset_of_violations() {
+        let scripts = vec![
+            ClientScript::increment(X),
+            ClientScript::new(vec![
+                crate::workload::PlannedOp::Read(X),
+                crate::workload::PlannedOp::Write(X, 5),
+            ]),
+        ];
+        let full = explore_with(
+            || tm_stm::literal_fgp(2, 1),
+            &scripts,
+            &ExploreConfig::new(9).sequential(),
+        );
+        let dpor = explore_with(
+            || tm_stm::literal_fgp(2, 1),
+            &scripts,
+            &ExploreConfig::new(9).sequential().with_dpor(),
+        );
+        assert!(!full.all_opaque() && !dpor.all_opaque());
+        // Every DPOR violation is a real schedule the unreduced explorer
+        // also reports, verbatim.
+        for v in &dpor.violations {
+            assert!(full.violations.contains(v), "unknown violation {v:?}");
+        }
+    }
+
+    #[test]
+    fn dpor_degenerates_to_full_exploration_for_conservative_oracles() {
+        // The global-lock TM's audited oracle conflicts on every pair,
+        // so DPOR must visit every schedule — same report as plain DFS.
+        let scripts = two_increments();
+        let full = explore_with(
+            || Box::new(GlobalLock::new(2, 1)),
+            &scripts,
+            &ExploreConfig::new(8).sequential(),
+        );
+        let dpor = explore_with(
+            || Box::new(GlobalLock::new(2, 1)),
+            &scripts,
+            &ExploreConfig::new(8).sequential().with_dpor(),
+        );
+        assert_eq!(full, dpor);
+    }
+
+    #[test]
+    fn dpor_composes_with_parallel_split_and_dedup() {
+        let scripts = two_increments();
+        let base = explore_with(
+            || Box::new(FgpTm::new(2, 1, FgpVariant::CpOnly)),
+            &scripts,
+            &ExploreConfig::new(9).sequential().with_dpor(),
+        );
+        let deduped = explore_with(
+            || Box::new(FgpTm::new(2, 1, FgpVariant::CpOnly)),
+            &scripts,
+            &ExploreConfig::new(9).sequential().with_dpor().with_dedup(),
+        );
+        // Dedup must not change the verdict; executed-schedule counts may
+        // legitimately differ only through replayed summaries, which are
+        // themselves executed-schedule counts — so they must match too.
+        assert_eq!(base.report(), deduped.report());
+        for split in [1, 3, 5] {
+            let par = explore_with(
+                || Box::new(FgpTm::new(2, 1, FgpVariant::CpOnly)),
+                &scripts,
+                &ExploreConfig::new(9).with_split_depth(split).with_dpor(),
+            );
+            // The parallel frontier enumerates prefixes exhaustively, so
+            // its executed-schedule count sits between the sequential
+            // DPOR count and the full tree; the verdict is preserved.
+            assert_eq!(par.all_opaque(), base.all_opaque(), "split {split}");
+            assert!(par.schedules >= base.schedules, "split {split}");
+            assert!(par.schedules <= 1 << 9, "split {split}");
+        }
+    }
+
+    #[test]
+    fn shared_dedup_reports_match_per_worker_dedup() {
+        let scripts = two_increments();
+        let per_worker = explore_with(
+            || Box::new(FgpTm::new(2, 1, FgpVariant::CpOnly)),
+            &scripts,
+            &ExploreConfig::new(10).with_split_depth(3).with_dedup(),
+        );
+        let shared = explore_with(
+            || Box::new(FgpTm::new(2, 1, FgpVariant::CpOnly)),
+            &scripts,
+            &ExploreConfig::new(10)
+                .with_split_depth(3)
+                .with_dedup()
+                .with_shared_dedup(),
+        );
+        assert_eq!(per_worker.report(), shared.report());
+        assert_eq!(shared.schedules, 1 << 10);
     }
 
     #[test]

@@ -80,6 +80,33 @@
 //! [`Client::restart_transaction`] instead of reaching the script's
 //! implicit commit. This reproduces the Figure 12 shape — a parasitic
 //! reader starving a writer — mechanically.
+//!
+//! # Equivalence-class reduction
+//!
+//! The safety explorer's source-set DPOR ([`crate::explore`]) prunes
+//! whole interleaving classes because a *verdict* is class-invariant.
+//! Liveness certification cannot prune schedules that way: for two
+//! independent steps `a | b`, the interleavings `ab` and `ba` pass
+//! through **different intermediate configurations** (`after-a` vs
+//! `after-b`), and both must be interned for the state/edge/lasso sets —
+//! the very objects the SCC certificates quantify over — to be complete.
+//! What *is* redundant is re-executing a transition the graph already
+//! records: the budget-bounded DFS re-walks a node's subtree whenever a
+//! shorter path reaches it with a larger remaining budget, re-deriving
+//! edges whose targets, labels and events are already known.
+//!
+//! [`LivecheckConfig::reduce`] prunes exactly that redundancy — one
+//! *executed* representative per transition, every re-derivation
+//! replayed: first expansions record each edge's (at most two) events;
+//! re-walks replay recorded edges into the history and client cursors
+//! (stepping is deterministic, so the replay is byte-identical) without
+//! touching a TM; and a frontier node reached but not yet expanded
+//! *parks* its TM box so a later, deeper re-walk can expand it in place
+//! instead of re-executing the path to it. Every TM transition is thus
+//! executed exactly once; the traversal order, the explored graph, the
+//! lasso findings and the certified verdicts are unchanged (asserted by
+//! the differential suite), and
+//! `steps(plain) = steps(reduced) + replayed_steps(reduced)`.
 
 use std::collections::{HashMap, HashSet};
 
@@ -98,6 +125,13 @@ pub struct LivecheckConfig {
     pub depth: usize,
     /// Cap on *stored* lasso findings (detection keeps counting).
     pub max_lassos: usize,
+    /// Transition-level reduction: execute every TM transition **once**
+    /// and replay recorded edges on re-walks (see the module docs'
+    /// "Equivalence-class reduction" section). The explored graph,
+    /// lassos and verdicts are identical; only
+    /// [`LivecheckReport::steps`] (TM executions) drops — re-walked
+    /// edges count in [`LivecheckReport::replayed_steps`] instead.
+    pub reduce: bool,
     /// Bitmask of processes that never invoke `tryC` (loop their
     /// operations forever): the paper's parasitic processes.
     parasitic: u64,
@@ -109,8 +143,16 @@ impl LivecheckConfig {
         LivecheckConfig {
             depth,
             max_lassos: 32,
+            reduce: false,
             parasitic: 0,
         }
+    }
+
+    /// Enables the transition-level reduction (execute each TM
+    /// transition once; replay recorded edges on re-walks).
+    pub fn with_reduction(mut self) -> Self {
+        self.reduce = true;
+        self
     }
 
     /// Marks `process` parasitic: it loops its script's operations
@@ -209,9 +251,13 @@ pub struct LivecheckReport {
     pub states: usize,
     /// Edges of the explored graph.
     pub edges: usize,
-    /// Scheduler steps executed (edges walked, including re-walks at
-    /// larger budgets).
+    /// Scheduler steps executed against a TM (edges walked fresh; with
+    /// [`LivecheckConfig::reduce`] each graph transition is executed
+    /// exactly once, so this approaches the edge count).
     pub steps: usize,
+    /// Edge re-walks served by replaying recorded events instead of
+    /// executing the TM (0 unless [`LivecheckConfig::reduce`]).
+    pub replayed_steps: usize,
     /// Subtree re-expansions avoided by the seen set.
     pub dedup_hits: usize,
     /// Back-edges encountered (cycles, counted with multiplicity).
@@ -286,10 +332,14 @@ struct Edge {
     target: u32,
     process: u8,
     facts: StepFacts,
+    /// The (at most two) events the step produced, recorded so
+    /// reduced-mode re-walks can replay the edge — history bytes, client
+    /// transitions and lasso findings included — without touching a TM.
+    events: [Option<Event>; 2],
 }
 
 /// One interned configuration.
-#[derive(Debug, Default)]
+#[derive(Default)]
 struct Node {
     /// Largest remaining budget this node has been expanded with
     /// (`None` = frontier: interned but never expanded).
@@ -297,6 +347,11 @@ struct Node {
     /// Outgoing edges, recorded on first expansion (stepping is
     /// deterministic, so re-expansions would record the same edges).
     edges: Vec<Edge>,
+    /// Reduced mode only: the configuration's TM, parked while the node
+    /// is an unexpanded frontier so a later, deeper re-walk can expand
+    /// it without re-executing the path to it. Taken (and dropped) on
+    /// first expansion — after that the recorded edges carry everything.
+    parked_tm: Option<BoxedTm>,
 }
 
 /// A node currently on the DFS path.
@@ -316,7 +371,9 @@ struct Search<'a> {
     nodes: Vec<Node>,
     spare: Vec<BoxedTm>,
     recycle: bool,
+    reduce: bool,
     steps: usize,
+    replayed: usize,
     dedup_hits: usize,
     cycles_detected: usize,
     eventless_cycles: usize,
@@ -345,8 +402,11 @@ impl Search<'_> {
     }
 
     /// Expands `id` (not on the path) with `remaining ≥ 1` budget.
-    /// Returns the TM box for recycling.
-    fn expand(&mut self, tm: BoxedTm, id: u32, remaining: usize) -> BoxedTm {
+    /// Fresh expansions (recorded edges absent) consume the given TM and
+    /// return it for recycling; reduced-mode re-expansions replay the
+    /// recorded edges and need no TM at all.
+    fn expand(&mut self, tm: Option<BoxedTm>, id: u32, remaining: usize) -> Option<BoxedTm> {
+        let replay = self.reduce && !self.nodes[id as usize].edges.is_empty();
         let record = self.nodes[id as usize].edges.is_empty();
         self.nodes[id as usize].budget = Some(remaining);
         self.on_path.insert(id, self.frames.len());
@@ -354,25 +414,40 @@ impl Search<'_> {
             history_len: self.history.len(),
             sched_len: self.sched.len(),
         });
-        let n = self.clients.len();
-        for k in 0..n - 1 {
-            let child = match self.spare.pop() {
-                Some(mut spare) => {
-                    if spare.refork_from(&*tm) {
-                        spare
-                    } else {
-                        tm.fork()
+        let tm = if replay {
+            for idx in 0..self.nodes[id as usize].edges.len() {
+                let edge = self.nodes[id as usize].edges[idx];
+                self.replay_edge(edge, remaining);
+            }
+            tm
+        } else {
+            let tm = tm.expect("fresh expansion requires the configuration's TM");
+            let n = self.clients.len();
+            let mut kept = None;
+            for k in 0..n - 1 {
+                let child = match self.spare.pop() {
+                    Some(mut spare) => {
+                        if spare.refork_from(&*tm) {
+                            spare
+                        } else {
+                            tm.fork()
+                        }
+                    }
+                    None => tm.fork(),
+                };
+                let recycled = self.child_step(child, k, id, remaining, record);
+                if let Some(recycled) = recycled {
+                    if self.recycle {
+                        self.spare.push(recycled);
                     }
                 }
-                None => tm.fork(),
-            };
-            let recycled = self.child_step(child, k, id, remaining, record);
-            if self.recycle {
-                self.spare.push(recycled);
             }
-        }
-        // The last child consumes the parent's TM instance: no fork.
-        let tm = self.child_step(tm, n - 1, id, remaining, record);
+            // The last child consumes the parent's TM instance: no fork.
+            if let Some(recycled) = self.child_step(tm, n - 1, id, remaining, record) {
+                kept = Some(recycled);
+            }
+            kept
+        };
         self.frames.pop();
         self.on_path.remove(&id);
         tm
@@ -381,6 +456,8 @@ impl Search<'_> {
     /// Steps process `k` from the configuration `parent`, classifies the
     /// resulting edge, and recurses unless the child closes a cycle, is
     /// already explored at this budget, or sits at the depth bound.
+    /// Returns the stepped TM for recycling — or `None` in reduced mode
+    /// when the box was parked on a new frontier node instead.
     fn child_step(
         &mut self,
         mut tm: BoxedTm,
@@ -388,7 +465,7 @@ impl Search<'_> {
         parent: u32,
         remaining: usize,
         record: bool,
-    ) -> BoxedTm {
+    ) -> Option<BoxedTm> {
         let history_len = self.history.len();
         let mark = self.clients[k].mark();
         self.sched.push(k);
@@ -398,12 +475,19 @@ impl Search<'_> {
         let key = self.key_of(&tm);
         let child = self.intern(key);
         if record {
+            let mut events = [None, None];
+            for (slot, &event) in events.iter_mut().zip(&self.history[history_len..]) {
+                *slot = Some(event);
+            }
             self.nodes[parent as usize].edges.push(Edge {
                 target: child,
                 process: u8::try_from(k).expect("≤ 64 processes"),
                 facts,
+                events,
             });
         }
+        let mut tm = Some(tm);
+        let mut expanded = false;
         if let Some(&frame) = self.on_path.get(&child) {
             self.record_cycle(frame);
         } else if remaining > 1 {
@@ -413,13 +497,87 @@ impl Search<'_> {
             if explored {
                 self.dedup_hits += 1;
             } else {
+                // The recursion may itself park the box on a deeper
+                // frontier node (reduced mode), returning None.
                 tm = self.expand(tm, child, remaining - 1);
+                expanded = true;
             }
         }
         self.sched.pop();
         self.history.truncate(history_len);
         self.clients[k].restore(mark);
+        // Reduced mode: park the TM of a still-unexpanded frontier child
+        // so a later, deeper re-walk can expand it from the recorded
+        // graph without re-executing the path to it.
+        if self.reduce && !expanded {
+            let node = &mut self.nodes[child as usize];
+            if node.edges.is_empty()
+                && node.parked_tm.is_none()
+                && !self.on_path.contains_key(&child)
+            {
+                node.parked_tm = tm.take();
+            }
+        }
         tm
+    }
+
+    /// Reduced-mode re-walk of one recorded edge: replays its events
+    /// into the history and the client (identically to re-executing the
+    /// step — stepping is deterministic), detects cycles, and recurses
+    /// using parked TMs only where a frontier node genuinely needs its
+    /// first expansion.
+    fn replay_edge(&mut self, edge: Edge, remaining: usize) {
+        let k = edge.process as usize;
+        let history_len = self.history.len();
+        let mark = self.clients[k].mark();
+        self.sched.push(k);
+        if let Some(first) = edge.events[0] {
+            if first.is_invocation() {
+                // Mirror `step_live`'s client handling for an invoking
+                // step, including the parasitic loop rule.
+                if self.config.parasitic & (1 << k) != 0
+                    && self.clients[k].next_invocation() == Invocation::TryCommit
+                {
+                    self.clients[k].restart_transaction();
+                }
+                debug_assert_eq!(
+                    first.as_invocation(),
+                    Some(self.clients[k].next_invocation())
+                );
+            }
+            for event in edge.events.iter().flatten() {
+                self.history.push(*event);
+                if let Some(resp) = event.as_response() {
+                    self.clients[k].observe(resp);
+                }
+            }
+        }
+        self.replayed += 1;
+        let child = edge.target;
+        if let Some(&frame) = self.on_path.get(&child) {
+            self.record_cycle(frame);
+        } else if remaining > 1 {
+            let explored = self.nodes[child as usize]
+                .budget
+                .is_some_and(|b| b >= remaining - 1);
+            if explored {
+                self.dedup_hits += 1;
+            } else {
+                let parked = self.nodes[child as usize].parked_tm.take();
+                debug_assert!(
+                    parked.is_some() || !self.nodes[child as usize].edges.is_empty(),
+                    "frontier node must carry a parked TM"
+                );
+                if let Some(recycled) = self.expand(parked, child, remaining - 1) {
+                    if self.recycle {
+                        self.spare.push(recycled);
+                    }
+                }
+            }
+        }
+        self.sched.pop();
+        self.history.truncate(history_len);
+        self.clients[k].restore(mark);
     }
 
     /// The DFS stepped back into the configuration at `frames[frame]`:
@@ -661,7 +819,9 @@ where
         nodes: Vec::new(),
         spare: Vec::new(),
         recycle,
+        reduce: config.reduce,
         steps: 0,
+        replayed: 0,
         dedup_hits: 0,
         cycles_detected: 0,
         eventless_cycles: 0,
@@ -672,7 +832,7 @@ where
     };
     let root_key = search.key_of(&tm);
     let root = search.intern(root_key);
-    search.expand(tm, root, config.depth);
+    search.expand(Some(tm), root, config.depth);
     let verdicts = certify(&search.nodes, n);
     LivecheckReport {
         tm: name,
@@ -680,6 +840,7 @@ where
         states: search.nodes.len(),
         edges: search.nodes.iter().map(|n| n.edges.len()).sum(),
         steps: search.steps,
+        replayed_steps: search.replayed,
         dedup_hits: search.dedup_hits,
         cycles_detected: search.cycles_detected,
         eventless_cycles: search.eventless_cycles,
@@ -803,6 +964,80 @@ mod tests {
             assert_eq!(report.rejected_cycles, 0, "{name}");
             assert!(!report.progressing_processes().is_empty(), "{name}");
         }
+    }
+
+    #[test]
+    fn reduction_preserves_the_graph_and_every_finding() {
+        for (name, factory) in [
+            (
+                "fgp",
+                Box::new(|| Box::new(FgpTm::new(2, 1, FgpVariant::CpOnly)) as BoxedTm)
+                    as Box<dyn Fn() -> BoxedTm>,
+            ),
+            ("tl2", Box::new(|| Box::new(Tl2::new(2, 1)) as BoxedTm)),
+            (
+                "global-lock",
+                Box::new(|| Box::new(GlobalLock::new(2, 1)) as BoxedTm),
+            ),
+        ] {
+            let plain = livecheck(&*factory, &contended(), &LivecheckConfig::new(12));
+            let reduced = livecheck(
+                &*factory,
+                &contended(),
+                &LivecheckConfig::new(12).with_reduction(),
+            );
+            assert_eq!(plain.states, reduced.states, "{name}");
+            assert_eq!(plain.edges, reduced.edges, "{name}");
+            assert_eq!(plain.cycles_detected, reduced.cycles_detected, "{name}");
+            assert_eq!(plain.eventless_cycles, reduced.eventless_cycles, "{name}");
+            assert_eq!(plain.lassos.len(), reduced.lassos.len(), "{name}");
+            for (a, b) in plain.lassos.iter().zip(&reduced.lassos) {
+                assert_eq!(a.schedule_prefix, b.schedule_prefix, "{name}");
+                assert_eq!(a.schedule_cycle, b.schedule_cycle, "{name}");
+                assert_eq!(a.classes, b.classes, "{name}");
+            }
+            assert_eq!(plain.verdicts, reduced.verdicts, "{name}");
+            // Every re-walk the plain search paid in TM executions is
+            // either executed once or replayed from the recorded graph.
+            assert_eq!(
+                plain.steps,
+                reduced.steps + reduced.replayed_steps,
+                "{name}"
+            );
+            assert!(
+                reduced.steps < plain.steps,
+                "{name}: reduction never fired ({} steps)",
+                reduced.steps
+            );
+            assert_eq!(plain.replayed_steps, 0, "{name}");
+        }
+    }
+
+    #[test]
+    fn reduction_with_parasitic_processes_is_identical_too() {
+        let scripts = vec![
+            ClientScript::new(vec![PlannedOp::Read(X)]),
+            ClientScript::new(vec![PlannedOp::Read(X), PlannedOp::Write(X, 2)]),
+        ];
+        let config = LivecheckConfig::new(10).with_parasitic(ProcessId(0));
+        let plain = livecheck(
+            || Box::new(FgpTm::new(2, 1, FgpVariant::CpOnly)),
+            &scripts,
+            &config,
+        );
+        let reduced = livecheck(
+            || Box::new(FgpTm::new(2, 1, FgpVariant::CpOnly)),
+            &scripts,
+            &config.clone().with_reduction(),
+        );
+        assert_eq!(plain.states, reduced.states);
+        assert_eq!(plain.edges, reduced.edges);
+        assert_eq!(plain.lassos.len(), reduced.lassos.len());
+        assert_eq!(plain.verdicts, reduced.verdicts);
+        assert!(reduced
+            .lassos
+            .iter()
+            .any(|l| l.parasitic().contains(&ProcessId(0))));
     }
 
     #[test]

@@ -10,7 +10,143 @@
 //! including never scheduling a process again (a crash) or never letting
 //! it invoke `tryC` (a parasitic process).
 
-use tm_core::{Invocation, ProcessId, Response};
+use tm_core::{Invocation, ProcessId, Response, TVarId};
+
+/// The shared-state footprint of one scheduler step, as declared by a
+/// TM's conflict oracle ([`SteppedTm::step_footprint`]) *before* the step
+/// executes.
+///
+/// Two steps by different processes whose footprints do not
+/// [`StepFootprint::conflicts`] are **independent**: executing them in
+/// either order from any state where both are the processes' next steps
+/// yields the same TM state (up to [`SteppedTm::state_digest`]
+/// equivalence), the same responses, and — because the begin/end flags
+/// pin transaction real-time order — the same safety verdict for every
+/// extension. This is the independence relation behind the model
+/// checker's source-set dynamic partial-order reduction.
+///
+/// # Fields and the over-approximation contract
+///
+/// A footprint must cover every piece of *shared* state (state readable
+/// or writable by more than one process) the step may touch, evaluated
+/// in the current TM state and stable under reordering of independent
+/// steps (a step's shared accesses may depend only on state that
+/// conflicting steps mutate — e.g. a transaction's own read/write sets,
+/// the variable's lock word — never on state an independent step could
+/// change):
+///
+/// * `var_reads`/`var_writes` — bitmasks of t-variables whose per-variable
+///   shared state (committed value, version, lock/ownership word) the
+///   step may read resp. mutate. Incremental validation that re-reads the
+///   whole read set must include the read set's variables; an abort that
+///   rolls back or unlocks the write set must include the write set's
+///   variables in `var_writes`.
+/// * `global_read`/`global_write` — the step reads resp. mutates global
+///   shared state (version clocks, sequence numbers, age counters, the
+///   global lock, another process's transaction status). *Commutative*
+///   updates to global state (e.g. inserting into a set that only
+///   globally-writing steps observe) may be declared as `global_read`:
+///   two such updates commute with each other, which is exactly what the
+///   conflict relation then encodes.
+/// * `ends` — the step may complete a transaction *now* (respond
+///   `Committed` or `Aborted`). Deterministic TMs can compute this
+///   exactly from the current state.
+/// * `begins` — the step is the first event of a new transaction.
+///   **Set by the driver** (which owns the client cursor), not by the TM.
+///
+/// `ends`/`begins` exist because swapping an adjacent transaction-ending
+/// step with a transaction-beginning step of another process changes the
+/// transactions' real-time order — and with it, potentially, the opacity
+/// verdict — even when the TM states commute. Such pairs are therefore
+/// declared conflicting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StepFootprint {
+    /// T-variables whose shared per-variable state the step may read.
+    pub var_reads: u64,
+    /// T-variables whose shared per-variable state the step may mutate.
+    pub var_writes: u64,
+    /// Reads global shared state (or performs a commutative update to it).
+    pub global_read: bool,
+    /// Mutates global shared state non-commutatively.
+    pub global_write: bool,
+    /// May respond `Committed`/`Aborted` now (driver-visible tx end).
+    pub ends: bool,
+    /// First event of a new transaction (set by the driver, not the TM).
+    pub begins: bool,
+}
+
+impl StepFootprint {
+    /// The empty footprint: touches no shared state.
+    pub fn local() -> Self {
+        StepFootprint::default()
+    }
+
+    /// The fully conservative footprint: conflicts with every step.
+    /// This is the [`SteppedTm::step_footprint`] default — sound for any
+    /// TM, and it degrades partial-order reduction to full exploration.
+    pub fn global() -> Self {
+        StepFootprint {
+            var_reads: u64::MAX,
+            var_writes: u64::MAX,
+            global_read: true,
+            global_write: true,
+            ends: true,
+            begins: false,
+        }
+    }
+
+    /// Marks `x`'s shared state as read. Variables beyond the 64-bit mask
+    /// fall back to the global channel (conservative).
+    pub fn add_read(&mut self, x: TVarId) {
+        self.add_read_index(x.index());
+    }
+
+    /// Marks `x`'s shared state as mutated (same 64-variable fallback).
+    pub fn add_write(&mut self, x: TVarId) {
+        self.add_write_index(x.index());
+    }
+
+    /// [`StepFootprint::add_read`] by raw variable index.
+    pub fn add_read_index(&mut self, j: usize) {
+        if j < 64 {
+            self.var_reads |= 1 << j;
+        } else {
+            self.global_read = true;
+            self.global_write = true;
+        }
+    }
+
+    /// [`StepFootprint::add_write`] by raw variable index.
+    pub fn add_write_index(&mut self, j: usize) {
+        if j < 64 {
+            self.var_writes |= 1 << j;
+        } else {
+            self.global_read = true;
+            self.global_write = true;
+        }
+    }
+
+    /// Whether two steps **by different processes** may not commute: the
+    /// symmetric dependence relation of the partial-order reduction.
+    pub fn conflicts(&self, other: &StepFootprint) -> bool {
+        self.var_writes & (other.var_reads | other.var_writes) != 0
+            || other.var_writes & self.var_reads != 0
+            || (self.global_write && (other.global_read || other.global_write))
+            || (other.global_write && self.global_read)
+            || (self.ends && other.begins)
+            || (other.ends && self.begins)
+    }
+
+    /// Unions `other` into `self` (the footprint of "any of these steps").
+    pub fn merge(&mut self, other: &StepFootprint) {
+        self.var_reads |= other.var_reads;
+        self.var_writes |= other.var_writes;
+        self.global_read |= other.global_read;
+        self.global_write |= other.global_write;
+        self.ends |= other.ends;
+        self.begins |= other.begins;
+    }
+}
 
 /// Outcome of an invocation against a [`SteppedTm`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -158,6 +294,24 @@ pub trait SteppedTm {
     fn disjoint_var_ops_commute(&self) -> bool {
         false
     }
+
+    /// The conflict oracle: the shared-state footprint of the step that
+    /// would execute `invocation` for `process` **from the current
+    /// state** (see [`StepFootprint`] for the contract). The model
+    /// checker's partial-order reduction treats two next-steps by
+    /// different processes as independent exactly when their footprints
+    /// do not [`StepFootprint::conflicts`].
+    ///
+    /// The default is [`StepFootprint::global`] — sound for every TM,
+    /// conflicting with everything, so reduction silently degrades to
+    /// full exploration. Catalog TMs refine it from their read/write/lock
+    /// footprints; each refinement is an audited per-algorithm
+    /// commutativity claim, differential-tested against unreduced
+    /// exploration.
+    fn step_footprint(&self, process: ProcessId, invocation: Invocation) -> StepFootprint {
+        let _ = (process, invocation);
+        StepFootprint::global()
+    }
 }
 
 /// Extension helpers for driving a [`SteppedTm`] through whole operations.
@@ -230,6 +384,10 @@ impl SteppedTm for BoxedTm {
 
     fn disjoint_var_ops_commute(&self) -> bool {
         (**self).disjoint_var_ops_commute()
+    }
+
+    fn step_footprint(&self, process: ProcessId, invocation: Invocation) -> StepFootprint {
+        (**self).step_footprint(process, invocation)
     }
 }
 

@@ -18,7 +18,7 @@
 
 use tm_core::{Invocation, ProcessId, Response, TVarId, Value, INITIAL_VALUE};
 
-use crate::api::{BoxedTm, Outcome, SteppedTm};
+use crate::api::{BoxedTm, Outcome, StepFootprint, SteppedTm};
 
 #[derive(Debug, Clone)]
 struct VarSlot {
@@ -213,6 +213,90 @@ impl SteppedTm for Dstm {
 
     fn fork(&self) -> BoxedTm {
         Box::new(self.clone())
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+
+    fn refork_from(&mut self, source: &dyn SteppedTm) -> bool {
+        let Some(source) = source.as_any().and_then(|a| a.downcast_ref::<Dstm>()) else {
+            return false;
+        };
+        if self.txs.len() != source.txs.len() || self.vars.len() != source.vars.len() {
+            return false;
+        }
+        self.vars.clone_from(&source.vars);
+        for (dst, src) in self.txs.iter_mut().zip(&source.txs) {
+            match (dst, src) {
+                // Same-variant case reuses the read vector's buffer
+                // instead of reallocating.
+                (TxState::Active(dst), TxState::Active(src)) => {
+                    dst.reads.clone_from(&src.reads);
+                }
+                (dst, src) => *dst = src.clone(),
+            }
+        }
+        true
+    }
+
+    fn step_footprint(&self, process: ProcessId, invocation: Invocation) -> StepFootprint {
+        // Audited conflict oracle. Shared state: per-variable ownership
+        // records `(committed, owner, new_value)` plus — because the
+        // aggressive contention manager dooms the current owner — every
+        // process's transaction status. Doom checks make every step a
+        // global reader; a stealing write is a global writer.
+        let k = process.index();
+        if matches!(self.txs[k], TxState::Doomed) {
+            let mut fp = StepFootprint::local();
+            fp.global_read = true;
+            fp.ends = true;
+            return fp;
+        }
+        let tx = match &self.txs[k] {
+            TxState::Active(tx) => Some(tx),
+            _ => None,
+        };
+        let mut fp = StepFootprint::local();
+        fp.global_read = true; // doom flag, set by other processes' CM
+        match invocation {
+            Invocation::Read(x) => {
+                let j = x.index();
+                fp.add_read(x);
+                if self.vars[j].owner != Some(k) {
+                    if let Some(tx) = tx {
+                        for &(j, _) in &tx.reads {
+                            fp.add_read_index(j); // value revalidation
+                        }
+                        fp.ends = !Self::reads_valid(&self.vars, tx);
+                    }
+                }
+            }
+            Invocation::Write(x, _) => {
+                let j = x.index();
+                fp.add_write(x); // acquires (or steals) the ownership record
+                if self.vars[j].owner.is_some_and(|o| o != k) {
+                    // Aggressive CM: dooms the owner, releasing its
+                    // ownerships across variables.
+                    fp.global_write = true;
+                }
+            }
+            Invocation::TryCommit => {
+                fp.ends = true;
+                if let Some(tx) = tx {
+                    for &(j, _) in &tx.reads {
+                        fp.add_read_index(j); // value validation
+                    }
+                    // Commit publishes owned slots; abort releases them.
+                    for (j, slot) in self.vars.iter().enumerate() {
+                        if slot.owner == Some(k) {
+                            fp.add_write_index(j);
+                        }
+                    }
+                }
+            }
+        }
+        fp
     }
 
     fn state_digest(&self) -> Option<u64> {

@@ -8,7 +8,7 @@
 use tm_automata::{Fgp, FgpVariant, Runner, TmAutomaton};
 use tm_core::{Invocation, ProcessId, Response, TVarId, Value};
 
-use crate::api::{BoxedTm, Outcome, SteppedTm};
+use crate::api::{BoxedTm, Outcome, StepFootprint, SteppedTm};
 
 /// Stepped adapter around the `Fgp` I/O automaton.
 ///
@@ -109,6 +109,30 @@ impl SteppedTm for FgpTm {
         // bit and `Val` row, and reads its own row; global view syncing
         // and dooming happen only at `tryC`.
         true
+    }
+
+    fn step_footprint(&self, process: ProcessId, invocation: Invocation) -> StepFootprint {
+        // Audited conflict oracle, for all three variants. An operation
+        // step touches only the process's own `Val` row and `Status`
+        // bit, plus a *commutative* insert into `CP` — so operation
+        // steps by different processes commute even on the same
+        // t-variable, and the per-variable masks stay empty. The
+        // `Status` bit is set by other processes' commits and `CP` is
+        // read (and cleared) by them, so operations are global readers;
+        // `tryC` — which dooms, syncs every view and clears `CP` — is
+        // the lone global writer.
+        let k = process.index();
+        let doomed = self.runner.state().status(k) == tm_automata::fgp::PStatus::Doomed;
+        let mut fp = StepFootprint::local();
+        fp.global_read = true;
+        match invocation {
+            Invocation::Read(_) | Invocation::Write(..) => fp.ends = doomed,
+            Invocation::TryCommit => {
+                fp.ends = true;
+                fp.global_write = true;
+            }
+        }
+        fp
     }
 
     fn state_digest(&self) -> Option<u64> {

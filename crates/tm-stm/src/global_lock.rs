@@ -10,7 +10,7 @@
 use tm_automata::{GlobalLockTm, Runner, TmAutomaton};
 use tm_core::{Invocation, ProcessId, Response, TVarId, Value};
 
-use crate::api::{BoxedTm, Outcome, SteppedTm};
+use crate::api::{BoxedTm, Outcome, StepFootprint, SteppedTm};
 
 /// Stepped adapter around the global-lock TM automaton.
 ///
@@ -90,6 +90,34 @@ impl SteppedTm for GlobalLock {
 
     fn fork(&self) -> BoxedTm {
         Box::new(self.clone())
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+
+    fn refork_from(&mut self, source: &dyn SteppedTm) -> bool {
+        let Some(source) = source.as_any().and_then(|a| a.downcast_ref::<GlobalLock>()) else {
+            return false;
+        };
+        if self.process_count() != source.process_count()
+            || self.tvar_count() != source.tvar_count()
+        {
+            return false;
+        }
+        self.runner.copy_from(&source.runner);
+        true
+    }
+
+    fn step_footprint(&self, process: ProcessId, invocation: Invocation) -> StepFootprint {
+        // Explicitly the conservative footprint (the trait default, made
+        // audited): every step of the blocking TM observes or mutates
+        // the one global lock — acquisition on first operation, queueing
+        // while held, release at commit — so no two steps by different
+        // processes commute and partial-order reduction correctly
+        // degenerates to full exploration.
+        let _ = (process, invocation);
+        StepFootprint::global()
     }
 
     fn state_digest(&self) -> Option<u64> {

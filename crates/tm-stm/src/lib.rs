@@ -54,7 +54,7 @@ pub mod swiss;
 pub mod tiny;
 pub mod tl2;
 
-pub use api::{BoxedTm, Outcome, SteppedTm, SteppedTmExt};
+pub use api::{BoxedTm, Outcome, StepFootprint, SteppedTm, SteppedTmExt};
 pub use catalog::{full_catalog, literal_fgp, nonblocking_catalog};
 pub use dstm::Dstm;
 pub use fgp::FgpTm;

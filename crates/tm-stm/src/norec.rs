@@ -20,7 +20,7 @@ use std::collections::BTreeMap;
 
 use tm_core::{Invocation, ProcessId, Response, TVarId, Value, INITIAL_VALUE};
 
-use crate::api::{BoxedTm, Outcome, SteppedTm};
+use crate::api::{BoxedTm, Outcome, StepFootprint, SteppedTm};
 
 #[derive(Debug, Clone)]
 struct ActiveTx {
@@ -245,6 +245,57 @@ impl SteppedTm for NOrec {
         // commit advances it); value re-validation reads committed
         // values, which also change only at commit.
         true
+    }
+
+    fn step_footprint(&self, process: ProcessId, invocation: Invocation) -> StepFootprint {
+        // Audited conflict oracle. Shared state: the committed value
+        // array and the single global sequence number. Every read
+        // compares `snapshot` against `seq` (and may value-revalidate
+        // the whole read set), so reads carry `global_read` and the read
+        // set's variables; writes buffer locally; only a committing
+        // `tryC` bumps `seq` and publishes values.
+        let k = process.index();
+        let tx = match &self.txs[k] {
+            TxState::Active(tx) => Some(tx),
+            TxState::Idle => None,
+        };
+        let mut fp = StepFootprint::local();
+        match invocation {
+            Invocation::Read(x) => {
+                let j = x.index();
+                if tx.is_some_and(|tx| tx.writes.contains_key(&j)) {
+                    return fp; // served from the local write buffer
+                }
+                fp.global_read = true; // snapshot-vs-seq comparison (or begin)
+                fp.add_read(x);
+                if let Some(tx) = tx {
+                    for &(j, _) in &tx.reads {
+                        fp.add_read_index(j); // value revalidation
+                    }
+                    fp.ends = tx.snapshot != self.seq
+                        && !tx.reads.iter().all(|&(j, v)| self.vars[j] == v);
+                }
+            }
+            Invocation::Write(..) => {
+                fp.global_read = tx.is_none(); // begin snapshots seq
+            }
+            Invocation::TryCommit => {
+                fp.ends = true;
+                fp.global_read = true;
+                if let Some(tx) = tx {
+                    for &(j, _) in &tx.reads {
+                        fp.add_read_index(j);
+                    }
+                    if !tx.writes.is_empty() {
+                        fp.global_write = true; // seq bump
+                        for &j in tx.writes.keys() {
+                            fp.add_write_index(j);
+                        }
+                    }
+                }
+            }
+        }
+        fp
     }
 }
 

@@ -20,7 +20,7 @@ use std::collections::BTreeMap;
 
 use tm_core::{Invocation, ProcessId, Response, TVarId, Value, INITIAL_VALUE};
 
-use crate::api::{BoxedTm, Outcome, SteppedTm};
+use crate::api::{BoxedTm, Outcome, StepFootprint, SteppedTm};
 
 #[derive(Debug, Clone)]
 struct VarSlot {
@@ -176,6 +176,74 @@ impl SteppedTm for Ostm {
 
     fn fork(&self) -> BoxedTm {
         Box::new(self.clone())
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+
+    fn refork_from(&mut self, source: &dyn SteppedTm) -> bool {
+        let Some(source) = source.as_any().and_then(|a| a.downcast_ref::<Ostm>()) else {
+            return false;
+        };
+        if self.txs.len() != source.txs.len() || self.vars.len() != source.vars.len() {
+            return false;
+        }
+        self.vars.clone_from(&source.vars);
+        for (dst, src) in self.txs.iter_mut().zip(&source.txs) {
+            match (dst, src) {
+                // Same-variant case reuses the read vector's and write
+                // map's existing buffers instead of reallocating.
+                (TxState::Active(dst), TxState::Active(src)) => {
+                    dst.reads.clone_from(&src.reads);
+                    dst.writes.clone_from(&src.writes);
+                }
+                (dst, src) => *dst = src.clone(),
+            }
+        }
+        true
+    }
+
+    fn step_footprint(&self, process: ProcessId, invocation: Invocation) -> StepFootprint {
+        // Audited conflict oracle. Shared state: per-object slots
+        // `(value, version)` — there is no global clock and no lock
+        // word, so OSTM steps never touch the global channel. Reads
+        // validate the whole read set incrementally; writes buffer
+        // locally; commit publishes per-object versions.
+        let k = process.index();
+        let tx = match &self.txs[k] {
+            TxState::Active(tx) => Some(tx),
+            TxState::Idle => None,
+        };
+        let mut fp = StepFootprint::local();
+        match invocation {
+            Invocation::Read(x) => {
+                let j = x.index();
+                if tx.is_some_and(|tx| tx.writes.contains_key(&j)) {
+                    return fp; // served from the local write buffer
+                }
+                fp.add_read(x);
+                if let Some(tx) = tx {
+                    for &(j, _) in &tx.reads {
+                        fp.add_read_index(j); // incremental validation
+                    }
+                    fp.ends = !Self::reads_valid(&self.vars, tx);
+                }
+            }
+            Invocation::Write(..) => {} // buffered: local
+            Invocation::TryCommit => {
+                fp.ends = true;
+                if let Some(tx) = tx {
+                    for &(j, _) in &tx.reads {
+                        fp.add_read_index(j);
+                    }
+                    for &j in tx.writes.keys() {
+                        fp.add_write_index(j); // per-object version bump
+                    }
+                }
+            }
+        }
+        fp
     }
 
     fn state_digest(&self) -> Option<u64> {

@@ -26,7 +26,7 @@ use std::collections::BTreeMap;
 
 use tm_core::{Invocation, ProcessId, Response, TVarId, Value, INITIAL_VALUE};
 
-use crate::api::{BoxedTm, Outcome, SteppedTm};
+use crate::api::{BoxedTm, Outcome, StepFootprint, SteppedTm};
 
 #[derive(Debug, Clone)]
 struct VarSlot {
@@ -251,6 +251,110 @@ impl SteppedTm for SwissTm {
 
     fn fork(&self) -> BoxedTm {
         Box::new(self.clone())
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+
+    fn refork_from(&mut self, source: &dyn SteppedTm) -> bool {
+        let Some(source) = source.as_any().and_then(|a| a.downcast_ref::<SwissTm>()) else {
+            return false;
+        };
+        if self.txs.len() != source.txs.len() || self.vars.len() != source.vars.len() {
+            return false;
+        }
+        self.clock = source.clock;
+        self.next_age = source.next_age;
+        self.vars.clone_from(&source.vars);
+        for (dst, src) in self.txs.iter_mut().zip(&source.txs) {
+            match (dst, src) {
+                // Same-variant case reuses the read vector's and write
+                // map's existing buffers instead of reallocating.
+                (TxState::Active(dst), TxState::Active(src)) => {
+                    dst.age = src.age;
+                    dst.rv = src.rv;
+                    dst.reads.clone_from(&src.reads);
+                    dst.writes.clone_from(&src.writes);
+                }
+                (dst, src) => *dst = src.clone(),
+            }
+        }
+        true
+    }
+
+    fn step_footprint(&self, process: ProcessId, invocation: Invocation) -> StepFootprint {
+        // Audited conflict oracle. Shared state: per-variable slots
+        // `(value, version, write lock)`, the global version clock, the
+        // age counter, and — because the greedy contention manager dooms
+        // other processes' transactions — every process's transaction
+        // status. Doom checks make every step a global reader; begin
+        // *draws* a fresh age (the relative age order is observable to
+        // the CM), so beginning steps are global writers.
+        let k = process.index();
+        if matches!(self.txs[k], TxState::Doomed) {
+            // Learns of its doom: responds A and clears local state only.
+            let mut fp = StepFootprint::local();
+            fp.global_read = true;
+            fp.ends = true;
+            return fp;
+        }
+        let tx = match &self.txs[k] {
+            TxState::Active(tx) => Some(tx),
+            _ => None,
+        };
+        let mut fp = StepFootprint::local();
+        fp.global_read = true; // doom flag, set by other processes' CM
+        if tx.is_none() {
+            fp.global_write = true; // begin draws next_age + 1
+        }
+        match invocation {
+            Invocation::Read(x) => {
+                let j = x.index();
+                if tx.is_some_and(|tx| tx.writes.contains_key(&j)) {
+                    return fp; // served from the local write buffer
+                }
+                fp.add_read(x);
+                fp.ends = tx.is_some_and(|tx| self.vars[j].version > tx.rv);
+            }
+            Invocation::Write(x, _) => {
+                let j = x.index();
+                fp.add_write(x); // acquires (or steals) the write lock
+                if self.vars[j].writer.is_some_and(|o| o != k) {
+                    // Eager W/W conflict: either dooms the owner
+                    // (releasing its locks across variables) or aborts
+                    // self (releasing own locks) — both mutate another
+                    // process's transaction state or multi-variable lock
+                    // state, so the step is a global writer.
+                    fp.global_write = true;
+                    let my_age = tx.map_or(self.next_age + 1, |tx| tx.age);
+                    let owner_age = self
+                        .age_of(self.vars[j].writer.expect("checked above"))
+                        .unwrap_or(u64::MAX);
+                    fp.ends = my_age >= owner_age; // younger loses: self-abort
+                    if let Some(tx) = tx {
+                        for &j in tx.writes.keys() {
+                            fp.add_write_index(j); // lock releases on loss
+                        }
+                    }
+                }
+            }
+            Invocation::TryCommit => {
+                fp.ends = true;
+                if let Some(tx) = tx {
+                    for &j in &tx.reads {
+                        fp.add_read_index(j); // commit-time validation
+                    }
+                    if !tx.writes.is_empty() {
+                        fp.global_write = true; // clock bump
+                        for &j in tx.writes.keys() {
+                            fp.add_write_index(j); // publish + unlock
+                        }
+                    }
+                }
+            }
+        }
+        fp
     }
 
     fn state_digest(&self) -> Option<u64> {

@@ -11,7 +11,7 @@
 
 use tm_core::{Invocation, ProcessId, Response, TVarId, Value, INITIAL_VALUE};
 
-use crate::api::{BoxedTm, Outcome, SteppedTm};
+use crate::api::{BoxedTm, Outcome, StepFootprint, SteppedTm};
 
 #[derive(Debug, Clone)]
 struct VarSlot {
@@ -222,6 +222,34 @@ impl SteppedTm for TinyStm {
         Box::new(self.clone())
     }
 
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+
+    fn refork_from(&mut self, source: &dyn SteppedTm) -> bool {
+        let Some(source) = source.as_any().and_then(|a| a.downcast_ref::<TinyStm>()) else {
+            return false;
+        };
+        if self.txs.len() != source.txs.len() || self.vars.len() != source.vars.len() {
+            return false;
+        }
+        self.clock = source.clock;
+        self.vars.clone_from(&source.vars);
+        for (dst, src) in self.txs.iter_mut().zip(&source.txs) {
+            match (dst, src) {
+                // Same-variant case reuses the read vector's and undo
+                // log's existing buffers instead of reallocating.
+                (TxState::Active(dst), TxState::Active(src)) => {
+                    dst.rv = src.rv;
+                    dst.reads.clone_from(&src.reads);
+                    dst.undo.clone_from(&src.undo);
+                }
+                (dst, src) => *dst = src.clone(),
+            }
+        }
+        true
+    }
+
     fn state_digest(&self) -> Option<u64> {
         use std::hash::Hash;
         // Like TL2, TinySTM compares its version clock only relatively
@@ -266,7 +294,76 @@ impl SteppedTm for TinyStm {
     // disjoint variables can therefore decide *which* transaction
     // aborts (and which locks get released) depending on order, so the
     // conservative default `false` stands and sleep-set pruning stays
-    // disabled for this TM.
+    // disabled for this TM. The DPOR conflict oracle below *can* express
+    // the rollback precisely — a possibly-aborting step declares its
+    // whole undo log's variables written — so partial-order reduction
+    // works where the coarse per-variable contract could not.
+
+    fn step_footprint(&self, process: ProcessId, invocation: Invocation) -> StepFootprint {
+        // Audited conflict oracle. Shared state: per-variable slots
+        // `(value, version, owner)` — write-through, so values *and*
+        // encounter-time locks live in the slots — plus the global
+        // clock. A step that may abort rolls back and unlocks the
+        // transaction's whole undo log, so it writes every undone
+        // variable.
+        let k = process.index();
+        let tx = match &self.txs[k] {
+            TxState::Active(tx) => Some(tx),
+            TxState::Idle => None,
+        };
+        let mut fp = StepFootprint::local();
+        fp.global_read = tx.is_none(); // begin samples the clock
+        let undo_writes = |fp: &mut StepFootprint| {
+            if let Some(tx) = tx {
+                for &(j, _) in &tx.undo {
+                    fp.add_write_index(j);
+                }
+            }
+        };
+        match invocation {
+            Invocation::Read(x) => {
+                let j = x.index();
+                fp.add_read(x);
+                let slot = &self.vars[j];
+                fp.ends = match slot.owner {
+                    Some(owner) if owner == k => false, // own in-place write
+                    Some(_) => true,                    // timid: locked by another
+                    None => tx.is_some_and(|tx| slot.version > tx.rv),
+                };
+                if fp.ends {
+                    undo_writes(&mut fp); // abort rolls back the undo log
+                }
+            }
+            Invocation::Write(x, _) => {
+                fp.add_write(x); // acquires the lock, writes in place
+                fp.ends = self.vars[x.index()].owner.is_some_and(|o| o != k);
+                if fp.ends {
+                    undo_writes(&mut fp);
+                }
+            }
+            Invocation::TryCommit => {
+                fp.ends = true;
+                if let Some(tx) = tx {
+                    for &j in &tx.reads {
+                        fp.add_read_index(j); // validation: version + owner
+                    }
+                    // Commit publishes versions and unlocks; abort rolls
+                    // back — either way every owned slot is written.
+                    let mut wrote = false;
+                    for (j, slot) in self.vars.iter().enumerate() {
+                        if slot.owner == Some(k) {
+                            fp.add_write_index(j);
+                            wrote = true;
+                        }
+                    }
+                    if wrote {
+                        fp.global_write = true; // clock bump on commit
+                    }
+                }
+            }
+        }
+        fp
+    }
 }
 
 #[cfg(test)]

@@ -20,7 +20,7 @@ use std::hash::Hash;
 
 use tm_core::{Invocation, ProcessId, Response, TVarId, Value, INITIAL_VALUE};
 
-use crate::api::{BoxedTm, Outcome, SteppedTm};
+use crate::api::{BoxedTm, Outcome, StepFootprint, SteppedTm};
 
 #[derive(Debug, Clone)]
 struct VarSlot {
@@ -262,6 +262,52 @@ impl SteppedTm for Tl2 {
         // advances it), reads touch the variable's own slot, writes are
         // buffered in the transaction's local write set.
         true
+    }
+
+    fn step_footprint(&self, process: ProcessId, invocation: Invocation) -> StepFootprint {
+        // Audited conflict oracle. Shared state: per-variable slots
+        // `(value, version)` and the global clock. Reads sample a slot
+        // and validate `version > rv` (rv is transaction-local, drawn
+        // from the clock at begin); writes buffer into the local write
+        // set and touch nothing shared; only a committing `tryC`
+        // advances the clock and publishes slots.
+        let k = process.index();
+        let tx = match &self.txs[k] {
+            TxState::Active(tx) => Some(tx),
+            TxState::Idle => None,
+        };
+        let mut fp = StepFootprint::local();
+        // Begin samples the global clock.
+        fp.global_read = tx.is_none();
+        match invocation {
+            Invocation::Read(x) => {
+                let j = x.index();
+                if tx.is_some_and(|tx| tx.writes.contains_key(&j)) {
+                    return fp; // served from the local write buffer
+                }
+                fp.add_read(x);
+                // Deterministic: the read aborts now iff the slot is
+                // newer than the snapshot (a fresh transaction's rv is
+                // the current clock, which no version exceeds).
+                fp.ends = tx.is_some_and(|tx| self.vars[j].version > tx.rv);
+            }
+            Invocation::Write(..) => {} // buffered: local
+            Invocation::TryCommit => {
+                fp.ends = true;
+                if let Some(tx) = tx {
+                    for &j in &tx.reads {
+                        fp.add_read_index(j); // commit-time validation
+                    }
+                    if !tx.writes.is_empty() {
+                        fp.global_write = true; // clock bump
+                        for &j in tx.writes.keys() {
+                            fp.add_write_index(j);
+                        }
+                    }
+                }
+            }
+        }
+        fp
     }
 }
 

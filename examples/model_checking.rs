@@ -75,6 +75,31 @@ fn main() {
     );
     assert!(pruned.all_opaque());
 
+    println!("\n== 2d. Source-set DPOR explores one schedule per equivalence class ==\n");
+    let contended = vec![
+        ClientScript::increment(x),
+        ClientScript::increment(x),
+        ClientScript::read_both(x, TVarId(1)),
+    ];
+    let full = explore_with(
+        || Box::new(tm_liveness_repro::stm::FgpTm::new(3, 2, FgpVariant::CpOnly)) as BoxedTm,
+        &contended,
+        &ExploreConfig::new(8).sequential(),
+    );
+    let dpor = explore_with(
+        || Box::new(tm_liveness_repro::stm::FgpTm::new(3, 2, FgpVariant::CpOnly)) as BoxedTm,
+        &contended,
+        &ExploreConfig::new(8).sequential().with_dpor(),
+    );
+    println!(
+        "   fgp 3p/d8  executed {} of {} schedules ({:.0}x fewer), same verdict",
+        dpor.schedules,
+        full.schedules,
+        full.schedules as f64 / dpor.schedules as f64
+    );
+    assert_eq!(full.all_opaque(), dpor.all_opaque());
+    assert!(dpor.schedules * 5 <= full.schedules);
+
     println!("\n== 3. The literal Fgp formal rules fail the same check ==\n");
     let scripts = vec![
         ClientScript::increment(x),

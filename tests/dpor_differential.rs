@@ -1,0 +1,319 @@
+//! Differential suite for source-set DPOR: the equivalence-class-pruned
+//! explorer must agree with sleep-sets-only pruning and with the plain
+//! prefix-sharing DFS on every **verdict** across the catalogue —
+//! including the seeded-buggy literal `Fgp`, where each DPOR-reported
+//! violation must be a schedule the unreduced explorer reports verbatim
+//! — while executing strictly fewer schedules wherever a TM's conflict
+//! oracle admits any independence. The liveness checker's reduction is
+//! held to the stronger bar: byte-identical graphs, lassos and
+//! starvation verdicts.
+
+use tm_core::{ProcessId, TVarId};
+use tm_sim::{explore_with, livecheck, ClientScript, ExploreConfig, LivecheckConfig, PlannedOp};
+use tm_stm::{BoxedTm, Dstm, FgpTm, GlobalLock, NOrec, Ostm, SwissTm, TinyStm, Tl2};
+
+use tm_automata::FgpVariant;
+
+const X: TVarId = TVarId(0);
+const Y: TVarId = TVarId(1);
+
+type Factory = Box<dyn Fn() -> BoxedTm>;
+
+/// The **whole** catalogue (every refined conflict oracle, including
+/// the intricate ones: TinySTM's undo-log rollback, SwissTM's greedy-CM
+/// ages, OSTM's per-object versions), the blocking global-lock TM, and
+/// the seeded-buggy literal `Fgp`.
+fn factories(processes: usize, tvars: usize) -> Vec<(&'static str, Factory)> {
+    vec![
+        (
+            "fgp",
+            Box::new(move || Box::new(FgpTm::new(processes, tvars, FgpVariant::CpOnly)) as BoxedTm)
+                as Factory,
+        ),
+        (
+            "tl2",
+            Box::new(move || Box::new(Tl2::new(processes, tvars)) as BoxedTm),
+        ),
+        (
+            "norec",
+            Box::new(move || Box::new(NOrec::new(processes, tvars)) as BoxedTm),
+        ),
+        (
+            "tinystm",
+            Box::new(move || Box::new(TinyStm::new(processes, tvars)) as BoxedTm),
+        ),
+        (
+            "swisstm",
+            Box::new(move || Box::new(SwissTm::new(processes, tvars)) as BoxedTm),
+        ),
+        (
+            "ostm",
+            Box::new(move || Box::new(Ostm::new(processes, tvars)) as BoxedTm),
+        ),
+        (
+            "dstm",
+            Box::new(move || Box::new(Dstm::new(processes, tvars)) as BoxedTm),
+        ),
+        (
+            "global-lock",
+            Box::new(move || Box::new(GlobalLock::new(processes, tvars)) as BoxedTm),
+        ),
+        (
+            "fgp-literal",
+            Box::new(move || tm_stm::literal_fgp(processes, tvars)),
+        ),
+    ]
+}
+
+fn contended_scripts() -> Vec<ClientScript> {
+    vec![
+        ClientScript::increment(X),
+        ClientScript::new(vec![PlannedOp::Read(X), PlannedOp::Write(X, 5)]),
+    ]
+}
+
+#[test]
+fn dpor_verdicts_match_plain_and_sleep_sets_across_the_catalogue() {
+    let scripts = contended_scripts();
+    let mut buggy_caught = false;
+    for (name, factory) in factories(2, 1) {
+        let plain = explore_with(&*factory, &scripts, &ExploreConfig::new(8).sequential());
+        let sleep = explore_with(
+            &*factory,
+            &scripts,
+            &ExploreConfig::new(8).sequential().with_sleep_sets(),
+        );
+        let dpor = explore_with(
+            &*factory,
+            &scripts,
+            &ExploreConfig::new(8).sequential().with_dpor(),
+        );
+        assert_eq!(plain.schedules, 1 << 8, "{name}");
+        assert_eq!(
+            plain.all_opaque(),
+            sleep.all_opaque(),
+            "{name}: sleep sets changed the verdict"
+        );
+        assert_eq!(
+            plain.all_opaque(),
+            dpor.all_opaque(),
+            "{name}: DPOR changed the verdict"
+        );
+        // DPOR explores a subset of real schedules: every violation it
+        // reports must appear in the plain explorer's list verbatim
+        // (schedule, history, detail and shortest failing prefix).
+        for violation in &dpor.violations {
+            assert!(
+                plain.violations.contains(violation),
+                "{name}: DPOR reported a violation the full exploration lacks: {violation:?}"
+            );
+        }
+        assert!(
+            dpor.schedules <= plain.schedules,
+            "{name}: DPOR may never execute more schedules than the full tree"
+        );
+        if name == "fgp-literal" {
+            assert!(
+                !dpor.all_opaque() && !dpor.violations.is_empty(),
+                "DPOR must still catch the literal-Fgp leak"
+            );
+            buggy_caught = true;
+        }
+    }
+    assert!(buggy_caught);
+}
+
+#[test]
+fn dpor_executes_strictly_fewer_schedules_at_three_processes() {
+    // The headline reduction claim: at 3 processes the class structure is
+    // rich enough that DPOR must beat both plain DFS and sleep sets
+    // strictly, for every TM whose oracle admits any independence.
+    let scripts = vec![
+        ClientScript::increment(X),
+        ClientScript::increment(X),
+        ClientScript::read_both(X, Y),
+    ];
+    for (name, factory) in factories(3, 2) {
+        if name == "global-lock" {
+            continue; // audited all-conflicting oracle: no reduction, by design
+        }
+        let sleep = explore_with(
+            &*factory,
+            &scripts,
+            &ExploreConfig::new(7).sequential().with_sleep_sets(),
+        );
+        let dpor = explore_with(
+            &*factory,
+            &scripts,
+            &ExploreConfig::new(7).sequential().with_dpor(),
+        );
+        assert!(
+            dpor.schedules < sleep.schedules,
+            "{name}: DPOR ({}) must beat sleep sets ({})",
+            dpor.schedules,
+            sleep.schedules
+        );
+        assert_eq!(
+            sleep.all_opaque(),
+            dpor.all_opaque(),
+            "{name}: verdicts diverged"
+        );
+    }
+}
+
+#[test]
+fn conservative_oracles_degenerate_to_report_identical_full_exploration() {
+    // The global-lock TM's audited oracle conflicts on every pair of
+    // steps, so the DPOR walk must visit every schedule and reproduce
+    // the plain DFS report byte for byte.
+    let scripts = contended_scripts();
+    let plain = explore_with(
+        || Box::new(GlobalLock::new(2, 1)) as BoxedTm,
+        &scripts,
+        &ExploreConfig::new(8).sequential(),
+    );
+    let dpor = explore_with(
+        || Box::new(GlobalLock::new(2, 1)) as BoxedTm,
+        &scripts,
+        &ExploreConfig::new(8).sequential().with_dpor(),
+    );
+    assert_eq!(plain, dpor);
+}
+
+#[test]
+fn dpor_composes_with_dedup_and_the_parallel_frontier() {
+    let scripts = contended_scripts();
+    for (name, factory) in factories(2, 1) {
+        let base = explore_with(
+            &*factory,
+            &scripts,
+            &ExploreConfig::new(9).sequential().with_dpor(),
+        );
+        let deduped = explore_with(
+            &*factory,
+            &scripts,
+            &ExploreConfig::new(9).sequential().with_dpor().with_dedup(),
+        );
+        assert_eq!(
+            base.report(),
+            deduped.report(),
+            "{name}: dedup changed the DPOR report"
+        );
+        for split in [2, 4] {
+            let par = explore_with(
+                &*factory,
+                &scripts,
+                &ExploreConfig::new(9).with_split_depth(split).with_dpor(),
+            );
+            assert_eq!(
+                base.all_opaque(),
+                par.all_opaque(),
+                "{name}: parallel DPOR changed the verdict at split {split}"
+            );
+            for violation in &par.violations {
+                assert!(
+                    !base.all_opaque(),
+                    "{name}: parallel DPOR invented a violation at split {split}: {violation:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn dpor_catches_the_leak_on_disjoint_variables_too() {
+    // The non-vacuous cross-variable case from the sleep-set suite: Fgp
+    // conflicts are CP-membership-based, not variable-based, so the
+    // literal leak must survive aggressive same-and-cross-variable
+    // reduction.
+    let scripts = vec![
+        ClientScript::increment(X),
+        ClientScript::new(vec![PlannedOp::Read(Y), PlannedOp::Write(Y, 5)]),
+    ];
+    let dpor = explore_with(
+        || tm_stm::literal_fgp(2, 2),
+        &scripts,
+        &ExploreConfig::new(9).sequential().with_dpor(),
+    );
+    assert!(
+        !dpor.all_opaque(),
+        "DPOR must preserve the cross-variable violation verdict"
+    );
+}
+
+#[test]
+fn livecheck_reduction_is_byte_identical_across_the_catalogue() {
+    // The liveness reduction's bar is stricter than the safety
+    // explorer's: the state graph, every lasso and every certified
+    // starvation verdict must be unchanged — only TM executions drop.
+    let scripts = vec![
+        ClientScript::new(vec![PlannedOp::Write(X, 1)]),
+        ClientScript::new(vec![PlannedOp::Read(X), PlannedOp::Write(X, 2)]),
+    ];
+    for (name, factory) in factories(2, 1) {
+        let plain = livecheck(&*factory, &scripts, &LivecheckConfig::new(12));
+        let reduced = livecheck(
+            &*factory,
+            &scripts,
+            &LivecheckConfig::new(12).with_reduction(),
+        );
+        assert_eq!(plain.states, reduced.states, "{name}: states diverged");
+        assert_eq!(plain.edges, reduced.edges, "{name}: edges diverged");
+        assert_eq!(
+            plain.cycles_detected, reduced.cycles_detected,
+            "{name}: cycle counts diverged"
+        );
+        assert_eq!(
+            plain.lassos.len(),
+            reduced.lassos.len(),
+            "{name}: lasso sets diverged"
+        );
+        for (a, b) in plain.lassos.iter().zip(&reduced.lassos) {
+            assert_eq!(a.schedule_prefix, b.schedule_prefix, "{name}");
+            assert_eq!(a.schedule_cycle, b.schedule_cycle, "{name}");
+            assert_eq!(a.classes, b.classes, "{name}");
+        }
+        assert_eq!(
+            plain.verdicts, reduced.verdicts,
+            "{name}: verdicts diverged"
+        );
+        assert_eq!(
+            plain.lasso_starvation_free(),
+            reduced.lasso_starvation_free(),
+            "{name}"
+        );
+        // Conservation: every edge walk is executed once or replayed.
+        assert_eq!(
+            plain.steps,
+            reduced.steps + reduced.replayed_steps,
+            "{name}: step accounting broke"
+        );
+        assert!(
+            reduced.replayed_steps > 0,
+            "{name}: the reduction never fired at depth 12"
+        );
+    }
+}
+
+#[test]
+fn parasitic_starvation_analysis_survives_both_reductions() {
+    // Figure 12's parasitic-reader shape, end to end: the DPOR safety
+    // sweep stays opaque and the reduced livecheck still certifies the
+    // parasitic cycle.
+    let scripts = vec![
+        ClientScript::new(vec![PlannedOp::Read(X)]),
+        ClientScript::new(vec![PlannedOp::Read(X), PlannedOp::Write(X, 2)]),
+    ];
+    let factory = || Box::new(FgpTm::new(2, 1, FgpVariant::CpOnly)) as BoxedTm;
+    let sweep = explore_with(factory, &scripts, &ExploreConfig::new(10).with_dpor());
+    assert!(sweep.all_opaque());
+    let report = livecheck(
+        factory,
+        &scripts,
+        &LivecheckConfig::new(10)
+            .with_parasitic(ProcessId(0))
+            .with_reduction(),
+    );
+    assert!(report.parasitic_processes().contains(&ProcessId(0)));
+    assert!(report.replayed_steps > 0);
+}
