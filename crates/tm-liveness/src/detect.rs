@@ -6,7 +6,7 @@
 //! once values are drawn from a finite domain — the run **is** a finite
 //! unrolling of a lasso, and this module recovers it: the detected
 //! `prefix · cycle^ω` is the infinite history the game would produce if
-//! run forever, and every classification of [`crate::classify`] applies to
+//! run forever, and every classification of [`crate::classify()`] applies to
 //! it exactly. This closes the loop between executing a TM and the
 //! paper's formal liveness verdicts (see the `thm1_liveness_bridge`
 //! harness).

@@ -6,7 +6,7 @@
 //! it has the form `prefix · cycle^ω`. On that class, all of the paper's
 //! "finitely many events of kind k" / "infinitely many events of kind k"
 //! predicates are exactly decidable, which makes the liveness
-//! classification in [`crate::classify`] exact rather than heuristic
+//! classification in [`mod@crate::classify`] exact rather than heuristic
 //! (DESIGN.md, D1).
 
 use core::fmt;

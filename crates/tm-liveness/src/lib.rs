@@ -7,7 +7,7 @@
 //! * [`InfiniteHistory`] — eventually periodic (`prefix · cycle^ω`) infinite
 //!   histories, on which all of the paper's "infinitely often" predicates
 //!   are exactly decidable;
-//! * [`classify`] — the process classes of Figure 2 (crashed, parasitic,
+//! * [`classify`](classify()) — the process classes of Figure 2 (crashed, parasitic,
 //!   pending, starving, correct, faulty) and derived predicates
 //!   (makes-progress, runs-alone);
 //! * [`LocalProgress`], [`GlobalProgress`], [`SoloProgress`] — the paper's
@@ -15,6 +15,9 @@
 //! * [`meta`] — the *nonblocking* and *biprogressing* property classes of
 //!   Theorem 2, as per-history conditions plus corpus-level counterexample
 //!   search;
+//! * [`scc`] — certified cycle-existence verdicts (starving / parasitic /
+//!   blocked / progressing) over explored state graphs, by per-process
+//!   Tarjan SCC passes with an embarrassingly parallel rayon entry point;
 //! * [`figures`] — the paper's infinite-history figures (5, 6, 7, 9, 10,
 //!   12, 13, 14) as ready-made lassos.
 //!
@@ -35,6 +38,7 @@ pub mod figures;
 pub mod lasso;
 pub mod meta;
 pub mod properties;
+pub mod scc;
 
 pub use classify::{
     classify, classify_all, correct_processes, is_correct, is_crashed, is_faulty, is_parasitic,
@@ -46,3 +50,4 @@ pub use meta::{satisfies_biprogressing_condition, satisfies_nonblocking_conditio
 pub use properties::{
     GlobalProgress, LocalProgress, PriorityProgress, SoloProgress, TmLivenessProperty,
 };
+pub use scc::{certify_cycles, certify_cycles_parallel, CycleEdge, ProcessCycleVerdicts};

@@ -19,8 +19,8 @@ use crate::lasso::InfiniteHistory;
 ///
 /// Implementations must be weakenings of local progress: every history
 /// satisfying [`LocalProgress`] must satisfy the property (Definition 1).
-/// [`crate::meta::check_weakening_of_local_progress`] verifies this on a
-/// corpus.
+/// [`crate::meta::weakening_counterexample`] searches a corpus for
+/// violations of this containment.
 pub trait TmLivenessProperty {
     /// Human-readable name (used in experiment output).
     fn name(&self) -> &'static str;

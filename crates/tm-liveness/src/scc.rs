@@ -1,0 +1,275 @@
+//! Certified cycle-existence verdicts over explored state graphs.
+//!
+//! The liveness model checker (`tm_sim::livecheck`) records the explored
+//! configuration graph explicitly and needs **completeness** claims over
+//! it — "no cycle starves process `p` within the bound" — that on-path
+//! lasso detection cannot give once a seen set prunes re-expansion. This
+//! module decides cycle existence exactly, per process, by strongly
+//! connected components (Tarjan over edge-filtered views of the graph):
+//! an edge lies on a cycle of a filtered graph iff both endpoints share
+//! an SCC.
+//!
+//! Per-process queries are independent — each runs its own four Tarjan
+//! passes over read-only edges — so the pass is embarrassingly parallel:
+//! [`certify_cycles_parallel`] fans the processes over the rayon pool
+//! and merges verdicts in process-id order, making it verdict-identical
+//! to the sequential [`certify_cycles`] regardless of thread count.
+
+use rayon::prelude::*;
+use tm_core::ProcessId;
+
+/// One labelled edge of an explored configuration graph, in the compact
+/// form the cycle certificates need: the scheduled process and what its
+/// step did (event count, commit/abort delivery, `tryC` invocation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CycleEdge {
+    /// Index of the target node in the graph's node vector.
+    pub target: u32,
+    /// The process whose step this edge is.
+    pub process: u8,
+    /// How many events the step produced (0 for a blocked poll).
+    pub events: u8,
+    /// The step delivered `Committed` to its process.
+    pub committed: bool,
+    /// The step delivered `Aborted` to its process.
+    pub aborted: bool,
+    /// The step invoked `tryC`.
+    pub tryc: bool,
+}
+
+/// Certified cycle-existence verdicts for one process over an explored
+/// subgraph (see the module docs).
+///
+/// Each flag is an independent **existential** claim — "some cycle with
+/// this shape exists" — and different flags are generally witnessed by
+/// *different* cycles, so several can hold at once. In particular a
+/// process modelled as parasitic (it never invokes `tryC`) can be
+/// certified both `parasitic` (a cycle where its reads succeed forever)
+/// *and* `starving` (a cycle where the TM aborts those reads forever):
+/// by the paper's Figure 2 definitions a history with infinitely many
+/// `A_k` is **not** parasitic — the process is correct and pending,
+/// i.e. starving — and [`crate::classify()`] returns exactly that on the
+/// corresponding lasso witnesses. Within any *one* cycle the classes
+/// remain mutually exclusive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProcessCycleVerdicts {
+    /// The process.
+    pub process: ProcessId,
+    /// A cycle commits the process infinitely often.
+    pub progressing: bool,
+    /// A cycle aborts the process infinitely often and never commits it.
+    pub starving: bool,
+    /// A cycle gives the process infinitely many events but finitely
+    /// many `tryC`/aborts.
+    pub parasitic: bool,
+    /// A cycle schedules the process forever without the TM ever
+    /// responding (blocking, the Figure 14 shape).
+    pub blocked: bool,
+}
+
+/// Iterative Tarjan SCC over the graph, restricted to edges passing
+/// `keep`. Returns the component id of every node.
+pub fn sccs(graph: &[Vec<CycleEdge>], keep: impl Fn(&CycleEdge) -> bool) -> Vec<u32> {
+    const UNVISITED: u32 = u32::MAX;
+    let n = graph.len();
+    let mut index = vec![UNVISITED; n];
+    let mut low = vec![0u32; n];
+    let mut comp = vec![UNVISITED; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<u32> = Vec::new();
+    let mut next_index = 0u32;
+    let mut next_comp = 0u32;
+    // (node, next edge offset) — an explicit call stack.
+    let mut call: Vec<(u32, usize)> = Vec::new();
+
+    for root in 0..n {
+        if index[root] != UNVISITED {
+            continue;
+        }
+        call.push((root as u32, 0));
+        index[root] = next_index;
+        low[root] = next_index;
+        next_index += 1;
+        stack.push(root as u32);
+        on_stack[root] = true;
+        while let Some(&mut (v, ref mut edge)) = call.last_mut() {
+            let vu = v as usize;
+            let next = graph[vu][*edge..].iter().position(&keep);
+            if let Some(offset) = next {
+                *edge += offset + 1;
+                let w = graph[vu][*edge - 1].target;
+                let wu = w as usize;
+                if index[wu] == UNVISITED {
+                    index[wu] = next_index;
+                    low[wu] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[wu] = true;
+                    call.push((w, 0));
+                } else if on_stack[wu] {
+                    low[vu] = low[vu].min(index[wu]);
+                }
+            } else {
+                call.pop();
+                if low[vu] == index[vu] {
+                    loop {
+                        let w = stack.pop().expect("root still on stack");
+                        on_stack[w as usize] = false;
+                        comp[w as usize] = next_comp;
+                        if w == v {
+                            break;
+                        }
+                    }
+                    next_comp += 1;
+                }
+                if let Some(&(parent, _)) = call.last() {
+                    let pu = parent as usize;
+                    low[pu] = low[pu].min(low[vu]);
+                }
+            }
+        }
+    }
+    comp
+}
+
+/// Whether some kept edge passing `want` lies on a cycle of the
+/// `keep`-restricted graph (both endpoints in one SCC).
+pub fn cycle_edge_exists(
+    graph: &[Vec<CycleEdge>],
+    keep: impl Fn(&CycleEdge) -> bool + Copy,
+    want: impl Fn(&CycleEdge) -> bool,
+) -> bool {
+    let comp = sccs(graph, keep);
+    graph.iter().enumerate().any(|(u, edges)| {
+        edges
+            .iter()
+            .any(|e| keep(e) && want(e) && comp[u] == comp[e.target as usize])
+    })
+}
+
+/// The four certificates of one process: `full` is the SCC labelling of
+/// the unrestricted graph (shared across processes — only the
+/// `progressing` claim uses it).
+fn verdicts_for(graph: &[Vec<CycleEdge>], full: &[u32], k: usize) -> ProcessCycleVerdicts {
+    let p = u8::try_from(k).expect("≤ 64 processes");
+    let progressing = graph.iter().enumerate().any(|(u, edges)| {
+        edges
+            .iter()
+            .any(|e| e.process == p && e.committed && full[u] == full[e.target as usize])
+    });
+    let starving = cycle_edge_exists(
+        graph,
+        |e| !(e.process == p && e.committed),
+        |e| e.process == p && e.aborted,
+    );
+    let parasitic = cycle_edge_exists(
+        graph,
+        |e| !(e.process == p && (e.committed || e.aborted || e.tryc)),
+        |e| e.process == p && e.events > 0,
+    );
+    let blocked = cycle_edge_exists(
+        graph,
+        |e| !(e.process == p && e.events > 0),
+        |e| e.process == p && e.events == 0,
+    );
+    ProcessCycleVerdicts {
+        process: ProcessId(k),
+        progressing,
+        starving,
+        parasitic,
+        blocked,
+    }
+}
+
+/// Certifies starving/parasitic/blocked/progressing cycle existence for
+/// every process over the explored graph, sequentially.
+pub fn certify_cycles(graph: &[Vec<CycleEdge>], processes: usize) -> Vec<ProcessCycleVerdicts> {
+    let full = sccs(graph, |_| true);
+    (0..processes)
+        .map(|k| verdicts_for(graph, &full, k))
+        .collect()
+}
+
+/// [`certify_cycles`] with the per-process passes fanned over the rayon
+/// pool. Per-process certificates read the graph immutably and share
+/// only the full-graph SCC labelling, so the fan-out is embarrassingly
+/// parallel; verdicts merge in process-id order and are identical to
+/// the sequential pass regardless of thread count.
+pub fn certify_cycles_parallel(
+    graph: &[Vec<CycleEdge>],
+    processes: usize,
+) -> Vec<ProcessCycleVerdicts> {
+    let full = sccs(graph, |_| true);
+    (0..processes)
+        .collect::<Vec<_>>()
+        .into_par_iter()
+        .map(|k| verdicts_for(graph, &full, k))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn edge(target: u32, process: u8, committed: bool, aborted: bool) -> CycleEdge {
+        CycleEdge {
+            target,
+            process,
+            events: 2,
+            committed,
+            aborted,
+            tryc: committed || aborted,
+        }
+    }
+
+    /// Two nodes in a loop: p0 commits around the cycle, p1 aborts
+    /// around it.
+    fn starving_graph() -> Vec<Vec<CycleEdge>> {
+        vec![vec![edge(1, 0, true, false)], vec![edge(0, 1, false, true)]]
+    }
+
+    #[test]
+    fn starving_and_progressing_are_certified() {
+        let graph = starving_graph();
+        let verdicts = certify_cycles(&graph, 2);
+        assert!(verdicts[0].progressing && !verdicts[0].starving);
+        assert!(verdicts[1].starving && !verdicts[1].progressing);
+    }
+
+    #[test]
+    fn deleting_the_cycle_edge_kills_the_verdict() {
+        // A dead-end tail: no cycles at all.
+        let graph = vec![vec![edge(1, 0, true, false)], vec![]];
+        let verdicts = certify_cycles(&graph, 2);
+        assert!(verdicts.iter().all(|v| !v.progressing && !v.starving));
+    }
+
+    #[test]
+    fn blocked_needs_an_eventless_cycle_edge(// the Figure 14 shape
+    ) {
+        let mut graph = starving_graph();
+        // p1 also spins a self-loop poll with no events at node 0.
+        graph[0].push(CycleEdge {
+            target: 0,
+            process: 1,
+            events: 0,
+            committed: false,
+            aborted: false,
+            tryc: false,
+        });
+        let verdicts = certify_cycles(&graph, 2);
+        assert!(verdicts[1].blocked);
+        assert!(!verdicts[0].blocked);
+    }
+
+    #[test]
+    fn parallel_certification_is_identical() {
+        let graph = starving_graph();
+        for processes in [1, 2] {
+            assert_eq!(
+                certify_cycles(&graph, processes),
+                certify_cycles_parallel(&graph, processes)
+            );
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! The parallel frontier of the exploration kernel.
+//!
+//! Both checkers parallelize the same way: carve the search into
+//! independent work items at a frontier (subtree roots at a split depth
+//! for the schedule tree; whole BFS levels of configurations for the
+//! state graph), run the items on the rayon pool, and merge the results
+//! **in item order** — so reports are deterministic regardless of thread
+//! count or scheduling. Dynamic dealing (idle workers claim the next
+//! item) balances skewed items without giving up the ordered merge.
+
+use rayon::prelude::*;
+
+/// Runs `worker` over `items` on the rayon pool and returns the results
+/// in item order: the kernel's deterministic parallel map. The order
+/// guarantee is what makes every parallel path report-identical to its
+/// sequential counterpart — workers may finish in any order, but the
+/// merge is lexicographic.
+pub fn distribute<I, O, F>(items: Vec<I>, worker: F) -> Vec<O>
+where
+    I: Send,
+    O: Send,
+    F: Fn(I) -> O + Sync + Send,
+{
+    items.into_par_iter().map(worker).collect()
+}
+
+/// The smallest split depth of a `width`-ary schedule tree that yields
+/// at least eight subtree roots per worker thread (so dynamic dealing
+/// can balance skew), capped below the search depth. Zero when the pool
+/// has a single thread: splitting buys nothing.
+pub fn auto_split_depth(width: usize, depth: usize) -> usize {
+    let workers = rayon::current_num_threads();
+    if workers <= 1 {
+        return 0;
+    }
+    let target = workers * 8;
+    let mut split = 0;
+    let mut roots = 1usize;
+    while roots < target && split < depth.saturating_sub(1) {
+        roots *= width;
+        split += 1;
+    }
+    split
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distribute_preserves_item_order() {
+        let items: Vec<usize> = (0..100).collect();
+        let out = distribute(items, |i| i * 3);
+        assert_eq!(out, (0..100).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn split_depth_is_bounded_by_depth() {
+        for depth in 0..6 {
+            assert!(auto_split_depth(2, depth) <= depth.saturating_sub(1));
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! The exploration kernel: the search substrate shared by the safety
+//! explorer and the liveness checker.
+//!
+//! Both model checkers in this crate are bounded searches over the
+//! configurations of a stepped TM driven by deterministic clients. They
+//! differ in *what* they search — the safety explorer walks the
+//! `n^depth` **schedule tree** certifying opacity of every history
+//! prefix; the liveness checker walks the canonical **state graph**
+//! hunting lassos — but the substrate beneath them is the same, and
+//! before this module existed each checker carried its own copy: a DFS
+//! frontier, fork/refork TM recycling, client mark/restore, digest-keyed
+//! seen sets, reduction hooks, and a rayon frontier. This module owns
+//! that substrate once.
+//!
+//! # Layers
+//!
+//! ```text
+//!   report      Exploration (explore)        LivecheckReport (livecheck)
+//!      ▲                ▲                            ▲
+//!   frontier    [`frontier::distribute`] — deterministic order-preserving
+//!      │        parallel map (subtree roots / BFS levels), lexicographic
+//!      │        merge; [`frontier::auto_split_depth`] picks the split
+//!      ▲                ▲                            ▲
+//!   reduction   DPOR backtrack/sleep sets     transition memoization
+//!      │        (`reduction`, schedule search) (edge replay, graph search)
+//!      ▲                ▲                            ▲
+//!   seen sets   [`memo::SeenSet`] — per-worker deterministic tables or the
+//!      │        64-way lock-striped [`memo::StripedTable`]; [`memo::Interner`]
+//!      │        for the graph checker's configuration ids
+//!      ▲                ▲                            ▲
+//!   space       [`SearchSpace`] — expand a configuration one process-step
+//!      │        at a time ([`StepRecord`]), digest it, checkpoint/rollback
+//!      │        the client (and certifier) state
+//!      ▲                ▲                            ▲
+//!   TM pool     [`TmPool`] — allocation-free fork/refork box recycling
+//!               (hoisted into `tm_stm::api`, shared by every walker)
+//! ```
+//!
+//! The two checkers are instantiations of this stack:
+//!
+//! * [`crate::explore::explore_with`] drives a `ScheduleSpace` (clients +
+//!   schedule path + history + incremental opacity certifier) through the
+//!   schedule tree, with sleep-set / source-set-DPOR reduction and the
+//!   split-depth parallel frontier;
+//! * [`crate::livecheck::livecheck`] drives a `GraphSpace` (clients +
+//!   schedule + history, no certifier) through the interned state graph,
+//!   with transition-level reduction (execute each graph edge once,
+//!   replay re-walks) and — with `LivecheckConfig::parallel` — a
+//!   level-synchronous rayon frontier over the interned-node table that
+//!   executes every TM transition exactly once across all workers.
+//!
+//! Determinism is the kernel's invariant: every parallel path merges
+//! worker results in a canonical order (lexicographic subtree roots for
+//! the tree search; breadth-first discovery order for the graph search),
+//! so reports are byte-identical to the sequential search regardless of
+//! thread count — the property all differential suites pin.
+
+pub mod frontier;
+pub mod memo;
+pub(crate) mod reduction;
+pub mod space;
+
+pub use space::{SearchSpace, StepRecord};
+pub use tm_stm::TmPool;

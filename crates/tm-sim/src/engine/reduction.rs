@@ -1,0 +1,261 @@
+//! The reduction layer of the exploration kernel: the pruning state the
+//! schedule-tree search threads through its walk.
+//!
+//! Two reductions live here, both driven by per-TM independence
+//! contracts (see the soundness discussion in [`crate::explore`]'s
+//! module docs):
+//!
+//! * **sleep sets** over the coarse variable-footprint relation
+//!   ([`Footprint`], gated on `SteppedTm::disjoint_var_ops_commute`);
+//! * **source-set DPOR** ([`Dpor`]): vector clocks over the conflict
+//!   relation declared by `SteppedTm::step_footprint`, with
+//!   Flanagan–Godefroid backtrack sets and Abdulla-et-al source sets.
+//!
+//! The graph search's transition memoization (execute each state-graph
+//! edge once, replay re-walks) is the liveness checker's analogue; it
+//! lives with the graph structures in [`crate::livecheck`].
+
+use tm_core::{Invocation, ProcessId, TVarId};
+use tm_stm::{BoxedTm, StepFootprint, SteppedTm};
+
+use crate::workload::Client;
+
+/// What a process's next step would do, for the sleep sets' coarse
+/// independence relation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Footprint {
+    /// An operation step confined to one t-variable.
+    Var(TVarId),
+    /// A step whose effect or outcome depends on global TM state
+    /// (`tryC`, or polling a blocking TM).
+    Global,
+}
+
+/// Per-node footprints of every process's next step, on the stack (no
+/// allocation in the hot recursion).
+pub(crate) type Feet = [Footprint; 64];
+
+pub(crate) fn footprint(tm: &BoxedTm, clients: &[Client], k: usize) -> Footprint {
+    if tm.has_pending(ProcessId(k)) {
+        return Footprint::Global;
+    }
+    match clients[k].next_invocation() {
+        Invocation::Read(x) | Invocation::Write(x, _) => Footprint::Var(x),
+        Invocation::TryCommit => Footprint::Global,
+    }
+}
+
+pub(crate) fn independent(a: Footprint, b: Footprint) -> bool {
+    match (a, b) {
+        (Footprint::Var(x), Footprint::Var(y)) => x != y,
+        _ => false,
+    }
+}
+
+/// The sleep-set footprints of every process's next step at the current
+/// configuration.
+pub(crate) fn sleep_feet(tm: &BoxedTm, clients: &[Client]) -> Feet {
+    let mut feet: Feet = [Footprint::Global; 64];
+    for (k, foot) in feet.iter_mut().enumerate().take(clients.len()) {
+        *foot = footprint(tm, clients, k);
+    }
+    feet
+}
+
+/// The sleep set `sleep` filtered down for the child reached by stepping
+/// `k`: a sibling stays asleep only while its step is independent of the
+/// step just taken.
+pub(crate) fn filtered_sleep(sleep: u64, feet: &Feet, k: usize, n: usize) -> u64 {
+    let mut kept = 0u64;
+    for q in 0..n {
+        if sleep & (1 << q) != 0 && independent(feet[q], feet[k]) {
+            kept |= 1 << q;
+        }
+    }
+    kept
+}
+
+/// The next-step footprint of process `q` at the current configuration:
+/// the TM's conflict oracle for the pending invocation, with the
+/// transaction-begin flag supplied by the driver (which owns the client
+/// cursor), or the fully conservative footprint for a blocked poll.
+pub(crate) fn next_footprint(tm: &BoxedTm, clients: &[Client], q: usize) -> StepFootprint {
+    if tm.has_pending(ProcessId(q)) {
+        StepFootprint::global()
+    } else {
+        let mut foot = tm.step_footprint(ProcessId(q), clients[q].next_invocation());
+        foot.begins = !clients[q].mid_transaction();
+        foot
+    }
+}
+
+/// One executed step of the DPOR trace (the current path of the walk,
+/// annotated with the data race reversal needs).
+#[derive(Debug)]
+pub(crate) struct DporStep {
+    pub(crate) proc: u8,
+    pub(crate) foot: StepFootprint,
+    /// 1-based count of this process's steps up to and including this one.
+    local_index: u32,
+    /// The process's previous step's trace index (restored on pop).
+    prev_of_proc: Option<u32>,
+}
+
+/// The source-set DPOR state riding along the depth-first walk: the
+/// executed trace with vector clocks (happens-before), and the per-node
+/// backtrack sets race detection grows.
+#[derive(Debug)]
+pub(crate) struct Dpor {
+    n: usize,
+    pub(crate) steps: Vec<DporStep>,
+    /// Flat vector-clock matrix: `clocks[i * n + q]` = how many of
+    /// process `q`'s steps happen before (or are) step `i`.
+    clocks: Vec<u32>,
+    /// Per-process trace index of the last executed step.
+    last_of: Vec<Option<u32>>,
+    /// Per-depth backtrack sets (a step's trace index is also the depth
+    /// of the node it was executed from).
+    pub(crate) backtrack: Vec<u64>,
+}
+
+impl Dpor {
+    pub(crate) fn new(n: usize) -> Self {
+        Dpor {
+            n,
+            steps: Vec::new(),
+            clocks: Vec::new(),
+            last_of: vec![None; n],
+            backtrack: Vec::new(),
+        }
+    }
+
+    /// Records the execution of one step by `k` with footprint `foot`:
+    /// its clock is the join of the process's previous clock and the
+    /// clocks of every earlier conflicting step, plus itself.
+    pub(crate) fn push(&mut self, k: usize, foot: StepFootprint) {
+        let n = self.n;
+        let i = self.steps.len();
+        let base = self.clocks.len();
+        match self.last_of[k] {
+            Some(p) => {
+                let row = p as usize * n;
+                for q in 0..n {
+                    let c = self.clocks[row + q];
+                    self.clocks.push(c);
+                }
+            }
+            None => self.clocks.resize(base + n, 0),
+        }
+        for j in 0..i {
+            if self.steps[j].foot.conflicts(&foot) {
+                let row = j * n;
+                for q in 0..n {
+                    if self.clocks[row + q] > self.clocks[base + q] {
+                        self.clocks[base + q] = self.clocks[row + q];
+                    }
+                }
+            }
+        }
+        let local_index = self.last_of[k].map_or(0, |p| self.steps[p as usize].local_index) + 1;
+        self.clocks[base + k] = local_index;
+        self.steps.push(DporStep {
+            proc: u8::try_from(k).expect("≤ 64 processes"),
+            foot,
+            local_index,
+            prev_of_proc: self.last_of[k],
+        });
+        self.last_of[k] = Some(u32::try_from(i).expect("trace fits u32"));
+    }
+
+    pub(crate) fn pop(&mut self) {
+        let step = self.steps.pop().expect("pop matches push");
+        self.last_of[step.proc as usize] = step.prev_of_proc;
+        self.clocks.truncate(self.steps.len() * self.n);
+    }
+
+    /// Whether step `i` happens-before step `j` (`i < j`).
+    fn hb_steps(&self, i: usize, j: usize) -> bool {
+        self.clocks[j * self.n + self.steps[i].proc as usize] >= self.steps[i].local_index
+    }
+
+    /// Whether step `i` happens-before the *next* (unexecuted) step of
+    /// process `q` — i.e. `i` is in the causal past of `q`'s last step.
+    fn hb_to_next(&self, i: usize, q: usize) -> bool {
+        if self.steps[i].proc as usize == q {
+            return true;
+        }
+        match self.last_of[q] {
+            None => false,
+            Some(l) => {
+                self.clocks[l as usize * self.n + self.steps[i].proc as usize]
+                    >= self.steps[i].local_index
+            }
+        }
+    }
+
+    /// SDPOR race detection for the next step of process `k` (footprint
+    /// `fp`) against the trace steps at indices `lo..`: for every step
+    /// in a reversible race with it — conflicting, by another process,
+    /// not already ordered before `k` — ensure the backtrack set at that
+    /// step's node intersects the race's source set, inserting one
+    /// source member if not.
+    ///
+    /// Callers pass `lo = 0` for a full scan, or `lo = len - 1` to check
+    /// only the step just executed: a race ensured at an ancestor stays
+    /// ensured, because an initial of the shorter reversed continuation
+    /// remains an initial of every extension (new events by other
+    /// processes cannot become happens-before predecessors of it), so
+    /// only the *new* step needs checking when neither `k`'s footprint
+    /// nor its clock changed.
+    pub(crate) fn detect_races_from(&mut self, k: usize, fp: &StepFootprint, lo: usize) {
+        for e in (lo..self.steps.len()).rev() {
+            let step = &self.steps[e];
+            if step.proc as usize == k || !step.foot.conflicts(fp) || self.hb_to_next(e, k) {
+                continue;
+            }
+            let initials = self.source_initials(e, k);
+            if self.backtrack[e] & initials == 0 {
+                let add = if initials & (1 << k) != 0 {
+                    k
+                } else {
+                    initials.trailing_zeros() as usize
+                };
+                self.backtrack[e] |= 1 << add;
+            }
+        }
+    }
+
+    /// The source set `I(notdep(e, E) · next_k)`: processes whose first
+    /// step in the race's reversed continuation has no happens-before
+    /// predecessor inside it. Exploring any one of them from `e`'s node
+    /// (eventually) covers the reversal, which is the source-set
+    /// weakening of plain DPOR's "add `k` itself".
+    fn source_initials(&self, e: usize, k: usize) -> u64 {
+        let len = self.steps.len();
+        let mut initials = 0u64;
+        for q in 0..self.n {
+            let first = (e + 1..len).find(|&j| self.steps[j].proc as usize == q);
+            match first {
+                Some(j) => {
+                    if self.hb_steps(e, j) {
+                        continue; // causally after e: not in notdep
+                    }
+                    let blocked =
+                        (e + 1..j).any(|j2| !self.hb_steps(e, j2) && self.hb_steps(j2, j));
+                    if !blocked {
+                        initials |= 1 << q;
+                    }
+                }
+                None => {
+                    if q == k {
+                        initials |= 1 << k;
+                    }
+                }
+            }
+        }
+        if initials == 0 {
+            initials = 1 << k; // defensive: k is always a valid insertion
+        }
+        initials
+    }
+}

@@ -174,17 +174,31 @@
 //! enumerated exhaustively — a reduced prefix tree could owe reversals
 //! across the boundary — and each root runs an independent source-set
 //! walk from a fresh trace.
+//!
+//! # The exploration kernel
+//!
+//! This explorer is one of two instantiations of the shared search
+//! kernel in [`crate::engine`] (the other is the liveness checker,
+//! [`mod@crate::livecheck`]): its `ScheduleSpace` implements the kernel's
+//! [`SearchSpace`] contract (one stepper, client mark/restore, certifier
+//! checkpoint/rollback, canonical configuration keys), TM branching runs
+//! through the shared [`tm_stm::TmPool`], the seen sets are the kernel's
+//! [`crate::engine::memo`] backends (worker-local or the 64-way
+//! lock-striped shared table), the DPOR/sleep-set state lives in the
+//! kernel's reduction layer, and the parallel frontier merges subtree
+//! reports deterministically via [`crate::engine::frontier::distribute`].
 
-use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
-use tm_core::{Event, History, Invocation, ProcessId, TVarId};
-use tm_safety::{check_opacity, IncrementalChecker, Mode, SafetyVerdict};
-use tm_stm::{BoxedTm, Outcome, StepFootprint, SteppedTm};
+use tm_core::{Event, History, ProcessId};
+use tm_safety::{check_opacity, Checkpoint, IncrementalChecker, Mode, SafetyVerdict};
+use tm_stm::{BoxedTm, Outcome, StepFootprint, SteppedTm, TmPool};
 
-use rayon::prelude::*;
-
-use crate::workload::{clients_digest, Client, ClientScript};
+use crate::engine::frontier;
+use crate::engine::memo::{SeenSet, StripedTable};
+use crate::engine::reduction::{self, Dpor, Feet};
+use crate::engine::space::{expand_child, step_process, SearchSpace, StepRecord};
+use crate::workload::{clients_digest, Client, ClientMark, ClientScript};
 
 /// A definitive safety violation found during exploration.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -335,84 +349,110 @@ impl ExploreConfig {
     }
 }
 
-/// What a process's next step would do, for the independence relation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Footprint {
-    /// An operation step confined to one t-variable.
-    Var(TVarId),
-    /// A step whose effect or outcome depends on global TM state
-    /// (`tryC`, or polling a blocking TM).
-    Global,
+/// The safety explorer's instantiation of the kernel's [`SearchSpace`]:
+/// a schedule-tree configuration — client cursors, the schedule path,
+/// the growing history, and the incremental opacity certifier whose
+/// verdict latches on rejection. The TM itself is threaded through the
+/// walk separately (ownership moves along tree edges).
+struct ScheduleSpace {
+    clients: Vec<Client>,
+    path: Vec<usize>,
+    history: Vec<Event>,
+    checker: IncrementalChecker,
 }
 
-/// One step of process `k`: deliver a withheld response if one exists,
-/// otherwise issue the client's next invocation. Events are appended to
-/// `history` and pushed into `checker` (whose verdict latches on
-/// rejection).
-fn step(
-    tm: &mut BoxedTm,
-    clients: &mut [Client],
-    k: usize,
-    history: &mut Vec<Event>,
-    checker: &mut IncrementalChecker,
-) {
-    let p = ProcessId(k);
-    if tm.has_pending(p) {
-        if let Some(resp) = tm.poll(p) {
-            let event = Event::response(p, resp);
-            history.push(event);
-            let _ = checker.push(event);
-            clients[k].observe(resp);
+/// Everything one [`ScheduleSpace`] step mutates, for O(1) backtrack.
+struct ScheduleMark {
+    checkpoint: Checkpoint,
+    history_len: usize,
+    client: ClientMark,
+}
+
+impl ScheduleSpace {
+    fn new(scripts: &[ClientScript], depth: usize) -> Self {
+        ScheduleSpace {
+            clients: scripts.iter().cloned().map(Client::new).collect(),
+            path: Vec::with_capacity(depth),
+            history: Vec::with_capacity(depth * 2),
+            checker: IncrementalChecker::new(Mode::Opacity),
         }
-        return;
     }
-    let inv = clients[k].next_invocation();
-    history.push(Event::invocation(p, inv));
-    match tm.invoke(p, inv) {
-        Outcome::Response(resp) => {
-            history.push(Event::response(p, resp));
-            // Fused invocation+response certification: one record lookup
-            // and one undo entry, observationally identical to two
-            // `push` calls.
-            let _ = checker.push_call(p, inv, resp);
-            clients[k].observe(resp);
-        }
-        Outcome::Pending => {
-            let _ = checker.push(Event::invocation(p, inv));
+
+    /// A self-contained copy for a parallel subtree root, with the
+    /// certifier's undo log compacted away (roots never unwind past
+    /// their own split point).
+    fn subtree_root(&self) -> Self {
+        let mut checker = self.checker.clone();
+        checker.compact();
+        ScheduleSpace {
+            clients: self.clients.clone(),
+            path: self.path.clone(),
+            history: self.history.clone(),
+            checker,
         }
     }
 }
 
-fn footprint(tm: &BoxedTm, clients: &[Client], k: usize) -> Footprint {
-    if tm.has_pending(ProcessId(k)) {
-        return Footprint::Global;
-    }
-    match clients[k].next_invocation() {
-        Invocation::Read(x) | Invocation::Write(x, _) => Footprint::Var(x),
-        Invocation::TryCommit => Footprint::Global,
-    }
-}
+impl SearchSpace for ScheduleSpace {
+    type Mark = ScheduleMark;
 
-fn independent(a: Footprint, b: Footprint) -> bool {
-    match (a, b) {
-        (Footprint::Var(x), Footprint::Var(y)) => x != y,
-        _ => false,
+    fn width(&self) -> usize {
+        self.clients.len()
+    }
+
+    fn mark(&mut self, k: usize) -> ScheduleMark {
+        ScheduleMark {
+            checkpoint: self.checker.checkpoint(),
+            history_len: self.history.len(),
+            client: self.clients[k].mark(),
+        }
+    }
+
+    fn step(&mut self, tm: &mut BoxedTm, k: usize) -> StepRecord {
+        self.path.push(k);
+        let record = step_process(tm, &mut self.clients, k, false, &mut self.history);
+        // Feed the certifier from the record; its verdict latches on
+        // rejection, so pushes after a reject are deliberate no-ops.
+        match record {
+            StepRecord::Polled(Some(resp)) => {
+                let _ = self.checker.push(Event::response(ProcessId(k), resp));
+            }
+            StepRecord::Polled(None) => {}
+            StepRecord::Call(inv, resp) => {
+                // Fused invocation+response certification: one record
+                // lookup and one undo entry, observationally identical
+                // to two `push` calls.
+                let _ = self.checker.push_call(ProcessId(k), inv, resp);
+            }
+            StepRecord::Withheld(inv) => {
+                let _ = self.checker.push(Event::invocation(ProcessId(k), inv));
+            }
+        }
+        record
+    }
+
+    fn rewind(&mut self, k: usize, mark: ScheduleMark) {
+        self.path.pop();
+        self.history.truncate(mark.history_len);
+        self.checker.rollback(mark.checkpoint);
+        self.clients[k].restore(mark.client);
+    }
+
+    fn config_key(&self, tm: &BoxedTm) -> Option<(u64, u64)> {
+        tm.state_digest()
+            .map(|d| (d, clients_digest(&self.clients)))
     }
 }
 
 /// Certify a completed schedule exactly as the naive enumerator does:
 /// count it, and when the (latched) fast certifier rejected somewhere on
 /// this branch, fall back to the exact checker on the full history.
-fn certify_leaf(
-    path: &[usize],
-    history: &[Event],
-    checker: &IncrementalChecker,
-    out: &mut Exploration,
-) {
+fn certify_leaf(space: &ScheduleSpace, out: &mut Exploration) {
     out.schedules += 1;
-    let Some(reject) = checker.violation() else {
+    let Some(reject) = space.checker.violation() else {
         return;
     };
+    let (path, history) = (&space.path, &space.history);
     out.exact_fallbacks += 1;
     let fast_reject_at = reject.position;
     let mut full = History::new();
@@ -463,129 +503,27 @@ struct MemoDelta {
     agg: StepFootprint,
 }
 
-type MemoMap = HashMap<MemoKey, MemoDelta>;
-
-/// The sharded, lock-striped seen set behind
-/// [`ExploreConfig::shared_dedup`]: workers hash each key to a shard and
-/// take only that shard's lock, so cross-subtree hits come at stripe
-/// (not table) contention.
-#[derive(Debug)]
-struct SharedMemo {
-    shards: Vec<Mutex<MemoMap>>,
-}
-
-impl SharedMemo {
-    const SHARDS: usize = 64;
-
-    fn new() -> Self {
-        SharedMemo {
-            shards: (0..Self::SHARDS)
-                .map(|_| Mutex::new(MemoMap::new()))
-                .collect(),
-        }
-    }
-
-    fn shard(&self, key: &MemoKey) -> &Mutex<MemoMap> {
-        use std::hash::{Hash, Hasher};
-        let mut h = tm_core::StableHasher::new();
-        key.hash(&mut h);
-        &self.shards[(h.finish() % Self::SHARDS as u64) as usize]
-    }
-}
-
-/// The digest seen set of one walk: either worker-local or a handle to
-/// the shared sharded table.
-#[derive(Debug)]
-enum MemoBackend {
-    Local(MemoMap),
-    Shared(Arc<SharedMemo>),
-}
-
-#[derive(Debug)]
-struct Memo {
-    enabled: bool,
-    backend: MemoBackend,
-}
-
-impl Memo {
-    fn new(enabled: bool) -> Self {
-        Memo {
-            enabled,
-            backend: MemoBackend::Local(MemoMap::new()),
-        }
-    }
-
-    fn shared(table: Arc<SharedMemo>) -> Self {
-        Memo {
-            enabled: true,
-            backend: MemoBackend::Shared(table),
-        }
-    }
-
-    fn get(&self, key: &MemoKey) -> Option<MemoDelta> {
-        match &self.backend {
-            MemoBackend::Local(map) => map.get(key).copied(),
-            MemoBackend::Shared(shared) => shared
-                .shard(key)
-                .lock()
-                .expect("memo shard poisoned")
-                .get(key)
-                .copied(),
-        }
-    }
-
-    fn insert(&mut self, key: MemoKey, delta: MemoDelta) {
-        match &mut self.backend {
-            MemoBackend::Local(map) => {
-                map.insert(key, delta);
-            }
-            MemoBackend::Shared(shared) => {
-                shared
-                    .shard(&key)
-                    .lock()
-                    .expect("memo shard poisoned")
-                    .insert(key, delta);
-            }
-        }
-    }
-}
+/// The digest seen set of one walk: the kernel's backend-agnostic table
+/// (worker-local, or a handle onto the 64-way lock-striped shared table
+/// behind [`ExploreConfig::shared_dedup`]).
+type Memo = SeenSet<MemoKey, MemoDelta>;
 
 /// The per-path mutable state of the depth-first walk. The TM is owned
 /// and consumed per call (the last child of a node steals the parent's
-/// instance); everything else unwinds in place.
+/// instance); everything else unwinds in place through the
+/// [`ScheduleSpace`] marks.
 struct Walk<'a> {
-    clients: &'a mut Vec<Client>,
-    path: &'a mut Vec<usize>,
-    history: &'a mut Vec<Event>,
-    checker: &'a mut IncrementalChecker,
+    /// The kernel search space: clients, path, history, certifier.
+    space: &'a mut ScheduleSpace,
     out: &'a mut Exploration,
-    /// Recycled TM boxes: sibling forks re-initialize one of these via
-    /// [`SteppedTm::refork_from`] instead of allocating. Left empty for
-    /// TMs without that fast path (probed once per exploration), so
-    /// they pay no per-edge pop/refork-attempt overhead.
-    spare: &'a mut Vec<BoxedTm>,
-    /// Whether the TM under exploration supports `refork_from`.
-    recycle: bool,
+    /// The shared fork/refork recycling pool ([`tm_stm::TmPool`]): left
+    /// non-recycling for TMs without the `refork_from` fast path
+    /// (probed once per exploration), so they pay no per-edge
+    /// pop/refork-attempt overhead.
+    pool: &'a mut TmPool,
     /// The digest seen set (disabled during the parallel split walk,
     /// whose "leaves" collect subtree roots rather than certifying).
     memo: &'a mut Memo,
-}
-
-/// Per-node footprints of every process's next step, on the stack (no
-/// allocation in the hot recursion).
-type Feet = [Footprint; 64];
-
-/// The sleep set `sleep` filtered down for the child reached by stepping
-/// `k`: a sibling stays asleep only while its step is independent of the
-/// step just taken.
-fn filtered_sleep(sleep: u64, feet: &Feet, k: usize, n: usize) -> u64 {
-    let mut kept = 0u64;
-    for q in 0..n {
-        if sleep & (1 << q) != 0 && independent(feet[q], feet[k]) {
-            kept |= 1 << q;
-        }
-    }
-    kept
 }
 
 /// Depth-first walk of the schedule tree below the current path,
@@ -613,13 +551,15 @@ where
     // counters so this subtree can be memoized on the way out. No lookup
     // while a rejection is latched (every leaf below falls back to the
     // exact checker on the full, path-dependent history).
-    let memo_note = if walk.memo.enabled && walk.checker.violation().is_none() {
+    let memo_note = if walk.memo.enabled() && walk.space.checker.violation().is_none() {
+        let (tm_digest, clients) = walk
+            .space
+            .config_key(&tm)
+            .expect("dedup runs only for fingerprinting TMs");
         let key = MemoKey {
-            tm: tm
-                .state_digest()
-                .expect("dedup runs only for fingerprinting TMs"),
-            clients: clients_digest(walk.clients),
-            checker: walk.checker.state_digest(),
+            tm: tm_digest,
+            clients,
+            checker: walk.space.checker.state_digest(),
             sleep,
             remaining: remaining as u32,
         };
@@ -639,16 +579,12 @@ where
     } else {
         None
     };
-    let n = walk.clients.len();
+    let n = walk.space.width();
     walk.out.pruned_subtrees += sleep.count_ones() as usize;
     // Only materialize footprints when pruning is on: the array init is
     // measurable in the no-pruning hot path.
     let feet: Option<Feet> = if sleep_sets {
-        let mut feet: Feet = [Footprint::Global; 64];
-        for (k, foot) in feet.iter_mut().enumerate().take(n) {
-            *foot = footprint(&tm, walk.clients, k);
-        }
-        Some(feet)
+        Some(reduction::sleep_feet(&tm, &walk.space.clients))
     } else {
         None
     };
@@ -660,51 +596,29 @@ where
         if sleep & (1 << k) != 0 || k == last {
             continue;
         }
-        let checkpoint = walk.checker.checkpoint();
-        let history_len = walk.history.len();
-        let mark = walk.clients[k].mark();
-        walk.path.push(k);
-        let mut child = match walk.spare.pop() {
-            Some(mut spare) => {
-                if spare.refork_from(&*tm) {
-                    spare
-                } else {
-                    tm.fork()
-                }
-            }
-            None => tm.fork(),
-        };
-        step(&mut child, walk.clients, k, walk.history, walk.checker);
-        let child_sleep = feet.as_ref().map_or(0, |f| filtered_sleep(sleep, f, k, n));
+        let mark = walk.space.mark(k);
+        let (child, _) = expand_child(walk.space, walk.pool, &tm, k);
+        let child_sleep = feet
+            .as_ref()
+            .map_or(0, |f| reduction::filtered_sleep(sleep, f, k, n));
         let recycled = walk_tree(walk, child, remaining - 1, child_sleep, sleep_sets, leaf);
         if let Some(recycled) = recycled {
-            if walk.recycle {
-                walk.spare.push(recycled);
-            }
+            walk.pool.put_back(recycled);
         }
-        walk.path.pop();
-        walk.history.truncate(history_len);
-        walk.checker.rollback(checkpoint);
-        walk.clients[k].restore(mark);
+        walk.space.rewind(k, mark);
         sleep |= 1 << k;
     }
     // The last child consumes the parent's TM instance: no fork.
     // (Deferring this edge's rollback to an ancestor is semantically
     // sound but measurably slower — it trades the undo log's tight LIFO
     // locality for large cold sweeps.)
-    let checkpoint = walk.checker.checkpoint();
-    let history_len = walk.history.len();
-    let mark = walk.clients[last].mark();
-    walk.path.push(last);
+    let mark = walk.space.mark(last);
     let child_sleep = feet
         .as_ref()
-        .map_or(0, |f| filtered_sleep(sleep, f, last, n));
-    step(&mut tm, walk.clients, last, walk.history, walk.checker);
+        .map_or(0, |f| reduction::filtered_sleep(sleep, f, last, n));
+    walk.space.step(&mut tm, last);
     let recycled = walk_tree(walk, tm, remaining - 1, child_sleep, sleep_sets, leaf);
-    walk.path.pop();
-    walk.history.truncate(history_len);
-    walk.checker.rollback(checkpoint);
-    walk.clients[last].restore(mark);
+    walk.space.rewind(last, mark);
     // Memoize only silently-certified subtrees: violations and exact
     // fallbacks carry path-dependent report data that must be recomputed
     // per prefix (see the module docs).
@@ -723,191 +637,6 @@ where
     recycled
 }
 
-/// One executed step of the DPOR trace (the current path of the walk,
-/// annotated with the data race reversal needs).
-#[derive(Debug)]
-struct DporStep {
-    proc: u8,
-    foot: StepFootprint,
-    /// 1-based count of this process's steps up to and including this one.
-    local_index: u32,
-    /// The process's previous step's trace index (restored on pop).
-    prev_of_proc: Option<u32>,
-}
-
-/// The source-set DPOR state riding along the depth-first walk: the
-/// executed trace with vector clocks (happens-before), and the per-node
-/// backtrack sets race detection grows.
-#[derive(Debug)]
-struct Dpor {
-    n: usize,
-    steps: Vec<DporStep>,
-    /// Flat vector-clock matrix: `clocks[i * n + q]` = how many of
-    /// process `q`'s steps happen before (or are) step `i`.
-    clocks: Vec<u32>,
-    /// Per-process trace index of the last executed step.
-    last_of: Vec<Option<u32>>,
-    /// Per-depth backtrack sets (a step's trace index is also the depth
-    /// of the node it was executed from).
-    backtrack: Vec<u64>,
-}
-
-impl Dpor {
-    fn new(n: usize) -> Self {
-        Dpor {
-            n,
-            steps: Vec::new(),
-            clocks: Vec::new(),
-            last_of: vec![None; n],
-            backtrack: Vec::new(),
-        }
-    }
-
-    /// Records the execution of one step by `k` with footprint `foot`:
-    /// its clock is the join of the process's previous clock and the
-    /// clocks of every earlier conflicting step, plus itself.
-    fn push(&mut self, k: usize, foot: StepFootprint) {
-        let n = self.n;
-        let i = self.steps.len();
-        let base = self.clocks.len();
-        match self.last_of[k] {
-            Some(p) => {
-                let row = p as usize * n;
-                for q in 0..n {
-                    let c = self.clocks[row + q];
-                    self.clocks.push(c);
-                }
-            }
-            None => self.clocks.resize(base + n, 0),
-        }
-        for j in 0..i {
-            if self.steps[j].foot.conflicts(&foot) {
-                let row = j * n;
-                for q in 0..n {
-                    if self.clocks[row + q] > self.clocks[base + q] {
-                        self.clocks[base + q] = self.clocks[row + q];
-                    }
-                }
-            }
-        }
-        let local_index = self.last_of[k].map_or(0, |p| self.steps[p as usize].local_index) + 1;
-        self.clocks[base + k] = local_index;
-        self.steps.push(DporStep {
-            proc: u8::try_from(k).expect("≤ 64 processes"),
-            foot,
-            local_index,
-            prev_of_proc: self.last_of[k],
-        });
-        self.last_of[k] = Some(u32::try_from(i).expect("trace fits u32"));
-    }
-
-    fn pop(&mut self) {
-        let step = self.steps.pop().expect("pop matches push");
-        self.last_of[step.proc as usize] = step.prev_of_proc;
-        self.clocks.truncate(self.steps.len() * self.n);
-    }
-
-    /// Whether step `i` happens-before step `j` (`i < j`).
-    fn hb_steps(&self, i: usize, j: usize) -> bool {
-        self.clocks[j * self.n + self.steps[i].proc as usize] >= self.steps[i].local_index
-    }
-
-    /// Whether step `i` happens-before the *next* (unexecuted) step of
-    /// process `q` — i.e. `i` is in the causal past of `q`'s last step.
-    fn hb_to_next(&self, i: usize, q: usize) -> bool {
-        if self.steps[i].proc as usize == q {
-            return true;
-        }
-        match self.last_of[q] {
-            None => false,
-            Some(l) => {
-                self.clocks[l as usize * self.n + self.steps[i].proc as usize]
-                    >= self.steps[i].local_index
-            }
-        }
-    }
-
-    /// SDPOR race detection for the next step of process `k` (footprint
-    /// `fp`) against the trace steps at indices `lo..`: for every step
-    /// in a reversible race with it — conflicting, by another process,
-    /// not already ordered before `k` — ensure the backtrack set at that
-    /// step's node intersects the race's source set, inserting one
-    /// source member if not.
-    ///
-    /// Callers pass `lo = 0` for a full scan, or `lo = len - 1` to check
-    /// only the step just executed: a race ensured at an ancestor stays
-    /// ensured, because an initial of the shorter reversed continuation
-    /// remains an initial of every extension (new events by other
-    /// processes cannot become happens-before predecessors of it), so
-    /// only the *new* step needs checking when neither `k`'s footprint
-    /// nor its clock changed.
-    fn detect_races_from(&mut self, k: usize, fp: &StepFootprint, lo: usize) {
-        for e in (lo..self.steps.len()).rev() {
-            let step = &self.steps[e];
-            if step.proc as usize == k || !step.foot.conflicts(fp) || self.hb_to_next(e, k) {
-                continue;
-            }
-            let initials = self.source_initials(e, k);
-            if self.backtrack[e] & initials == 0 {
-                let add = if initials & (1 << k) != 0 {
-                    k
-                } else {
-                    initials.trailing_zeros() as usize
-                };
-                self.backtrack[e] |= 1 << add;
-            }
-        }
-    }
-
-    /// The source set `I(notdep(e, E) · next_k)`: processes whose first
-    /// step in the race's reversed continuation has no happens-before
-    /// predecessor inside it. Exploring any one of them from `e`'s node
-    /// (eventually) covers the reversal, which is the source-set
-    /// weakening of plain DPOR's "add `k` itself".
-    fn source_initials(&self, e: usize, k: usize) -> u64 {
-        let len = self.steps.len();
-        let mut initials = 0u64;
-        for q in 0..self.n {
-            let first = (e + 1..len).find(|&j| self.steps[j].proc as usize == q);
-            match first {
-                Some(j) => {
-                    if self.hb_steps(e, j) {
-                        continue; // causally after e: not in notdep
-                    }
-                    let blocked =
-                        (e + 1..j).any(|j2| !self.hb_steps(e, j2) && self.hb_steps(j2, j));
-                    if !blocked {
-                        initials |= 1 << q;
-                    }
-                }
-                None => {
-                    if q == k {
-                        initials |= 1 << k;
-                    }
-                }
-            }
-        }
-        if initials == 0 {
-            initials = 1 << k; // defensive: k is always a valid insertion
-        }
-        initials
-    }
-}
-
-/// The next-step footprint of process `q` at the current configuration:
-/// the TM's conflict oracle for the pending invocation, with the
-/// transaction-begin flag supplied by the driver (which owns the client
-/// cursor), or the fully conservative footprint for a blocked poll.
-fn next_footprint(tm: &BoxedTm, clients: &[Client], q: usize) -> StepFootprint {
-    if tm.has_pending(ProcessId(q)) {
-        StepFootprint::global()
-    } else {
-        let mut foot = tm.step_footprint(ProcessId(q), clients[q].next_invocation());
-        foot.begins = !clients[q].mid_transaction();
-        foot
-    }
-}
-
 /// Source-set DPOR walk (see the module docs): at each node, explore
 /// only the processes the race analysis proves necessary, starting from
 /// one arbitrary representative. Returns the TM box for recycling and
@@ -921,11 +650,11 @@ fn walk_dpor(
     mut sleep: u64,
     parent_feet: Option<&[StepFootprint; 64]>,
 ) -> (BoxedTm, StepFootprint) {
-    let n = walk.clients.len();
+    let n = walk.space.width();
     let mut feet = [StepFootprint::local(); 64];
     let mut agg = StepFootprint::local();
     for (q, foot) in feet.iter_mut().enumerate().take(n) {
-        *foot = next_footprint(&tm, walk.clients, q);
+        *foot = reduction::next_footprint(&tm, &walk.space.clients, q);
         agg.merge(foot);
     }
     // Race detection at *every* node for *every* process's next step
@@ -947,7 +676,7 @@ fn walk_dpor(
         }
     }
     if remaining == 0 {
-        certify_leaf(walk.path, walk.history, walk.checker, walk.out);
+        certify_leaf(walk.space, walk.out);
         return (tm, agg);
     }
     // Digest dedup, DPOR flavour: a stored subtree summary may be
@@ -955,13 +684,15 @@ fn walk_dpor(
     // anything the stored subtree touched — otherwise the skipped walk
     // could owe race-reversal backtrack points to the prefix (see the
     // module docs).
-    let memo_note = if walk.memo.enabled && walk.checker.violation().is_none() {
+    let memo_note = if walk.memo.enabled() && walk.space.checker.violation().is_none() {
+        let (tm_digest, clients) = walk
+            .space
+            .config_key(&tm)
+            .expect("dedup runs only for fingerprinting TMs");
         let key = MemoKey {
-            tm: tm
-                .state_digest()
-                .expect("dedup runs only for fingerprinting TMs"),
-            clients: clients_digest(walk.clients),
-            checker: walk.checker.state_digest(),
+            tm: tm_digest,
+            clients,
+            checker: walk.space.checker.state_digest(),
             sleep,
             remaining: remaining as u32,
         };
@@ -998,21 +729,8 @@ fn walk_dpor(
             break;
         }
         let k = avail.trailing_zeros() as usize;
-        let checkpoint = walk.checker.checkpoint();
-        let history_len = walk.history.len();
-        let mark = walk.clients[k].mark();
-        walk.path.push(k);
-        let mut child = match walk.spare.pop() {
-            Some(mut spare) => {
-                if spare.refork_from(&*tm) {
-                    spare
-                } else {
-                    tm.fork()
-                }
-            }
-            None => tm.fork(),
-        };
-        step(&mut child, walk.clients, k, walk.history, walk.checker);
+        let mark = walk.space.mark(k);
+        let (child, _) = expand_child(walk.space, walk.pool, &tm, k);
         dpor.push(k, feet[k]);
         // SDPOR sleep inheritance: a sibling stays asleep only while its
         // next step is independent of the step just taken.
@@ -1025,14 +743,9 @@ fn walk_dpor(
         let (recycled, child_agg) =
             walk_dpor(walk, dpor, child, remaining - 1, child_sleep, Some(&feet));
         agg.merge(&child_agg);
-        if walk.recycle {
-            walk.spare.push(recycled);
-        }
+        walk.pool.put_back(recycled);
         dpor.pop();
-        walk.path.pop();
-        walk.history.truncate(history_len);
-        walk.checker.rollback(checkpoint);
-        walk.clients[k].restore(mark);
+        walk.space.rewind(k, mark);
         sleep |= 1 << k; // explored: its subtree covers it for the siblings
     }
     dpor.backtrack.pop();
@@ -1055,26 +768,8 @@ fn walk_dpor(
 /// needs to explore its subtree independently.
 struct SubtreeRoot {
     tm: BoxedTm,
-    clients: Vec<Client>,
-    checker: IncrementalChecker,
-    path: Vec<usize>,
-    history: Vec<Event>,
+    space: ScheduleSpace,
     sleep: u64,
-}
-
-fn auto_split_depth(n: usize, depth: usize) -> usize {
-    let workers = rayon::current_num_threads();
-    if workers <= 1 {
-        return 0;
-    }
-    let target = workers * 8;
-    let mut split = 0;
-    let mut roots = 1usize;
-    while roots < target && split < depth.saturating_sub(1) {
-        roots *= n;
-        split += 1;
-    }
-    split
 }
 
 /// Explores every schedule of length `config.depth` over `scripts.len()`
@@ -1101,12 +796,10 @@ where
     // for the rest, pruning silently disables rather than risking a
     // false certification.
     let sleep_sets = config.sleep_sets && tm.disjoint_var_ops_commute();
-    // Probe refork support once: TMs without it keep the spare pool
-    // empty rather than paying a failed dynamic refork per tree edge.
-    let recycle = {
-        let mut probe = tm.fork();
-        probe.refork_from(&*tm)
-    };
+    // Probe refork support once ([`TmPool::for_tm`]): TMs without it
+    // keep the spare pool empty rather than paying a failed dynamic
+    // refork per tree edge.
+    let pool = TmPool::for_tm(&tm);
     // Digest dedup silently disables for TMs without a fingerprint,
     // mirroring the sleep-set probe above.
     let dedup = config.dedup && tm.state_digest().is_some();
@@ -1122,9 +815,9 @@ where
         let n = scripts.len();
         return explore_split(
             tm,
+            pool,
             scripts,
             config,
-            recycle,
             dedup,
             false,
             move |walk, tm, remaining, _sleep| {
@@ -1136,9 +829,9 @@ where
 
     explore_split(
         tm,
+        pool,
         scripts,
         config,
-        recycle,
         dedup,
         sleep_sets,
         move |walk, tm, remaining, sleep| {
@@ -1149,7 +842,7 @@ where
                 sleep,
                 sleep_sets,
                 &mut |walk, tm, _sleep| {
-                    certify_leaf(walk.path, walk.history, walk.checker, walk.out);
+                    certify_leaf(walk.space, walk.out);
                     Some(tm)
                 },
             );
@@ -1166,9 +859,9 @@ where
 /// count.
 fn explore_split<R>(
     tm: BoxedTm,
+    mut pool: TmPool,
     scripts: &[ClientScript],
     config: &ExploreConfig,
-    recycle: bool,
     dedup: bool,
     split_sleep_sets: bool,
     walk_root: R,
@@ -1177,17 +870,14 @@ where
     R: Fn(&mut Walk<'_>, BoxedTm, usize, u64) + Sync,
 {
     let n = scripts.len();
-    let mut clients: Vec<Client> = scripts.iter().cloned().map(Client::new).collect();
-    let mut checker = IncrementalChecker::new(Mode::Opacity);
-    let mut path = Vec::with_capacity(config.depth);
-    let mut history = Vec::with_capacity(config.depth * 2);
+    let recycle = pool.recycles();
+    let mut space = ScheduleSpace::new(scripts, config.depth);
     let mut out = Exploration::default();
-    let mut spare = Vec::new();
 
     let split = if config.parallel {
         config
             .split_depth
-            .unwrap_or_else(|| auto_split_depth(n, config.depth))
+            .unwrap_or_else(|| frontier::auto_split_depth(n, config.depth))
             .min(config.depth)
     } else {
         0
@@ -1196,13 +886,9 @@ where
     if !config.parallel || split == 0 {
         let mut memo = Memo::new(dedup);
         let mut walk = Walk {
-            clients: &mut clients,
-            path: &mut path,
-            history: &mut history,
-            checker: &mut checker,
+            space: &mut space,
             out: &mut out,
-            spare: &mut spare,
-            recycle,
+            pool: &mut pool,
             memo: &mut memo,
         };
         walk_root(&mut walk, tm, config.depth, 0);
@@ -1216,13 +902,9 @@ where
         // stays off here and runs per worker below.
         let mut memo = Memo::new(false);
         let mut walk = Walk {
-            clients: &mut clients,
-            path: &mut path,
-            history: &mut history,
-            checker: &mut checker,
+            space: &mut space,
             out: &mut out,
-            spare: &mut spare,
-            recycle,
+            pool: &mut pool,
             memo: &mut memo,
         };
         walk_tree(
@@ -1232,14 +914,9 @@ where
             0,
             split_sleep_sets,
             &mut |walk, tm, sleep| {
-                let mut checker = walk.checker.clone();
-                checker.compact();
                 roots.push(SubtreeRoot {
                     tm,
-                    clients: walk.clients.clone(),
-                    checker,
-                    path: walk.path.clone(),
-                    history: walk.history.clone(),
+                    space: walk.space.subtree_root(),
                     sleep,
                 });
                 None
@@ -1250,32 +927,24 @@ where
     // thread-agnostic), deterministic, and lock-free; only cross-subtree
     // hits are forgone relative to the sequential walk. The opt-in
     // sharded shared table recovers those hits at stripe-lock cost.
-    let shared = (dedup && config.shared_dedup).then(|| Arc::new(SharedMemo::new()));
+    let shared = (dedup && config.shared_dedup).then(|| Arc::new(StripedTable::new()));
     let remaining = config.depth - split;
-    let walk_root = &walk_root;
-    let results: Vec<Exploration> = roots
-        .into_par_iter()
-        .map(move |mut root| {
-            let mut sub = Exploration::default();
-            let mut spare = Vec::new();
-            let mut memo = match &shared {
-                Some(table) => Memo::shared(Arc::clone(table)),
-                None => Memo::new(dedup),
-            };
-            let mut walk = Walk {
-                clients: &mut root.clients,
-                path: &mut root.path,
-                history: &mut root.history,
-                checker: &mut root.checker,
-                out: &mut sub,
-                spare: &mut spare,
-                recycle,
-                memo: &mut memo,
-            };
-            walk_root(&mut walk, root.tm, remaining, root.sleep);
-            sub
-        })
-        .collect();
+    let results = frontier::distribute(roots, |mut root| {
+        let mut sub = Exploration::default();
+        let mut pool = TmPool::new(recycle);
+        let mut memo = match &shared {
+            Some(table) => Memo::shared(Arc::clone(table)),
+            None => Memo::new(dedup),
+        };
+        let mut walk = Walk {
+            space: &mut root.space,
+            out: &mut sub,
+            pool: &mut pool,
+            memo: &mut memo,
+        };
+        walk_root(&mut walk, root.tm, remaining, root.sleep);
+        sub
+    });
     for sub in results {
         out.absorb(sub);
     }

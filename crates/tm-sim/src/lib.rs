@@ -16,10 +16,15 @@
 //! * [`explore_schedules`] — bounded-exhaustive enumeration of all
 //!   interleavings, the executable analogue of Theorem 3's "every finite
 //!   history of `Fgp` is opaque";
-//! * [`livecheck`] — bounded *liveness* model checking: lasso detection
+//! * [`livecheck`](livecheck()) — bounded *liveness* model checking: lasso detection
 //!   over the canonical state graph, classifying which processes a TM
 //!   can starve, block, or keep progressing (the paper's Figure 2
-//!   taxonomy, decided mechanically).
+//!   taxonomy, decided mechanically), with a deterministic parallel
+//!   search (`LivecheckConfig::parallel`);
+//! * [`engine`] — the exploration kernel beneath both model checkers:
+//!   the shared stepper and [`engine::SearchSpace`] contract, TM
+//!   fork/refork pooling ([`tm_stm::TmPool`]), seen-set/interning
+//!   backends, reduction state, and the deterministic parallel frontier.
 //!
 //! ```
 //! use tm_core::TVarId;
@@ -46,6 +51,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod engine;
 pub mod explore;
 pub mod faults;
 pub mod livecheck;

@@ -34,7 +34,7 @@
 //! [`tm_liveness::InfiniteHistory`] via
 //! [`tm_liveness::detect::lasso_from_cycle`] and every process is
 //! classified with the paper's Figure 2 taxonomy
-//! ([`tm_liveness::classify`]): progressing, starving, parasitic,
+//! ([`fn@tm_liveness::classify`]): progressing, starving, parasitic,
 //! crashed (the scheduler abandoned it), or absent. Findings are
 //! deduplicated and capped at [`LivecheckConfig::max_lassos`].
 //!
@@ -50,28 +50,27 @@
 //! starvation lasso at this bound") need a completeness argument that
 //! per-path search cannot give once the seen set prunes re-expansion.
 //! The checker therefore also records the explored graph explicitly and
-//! decides cycle **existence** exactly, per process `p`, by strongly
-//! connected components (Tarjan):
+//! decides cycle **existence** exactly, per process, via the SCC
+//! certificates of [`tm_liveness::scc`] (Tarjan over edge-filtered
+//! views; see that module for the per-verdict edge deletions):
 //!
-//! * **starving** — delete every `C_p` edge; a cycle through an `A_p`
-//!   edge survives iff some lasso aborts `p` infinitely often and never
-//!   commits it (`p` is correct and pending: starving);
-//! * **parasitic** — delete every `C_p`/`A_p`/`tryC_p` edge; a cycle
-//!   through a `p`-event edge survives iff some lasso gives `p`
-//!   infinitely many events but finitely many `tryC_p`/`A_p`;
-//! * **blocked** — delete every `p`-event edge; a cycle through an
-//!   eventless `p`-step edge survives iff the scheduler can run `p`
-//!   forever without the TM ever responding;
-//! * **progressing** — a `C_p` edge inside any SCC of the full graph:
-//!   `p` can commit infinitely often.
+//! * **starving** — a cycle aborts the process infinitely often and
+//!   never commits it;
+//! * **parasitic** — a cycle gives the process infinitely many events
+//!   but finitely many `tryC`/aborts;
+//! * **blocked** — the scheduler can run the process forever without the
+//!   TM ever responding;
+//! * **progressing** — a cycle commits the process infinitely often.
 //!
-//! (An edge lies on a cycle iff both endpoints share an SCC.) These
-//! verdicts are exact *for the explored subgraph*: configurations first
-//! reached at the depth bound are frontier nodes without outgoing edges,
-//! so the certificate is "no such cycle within the bound", the standard
-//! bounded-model-checking guarantee. [`LivecheckReport::lasso_starvation_free`]
-//! is the resulting per-TM certificate: no process has a starving or
-//! parasitic cycle in the explored graph.
+//! These verdicts are exact *for the explored subgraph*: configurations
+//! first reached at the depth bound are frontier nodes without outgoing
+//! edges, so the certificate is "no such cycle within the bound", the
+//! standard bounded-model-checking guarantee.
+//! [`LivecheckReport::lasso_starvation_free`] is the resulting per-TM
+//! certificate. The per-process certificates are independent Tarjan
+//! passes over a read-only graph — embarrassingly parallel — and run on
+//! the rayon pool ([`tm_liveness::certify_cycles_parallel`], verdicts
+//! merged in process-id order) when [`LivecheckConfig::parallel`] is on.
 //!
 //! # Parasitic processes
 //!
@@ -107,14 +106,62 @@
 //! lasso findings and the certified verdicts are unchanged (asserted by
 //! the differential suite), and
 //! `steps(plain) = steps(reduced) + replayed_steps(reduced)`.
+//!
+//! # Parallel lasso search
+//!
+//! With [`LivecheckConfig::parallel`] the expensive part of the search —
+//! executing TM transitions and digesting the results — runs on the
+//! rayon pool, in two phases that keep the report **byte-identical to
+//! the sequential reduced search** regardless of thread count:
+//!
+//! 1. **Graph construction** is a level-synchronous frontier over the
+//!    interned-node table: all configurations at BFS distance `d` are
+//!    expanded concurrently ([`crate::engine::frontier::distribute`],
+//!    which preserves item order), then their successors are interned in
+//!    one deterministic merge — parent order, then process order — so
+//!    node ids equal the canonical breadth-first discovery order on
+//!    every run. Each node is expanded exactly once, so every TM
+//!    transition is executed exactly once (the reduction's execution
+//!    discipline, now also spread across cores). The graph this phase
+//!    produces is *the* canonical bounded graph — nodes at distance
+//!    ≤ depth, edges of nodes at distance ≤ depth−1 — which is exactly
+//!    the graph the sequential budget-DFS explores, because a budget-DFS
+//!    eventually expands every node at its maximal remaining budget
+//!    `depth − distance`.
+//! 2. **Lasso detection** replays the sequential DFS over the recorded
+//!    graph — no TM work, just edge replays (the reduction's re-walk
+//!    machinery with every edge recorded) — so cycles are discovered in
+//!    the sequential order, and lassos, cycle counters, dedup hits and
+//!    verdicts come out byte-identical to the sequential search.
+//!
+//! Because phase 1 executes each transition once, the parallel report's
+//! [`LivecheckReport::steps`]/[`LivecheckReport::replayed_steps`] match
+//! the *reduced* sequential search's (`parallel` implies the reduction's
+//! execution discipline); states, edges, lassos and verdicts match every
+//! sequential mode.
+//!
+//! # The exploration kernel
+//!
+//! This checker is the graph-search instantiation of the shared kernel
+//! in [`crate::engine`] (the safety explorer is the tree-search one):
+//! its `GraphSpace` implements the kernel's [`SearchSpace`] contract
+//! over the shared stepper, TM branching runs through the shared
+//! [`tm_stm::TmPool`], configurations are interned through
+//! [`crate::engine::memo::Interner`], and the parallel frontier is the
+//! kernel's deterministic [`crate::engine::frontier::distribute`].
 
 use std::collections::{HashMap, HashSet};
 
-use tm_core::{digest_of, Event, Invocation, ProcessId, Response};
-use tm_liveness::{classify, detect::lasso_from_cycle, InfiniteHistory, ProcessClass};
-use tm_stm::{BoxedTm, Outcome, SteppedTm};
+use tm_core::{digest_of, Event, Invocation, ProcessId, Value};
+use tm_liveness::{classify, detect::lasso_from_cycle, CycleEdge, InfiniteHistory, ProcessClass};
+use tm_stm::{BoxedTm, SteppedTm, TmPool};
 
-use crate::workload::{clients_digest, Client, ClientScript};
+use crate::engine::frontier;
+use crate::engine::memo::Interner;
+use crate::engine::space::{step_process, SearchSpace, StepRecord};
+use crate::workload::{clients_digest, Client, ClientMark, ClientScript};
+
+pub use tm_liveness::ProcessCycleVerdicts;
 
 /// Configuration for [`livecheck`].
 #[derive(Debug, Clone)]
@@ -132,6 +179,15 @@ pub struct LivecheckConfig {
     /// [`LivecheckReport::steps`] (TM executions) drops — re-walked
     /// edges count in [`LivecheckReport::replayed_steps`] instead.
     pub reduce: bool,
+    /// Parallel lasso search (see the module docs): graph construction
+    /// runs level-synchronously on the rayon pool with every TM
+    /// transition executed exactly once, then lasso detection replays
+    /// the sequential DFS over the recorded graph and the SCC
+    /// certificates fan out per process. Reports are byte-identical to
+    /// the sequential `reduce` search regardless of thread count
+    /// (`parallel` implies the reduction's execution discipline; states,
+    /// edges, lassos and verdicts also match the unreduced search).
+    pub parallel: bool,
     /// Bitmask of processes that never invoke `tryC` (loop their
     /// operations forever): the paper's parasitic processes.
     parasitic: u64,
@@ -144,6 +200,7 @@ impl LivecheckConfig {
             depth,
             max_lassos: 32,
             reduce: false,
+            parallel: false,
             parasitic: 0,
         }
     }
@@ -152,6 +209,13 @@ impl LivecheckConfig {
     /// transition once; replay recorded edges on re-walks).
     pub fn with_reduction(mut self) -> Self {
         self.reduce = true;
+        self
+    }
+
+    /// Enables the parallel lasso search (rayon graph construction +
+    /// parallel SCC certification, byte-identical reports).
+    pub fn with_parallel(mut self) -> Self {
+        self.parallel = true;
         self
     }
 
@@ -210,36 +274,6 @@ impl LassoFinding {
     }
 }
 
-/// Certified cycle-existence verdicts for one process over the explored
-/// subgraph (see the module docs' SCC pass).
-///
-/// Each flag is an independent **existential** claim — "some cycle with
-/// this shape exists" — and different flags are generally witnessed by
-/// *different* cycles, so several can hold at once. In particular a
-/// process configured parasitic via [`LivecheckConfig::with_parasitic`]
-/// can be certified both `parasitic` (a cycle where its reads succeed
-/// forever) *and* `starving` (a cycle where the TM aborts those reads
-/// forever): by the paper's Figure 2 definitions a history with
-/// infinitely many `A_k` is **not** parasitic — the process is correct
-/// and pending, i.e. starving — and [`tm_liveness::classify`] returns
-/// exactly that on the corresponding lasso witnesses. Within any *one*
-/// cycle the classes remain mutually exclusive.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct ProcessCycleVerdicts {
-    /// The process.
-    pub process: ProcessId,
-    /// A cycle commits the process infinitely often.
-    pub progressing: bool,
-    /// A cycle aborts the process infinitely often and never commits it.
-    pub starving: bool,
-    /// A cycle gives the process infinitely many events but finitely
-    /// many `tryC`/aborts.
-    pub parasitic: bool,
-    /// A cycle schedules the process forever without the TM ever
-    /// responding (blocking, the Figure 14 shape).
-    pub blocked: bool,
-}
-
 /// Outcome of a bounded liveness check of one TM.
 #[derive(Debug, Clone)]
 pub struct LivecheckReport {
@@ -252,11 +286,13 @@ pub struct LivecheckReport {
     /// Edges of the explored graph.
     pub edges: usize,
     /// Scheduler steps executed against a TM (edges walked fresh; with
-    /// [`LivecheckConfig::reduce`] each graph transition is executed
-    /// exactly once, so this approaches the edge count).
+    /// [`LivecheckConfig::reduce`] or [`LivecheckConfig::parallel`] each
+    /// graph transition is executed exactly once, so this equals the
+    /// edge count of the expanded subgraph).
     pub steps: usize,
     /// Edge re-walks served by replaying recorded events instead of
-    /// executing the TM (0 unless [`LivecheckConfig::reduce`]).
+    /// executing the TM (0 unless [`LivecheckConfig::reduce`] or
+    /// [`LivecheckConfig::parallel`]).
     pub replayed_steps: usize,
     /// Subtree re-expansions avoided by the seen set.
     pub dedup_hits: usize,
@@ -326,6 +362,19 @@ struct StepFacts {
     tryc: bool,
 }
 
+impl StepFacts {
+    /// Derives the edge label from the kernel's step record.
+    fn of(record: &StepRecord) -> StepFacts {
+        let resp = record.response();
+        StepFacts {
+            events: record.event_count(),
+            committed: resp == Some(tm_core::Response::Committed),
+            aborted: resp == Some(tm_core::Response::Aborted),
+            tryc: record.invoked_tryc(),
+        }
+    }
+}
+
 /// One edge of the explored configuration graph.
 #[derive(Debug, Clone, Copy)]
 struct Edge {
@@ -360,17 +409,103 @@ struct Frame {
     sched_len: usize,
 }
 
-struct Search<'a> {
-    config: &'a LivecheckConfig,
+/// The liveness checker's instantiation of the kernel's [`SearchSpace`]:
+/// a graph-walk configuration — client cursors, the growing history and
+/// schedule — plus the parasitic-process mask the stepper needs. (No
+/// certifier: liveness is decided on the recorded graph, not per
+/// history prefix.)
+struct GraphSpace {
     clients: Vec<Client>,
     history: Vec<Event>,
     sched: Vec<usize>,
+    parasitic: u64,
+}
+
+/// Everything one [`GraphSpace`] step mutates, for O(1) backtrack.
+struct GraphMark {
+    history_len: usize,
+    client: ClientMark,
+}
+
+impl GraphSpace {
+    fn new(scripts: &[ClientScript], parasitic: u64) -> Self {
+        GraphSpace {
+            clients: scripts.iter().cloned().map(Client::new).collect(),
+            history: Vec::new(),
+            sched: Vec::new(),
+            parasitic,
+        }
+    }
+
+    /// Reduced-mode re-walk of one recorded edge: replays its events
+    /// into the history and the client — identically to re-executing
+    /// the step, since stepping is deterministic — without touching a
+    /// TM. Mirrors [`GraphSpace::step`]'s client handling, including
+    /// the parasitic loop rule.
+    fn replay(&mut self, k: usize, events: &[Option<Event>; 2]) {
+        self.sched.push(k);
+        if let Some(first) = events[0] {
+            if first.is_invocation() {
+                if self.parasitic & (1 << k) != 0
+                    && self.clients[k].next_invocation() == Invocation::TryCommit
+                {
+                    self.clients[k].restart_transaction();
+                }
+                debug_assert_eq!(
+                    first.as_invocation(),
+                    Some(self.clients[k].next_invocation())
+                );
+            }
+            for event in events.iter().flatten() {
+                self.history.push(*event);
+                if let Some(resp) = event.as_response() {
+                    self.clients[k].observe(resp);
+                }
+            }
+        }
+    }
+}
+
+impl SearchSpace for GraphSpace {
+    type Mark = GraphMark;
+
+    fn width(&self) -> usize {
+        self.clients.len()
+    }
+
+    fn mark(&mut self, k: usize) -> GraphMark {
+        GraphMark {
+            history_len: self.history.len(),
+            client: self.clients[k].mark(),
+        }
+    }
+
+    fn step(&mut self, tm: &mut BoxedTm, k: usize) -> StepRecord {
+        self.sched.push(k);
+        let parasitic = self.parasitic & (1 << k) != 0;
+        step_process(tm, &mut self.clients, k, parasitic, &mut self.history)
+    }
+
+    fn rewind(&mut self, k: usize, mark: GraphMark) {
+        self.sched.pop();
+        self.history.truncate(mark.history_len);
+        self.clients[k].restore(mark.client);
+    }
+
+    fn config_key(&self, tm: &BoxedTm) -> Option<(u64, u64)> {
+        tm.state_digest()
+            .map(|d| (d, clients_digest(&self.clients)))
+    }
+}
+
+struct Search<'a> {
+    config: &'a LivecheckConfig,
+    space: GraphSpace,
     frames: Vec<Frame>,
     on_path: HashMap<u32, usize>,
-    ids: HashMap<(u64, u64), u32>,
+    ids: Interner<(u64, u64)>,
     nodes: Vec<Node>,
-    spare: Vec<BoxedTm>,
-    recycle: bool,
+    pool: TmPool,
     reduce: bool,
     steps: usize,
     replayed: usize,
@@ -385,19 +520,16 @@ struct Search<'a> {
 
 impl Search<'_> {
     fn key_of(&self, tm: &BoxedTm) -> (u64, u64) {
-        let digest = tm
-            .state_digest()
-            .expect("livecheck requires a fingerprinting TM (SteppedTm::state_digest)");
-        (digest, clients_digest(&self.clients))
+        self.space
+            .config_key(tm)
+            .expect("livecheck requires a fingerprinting TM (SteppedTm::state_digest)")
     }
 
     fn intern(&mut self, key: (u64, u64)) -> u32 {
-        if let Some(&id) = self.ids.get(&key) {
-            return id;
+        let (id, new) = self.ids.intern(key);
+        if new {
+            self.nodes.push(Node::default());
         }
-        let id = u32::try_from(self.nodes.len()).expect("state graph exceeds u32 nodes");
-        self.ids.insert(key, id);
-        self.nodes.push(Node::default());
         id
     }
 
@@ -411,8 +543,8 @@ impl Search<'_> {
         self.nodes[id as usize].budget = Some(remaining);
         self.on_path.insert(id, self.frames.len());
         self.frames.push(Frame {
-            history_len: self.history.len(),
-            sched_len: self.sched.len(),
+            history_len: self.space.history.len(),
+            sched_len: self.space.sched.len(),
         });
         let tm = if replay {
             for idx in 0..self.nodes[id as usize].edges.len() {
@@ -422,24 +554,13 @@ impl Search<'_> {
             tm
         } else {
             let tm = tm.expect("fresh expansion requires the configuration's TM");
-            let n = self.clients.len();
+            let n = self.space.width();
             let mut kept = None;
             for k in 0..n - 1 {
-                let child = match self.spare.pop() {
-                    Some(mut spare) => {
-                        if spare.refork_from(&*tm) {
-                            spare
-                        } else {
-                            tm.fork()
-                        }
-                    }
-                    None => tm.fork(),
-                };
+                let child = self.pool.fork_child(&tm);
                 let recycled = self.child_step(child, k, id, remaining, record);
                 if let Some(recycled) = recycled {
-                    if self.recycle {
-                        self.spare.push(recycled);
-                    }
+                    self.pool.put_back(recycled);
                 }
             }
             // The last child consumes the parent's TM instance: no fork.
@@ -466,24 +587,17 @@ impl Search<'_> {
         remaining: usize,
         record: bool,
     ) -> Option<BoxedTm> {
-        let history_len = self.history.len();
-        let mark = self.clients[k].mark();
-        self.sched.push(k);
-        let parasitic = self.config.parasitic & (1 << k) != 0;
-        let facts = step_live(&mut tm, &mut self.clients, k, parasitic, &mut self.history);
+        let mark = self.space.mark(k);
+        let rec = self.space.step(&mut tm, k);
         self.steps += 1;
         let key = self.key_of(&tm);
         let child = self.intern(key);
         if record {
-            let mut events = [None, None];
-            for (slot, &event) in events.iter_mut().zip(&self.history[history_len..]) {
-                *slot = Some(event);
-            }
             self.nodes[parent as usize].edges.push(Edge {
                 target: child,
                 process: u8::try_from(k).expect("≤ 64 processes"),
-                facts,
-                events,
+                facts: StepFacts::of(&rec),
+                events: rec.events(ProcessId(k)),
             });
         }
         let mut tm = Some(tm);
@@ -503,9 +617,7 @@ impl Search<'_> {
                 expanded = true;
             }
         }
-        self.sched.pop();
-        self.history.truncate(history_len);
-        self.clients[k].restore(mark);
+        self.space.rewind(k, mark);
         // Reduced mode: park the TM of a still-unexpanded frontier child
         // so a later, deeper re-walk can expand it from the recorded
         // graph without re-executing the path to it.
@@ -521,37 +633,14 @@ impl Search<'_> {
         tm
     }
 
-    /// Reduced-mode re-walk of one recorded edge: replays its events
-    /// into the history and the client (identically to re-executing the
-    /// step — stepping is deterministic), detects cycles, and recurses
-    /// using parked TMs only where a frontier node genuinely needs its
-    /// first expansion.
+    /// Reduced-mode re-walk of one recorded edge: replays its events via
+    /// [`GraphSpace::replay`], detects cycles, and recurses using parked
+    /// TMs only where a frontier node genuinely needs its first
+    /// expansion.
     fn replay_edge(&mut self, edge: Edge, remaining: usize) {
         let k = edge.process as usize;
-        let history_len = self.history.len();
-        let mark = self.clients[k].mark();
-        self.sched.push(k);
-        if let Some(first) = edge.events[0] {
-            if first.is_invocation() {
-                // Mirror `step_live`'s client handling for an invoking
-                // step, including the parasitic loop rule.
-                if self.config.parasitic & (1 << k) != 0
-                    && self.clients[k].next_invocation() == Invocation::TryCommit
-                {
-                    self.clients[k].restart_transaction();
-                }
-                debug_assert_eq!(
-                    first.as_invocation(),
-                    Some(self.clients[k].next_invocation())
-                );
-            }
-            for event in edge.events.iter().flatten() {
-                self.history.push(*event);
-                if let Some(resp) = event.as_response() {
-                    self.clients[k].observe(resp);
-                }
-            }
-        }
+        let mark = self.space.mark(k);
+        self.space.replay(k, &edge.events);
         self.replayed += 1;
         let child = edge.target;
         if let Some(&frame) = self.on_path.get(&child) {
@@ -569,15 +658,11 @@ impl Search<'_> {
                     "frontier node must carry a parked TM"
                 );
                 if let Some(recycled) = self.expand(parked, child, remaining - 1) {
-                    if self.recycle {
-                        self.spare.push(recycled);
-                    }
+                    self.pool.put_back(recycled);
                 }
             }
         }
-        self.sched.pop();
-        self.history.truncate(history_len);
-        self.clients[k].restore(mark);
+        self.space.rewind(k, mark);
     }
 
     /// The DFS stepped back into the configuration at `frames[frame]`:
@@ -585,14 +670,14 @@ impl Search<'_> {
     fn record_cycle(&mut self, frame: usize) {
         self.cycles_detected += 1;
         let frame = &self.frames[frame];
-        let (prefix, cycle) = self.history.split_at(frame.history_len);
+        let (prefix, cycle) = self.space.history.split_at(frame.history_len);
         if cycle.is_empty() {
             // Blocked shape: steps without events. Certified by the SCC
             // pass; there is no event cycle to classify.
             self.eventless_cycles += 1;
             return;
         }
-        let sched_cycle = &self.sched[frame.sched_len..];
+        let sched_cycle = &self.space.sched[frame.sched_len..];
         if !self.seen_cycles.insert(digest_of(&(cycle, sched_cycle))) {
             return;
         }
@@ -602,11 +687,11 @@ impl Search<'_> {
         }
         match lasso_from_cycle(prefix, cycle) {
             Ok(lasso) => {
-                let classes = (0..self.clients.len())
+                let classes = (0..self.space.width())
                     .map(|k| (ProcessId(k), classify(&lasso, ProcessId(k))))
                     .collect();
                 self.lassos.push(LassoFinding {
-                    schedule_prefix: self.sched[..frame.sched_len]
+                    schedule_prefix: self.space.sched[..frame.sched_len]
                         .iter()
                         .copied()
                         .map(ProcessId)
@@ -619,164 +704,226 @@ impl Search<'_> {
             Err(_) => self.rejected_cycles += 1,
         }
     }
-}
 
-/// One scheduler step of process `k` against the TM, appending produced
-/// events to `history`. Mirrors the safety explorer's stepper, plus the
-/// parasitic-loop rule and edge labelling.
-fn step_live(
-    tm: &mut BoxedTm,
-    clients: &mut [Client],
-    k: usize,
-    parasitic: bool,
-    history: &mut Vec<Event>,
-) -> StepFacts {
-    let p = ProcessId(k);
-    let mut facts = StepFacts::default();
-    if tm.has_pending(p) {
-        if let Some(resp) = tm.poll(p) {
-            history.push(Event::response(p, resp));
-            facts.events = 1;
-            facts.committed = resp == Response::Committed;
-            facts.aborted = resp == Response::Aborted;
-            clients[k].observe(resp);
-        }
-        return facts;
-    }
-    if parasitic && clients[k].next_invocation() == Invocation::TryCommit {
-        clients[k].restart_transaction();
-    }
-    let inv = clients[k].next_invocation();
-    facts.tryc = inv == Invocation::TryCommit;
-    history.push(Event::invocation(p, inv));
-    facts.events = 1;
-    match tm.invoke(p, inv) {
-        Outcome::Response(resp) => {
-            history.push(Event::response(p, resp));
-            facts.events = 2;
-            facts.committed = resp == Response::Committed;
-            facts.aborted = resp == Response::Aborted;
-            clients[k].observe(resp);
-        }
-        Outcome::Pending => {}
-    }
-    facts
-}
-
-/// Iterative Tarjan SCC over the explored graph, restricted to edges
-/// passing `keep`. Returns the component id of every node.
-fn sccs(nodes: &[Node], keep: impl Fn(&Edge) -> bool) -> Vec<u32> {
-    const UNVISITED: u32 = u32::MAX;
-    let n = nodes.len();
-    let mut index = vec![UNVISITED; n];
-    let mut low = vec![0u32; n];
-    let mut comp = vec![UNVISITED; n];
-    let mut on_stack = vec![false; n];
-    let mut stack: Vec<u32> = Vec::new();
-    let mut next_index = 0u32;
-    let mut next_comp = 0u32;
-    // (node, next edge offset) — an explicit call stack.
-    let mut call: Vec<(u32, usize)> = Vec::new();
-
-    for root in 0..n {
-        if index[root] != UNVISITED {
-            continue;
-        }
-        call.push((root as u32, 0));
-        index[root] = next_index;
-        low[root] = next_index;
-        next_index += 1;
-        stack.push(root as u32);
-        on_stack[root] = true;
-        while let Some(&mut (v, ref mut edge)) = call.last_mut() {
-            let vu = v as usize;
-            let next = nodes[vu].edges[*edge..].iter().position(&keep);
-            if let Some(offset) = next {
-                *edge += offset + 1;
-                let w = nodes[vu].edges[*edge - 1].target;
-                let wu = w as usize;
-                if index[wu] == UNVISITED {
-                    index[wu] = next_index;
-                    low[wu] = next_index;
-                    next_index += 1;
-                    stack.push(w);
-                    on_stack[wu] = true;
-                    call.push((w, 0));
-                } else if on_stack[wu] {
-                    low[vu] = low[vu].min(index[wu]);
-                }
-            } else {
-                call.pop();
-                if low[vu] == index[vu] {
-                    loop {
-                        let w = stack.pop().expect("root still on stack");
-                        on_stack[w as usize] = false;
-                        comp[w as usize] = next_comp;
-                        if w == v {
-                            break;
-                        }
-                    }
-                    next_comp += 1;
-                }
-                if let Some(&(parent, _)) = call.last() {
-                    let pu = parent as usize;
-                    low[pu] = low[pu].min(low[vu]);
-                }
-            }
-        }
-    }
-    comp
-}
-
-/// Whether some kept edge passing `want` lies on a cycle of the
-/// `keep`-restricted graph (both endpoints in one SCC).
-fn cycle_edge_exists(
-    nodes: &[Node],
-    keep: impl Fn(&Edge) -> bool + Copy,
-    want: impl Fn(&Edge) -> bool,
-) -> bool {
-    let comp = sccs(nodes, keep);
-    nodes.iter().enumerate().any(|(u, node)| {
-        node.edges
+    /// Assembles the report: counters, findings, and the SCC-certified
+    /// verdicts (fanned over the rayon pool when `parallel`).
+    fn into_report(self, tm: String, depth: usize, parallel: bool) -> LivecheckReport {
+        let processes = self.space.width();
+        let graph: Vec<Vec<CycleEdge>> = self
+            .nodes
             .iter()
-            .any(|e| keep(e) && want(e) && comp[u] == comp[e.target as usize])
-    })
+            .map(|node| {
+                node.edges
+                    .iter()
+                    .map(|e| CycleEdge {
+                        target: e.target,
+                        process: e.process,
+                        events: e.facts.events,
+                        committed: e.facts.committed,
+                        aborted: e.facts.aborted,
+                        tryc: e.facts.tryc,
+                    })
+                    .collect()
+            })
+            .collect();
+        let verdicts = if parallel {
+            tm_liveness::certify_cycles_parallel(&graph, processes)
+        } else {
+            tm_liveness::certify_cycles(&graph, processes)
+        };
+        LivecheckReport {
+            tm,
+            depth,
+            states: self.nodes.len(),
+            edges: graph.iter().map(Vec::len).sum(),
+            steps: self.steps,
+            replayed_steps: self.replayed,
+            dedup_hits: self.dedup_hits,
+            cycles_detected: self.cycles_detected,
+            eventless_cycles: self.eventless_cycles,
+            rejected_cycles: self.rejected_cycles,
+            lassos: self.lassos,
+            truncated: self.truncated,
+            verdicts,
+        }
+    }
 }
 
-fn certify(nodes: &[Node], processes: usize) -> Vec<ProcessCycleVerdicts> {
-    let full = sccs(nodes, |_| true);
-    (0..processes)
-        .map(|k| {
-            let p = u8::try_from(k).expect("≤ 64 processes");
-            let progressing = nodes.iter().enumerate().any(|(u, node)| {
-                node.edges.iter().any(|e| {
-                    e.process == p && e.facts.committed && full[u] == full[e.target as usize]
-                })
-            });
-            let starving = cycle_edge_exists(
-                nodes,
-                |e| !(e.process == p && e.facts.committed),
-                |e| e.process == p && e.facts.aborted,
-            );
-            let parasitic = cycle_edge_exists(
-                nodes,
-                |e| !(e.process == p && (e.facts.committed || e.facts.aborted || e.facts.tryc)),
-                |e| e.process == p && e.facts.events > 0,
-            );
-            let blocked = cycle_edge_exists(
-                nodes,
-                |e| !(e.process == p && e.facts.events > 0),
-                |e| e.process == p && e.facts.events == 0,
-            );
-            ProcessCycleVerdicts {
-                process: ProcessId(k),
-                progressing,
-                starving,
-                parasitic,
-                blocked,
+fn fresh_search<'a>(
+    config: &'a LivecheckConfig,
+    scripts: &[ClientScript],
+    pool: TmPool,
+    reduce: bool,
+) -> Search<'a> {
+    Search {
+        config,
+        space: GraphSpace::new(scripts, config.parasitic),
+        frames: Vec::new(),
+        on_path: HashMap::new(),
+        ids: Interner::new(),
+        nodes: Vec::new(),
+        pool,
+        reduce,
+        steps: 0,
+        replayed: 0,
+        dedup_hits: 0,
+        cycles_detected: 0,
+        eventless_cycles: 0,
+        rejected_cycles: 0,
+        seen_cycles: HashSet::new(),
+        lassos: Vec::new(),
+        truncated: false,
+    }
+}
+
+/// What one parallel frontier expansion reports for one successor: the
+/// configuration key (for the deterministic merge's interning), the edge
+/// label and events, the client cursors a worker needs to expand the
+/// child next level, and the stepped TM box (kept only when the child is
+/// new).
+struct ChildRecord {
+    key: (u64, u64),
+    facts: StepFacts,
+    events: [Option<Event>; 2],
+    cursors: Vec<(usize, Option<Value>)>,
+    tm: BoxedTm,
+}
+
+/// A configuration on the parallel frontier: its interned id, its TM
+/// box, the client cursors that complete the configuration, and spare
+/// boxes recycled from the previous level's duplicate children (so
+/// frontier forks go through the allocation-free refork fast path).
+struct LevelNode {
+    id: u32,
+    tm: BoxedTm,
+    cursors: Vec<(usize, Option<Value>)>,
+    spares: Vec<BoxedTm>,
+}
+
+/// Expands one frontier configuration: executes all `n` successor steps
+/// (the only TM work in the parallel search — each graph transition is
+/// executed exactly once, here), returning the per-process records in
+/// process order for the deterministic merge.
+fn expand_level_node(
+    scripts: &[ClientScript],
+    parasitic: u64,
+    recycle: bool,
+    node: LevelNode,
+) -> Vec<ChildRecord> {
+    let mut space = GraphSpace::new(scripts, parasitic);
+    for (client, cursor) in space.clients.iter_mut().zip(&node.cursors) {
+        client.set_cursor(*cursor);
+    }
+    let n = space.width();
+    let mut pool = TmPool::new(recycle);
+    for spare in node.spares {
+        pool.put_back(spare);
+    }
+    let tm = node.tm;
+    let mut out = Vec::with_capacity(n);
+    let step_child = |space: &mut GraphSpace, mut tm: BoxedTm, k: usize| {
+        let mark = space.mark(k);
+        let rec = space.step(&mut tm, k);
+        let key = space
+            .config_key(&tm)
+            .expect("livecheck requires a fingerprinting TM (SteppedTm::state_digest)");
+        let cursors = space.clients.iter().map(Client::cursor).collect();
+        space.rewind(k, mark);
+        ChildRecord {
+            key,
+            facts: StepFacts::of(&rec),
+            events: rec.events(ProcessId(k)),
+            cursors,
+            tm,
+        }
+    };
+    for k in 0..n - 1 {
+        let child = pool.fork_child(&tm);
+        out.push(step_child(&mut space, child, k));
+    }
+    // The last child consumes the frontier node's TM instance: no fork.
+    out.push(step_child(&mut space, tm, n - 1));
+    out
+}
+
+/// The parallel lasso search (see the module docs): level-synchronous
+/// parallel graph construction with a deterministic breadth-first merge,
+/// then a sequential replay DFS over the recorded graph for lassos, and
+/// the parallel SCC certificates.
+fn livecheck_parallel(
+    tm: BoxedTm,
+    scripts: &[ClientScript],
+    config: &LivecheckConfig,
+    name: String,
+) -> LivecheckReport {
+    // Phase 1: build the canonical bounded graph — nodes at BFS distance
+    // ≤ depth, edges of nodes at distance ≤ depth−1 (exactly the
+    // subgraph the sequential budget-DFS explores). Workers expand whole
+    // levels concurrently; the merge interns successors in parent-then-
+    // process order, so ids are the canonical BFS discovery order.
+    let mut search = fresh_search(config, scripts, TmPool::disabled(), true);
+    let recycle = TmPool::for_tm(&tm).recycles();
+    let root_key = search.key_of(&tm);
+    let root = search.intern(root_key);
+    let root_cursors = search.space.clients.iter().map(Client::cursor).collect();
+    let n = scripts.len();
+    let mut steps = 0usize;
+    let mut level = vec![LevelNode {
+        id: root,
+        tm,
+        cursors: root_cursors,
+        spares: Vec::new(),
+    }];
+    // Boxes of already-interned duplicate children, recycled into the
+    // next level's expansions (each needs up to n−1 forks) instead of
+    // being dropped — the frontier's analogue of the DFS spare pool.
+    let mut spare_pool: Vec<BoxedTm> = Vec::new();
+    let parasitic = config.parasitic;
+    for _dist in 0..config.depth {
+        if level.is_empty() {
+            break;
+        }
+        let parents: Vec<u32> = level.iter().map(|node| node.id).collect();
+        let expansions = frontier::distribute(level, |node| {
+            expand_level_node(scripts, parasitic, recycle, node)
+        });
+        level = Vec::new();
+        for (parent, children) in parents.into_iter().zip(expansions) {
+            for (k, child) in children.into_iter().enumerate() {
+                steps += 1;
+                let (cid, new) = search.ids.intern(child.key);
+                if new {
+                    search.nodes.push(Node::default());
+                    let take = spare_pool.len().min(n.saturating_sub(1));
+                    level.push(LevelNode {
+                        id: cid,
+                        tm: child.tm,
+                        cursors: child.cursors,
+                        spares: spare_pool.split_off(spare_pool.len() - take),
+                    });
+                } else if recycle {
+                    spare_pool.push(child.tm);
+                }
+                search.nodes[parent as usize].edges.push(Edge {
+                    target: cid,
+                    process: u8::try_from(k).expect("≤ 64 processes"),
+                    facts: child.facts,
+                    events: child.events,
+                });
             }
-        })
-        .collect()
+        }
+    }
+    // Phase 2: replay the sequential DFS over the recorded graph (every
+    // edge walk is a replay — no TM work), discovering cycles in the
+    // sequential order. Counter bookkeeping: `steps` is phase 1's
+    // executed transitions (= the reduced sequential search's `steps`);
+    // the replay count minus those once-executed edges is what the
+    // reduced sequential search reports as `replayed_steps`.
+    search.expand(None, root, config.depth);
+    search.steps = steps;
+    debug_assert!(search.replayed >= steps, "replay walks every recorded edge");
+    search.replayed -= steps;
+    search.into_report(name, config.depth, true)
 }
 
 /// Runs the bounded liveness check of the TM built by `factory` under
@@ -803,52 +950,16 @@ where
     assert!(config.depth > 0, "depth must be at least 1");
     let tm = factory();
     assert_eq!(tm.process_count(), n, "factory must match scripts");
-    let recycle = {
-        let mut probe = tm.fork();
-        probe.refork_from(&*tm)
-    };
     let name = tm.name().to_string();
-    let mut search = Search {
-        config,
-        clients: scripts.iter().cloned().map(Client::new).collect(),
-        history: Vec::new(),
-        sched: Vec::new(),
-        frames: Vec::new(),
-        on_path: HashMap::new(),
-        ids: HashMap::new(),
-        nodes: Vec::new(),
-        spare: Vec::new(),
-        recycle,
-        reduce: config.reduce,
-        steps: 0,
-        replayed: 0,
-        dedup_hits: 0,
-        cycles_detected: 0,
-        eventless_cycles: 0,
-        rejected_cycles: 0,
-        seen_cycles: HashSet::new(),
-        lassos: Vec::new(),
-        truncated: false,
-    };
+    if config.parallel {
+        return livecheck_parallel(tm, scripts, config, name);
+    }
+    let pool = TmPool::for_tm(&tm);
+    let mut search = fresh_search(config, scripts, pool, config.reduce);
     let root_key = search.key_of(&tm);
     let root = search.intern(root_key);
     search.expand(Some(tm), root, config.depth);
-    let verdicts = certify(&search.nodes, n);
-    LivecheckReport {
-        tm: name,
-        depth: config.depth,
-        states: search.nodes.len(),
-        edges: search.nodes.iter().map(|n| n.edges.len()).sum(),
-        steps: search.steps,
-        replayed_steps: search.replayed,
-        dedup_hits: search.dedup_hits,
-        cycles_detected: search.cycles_detected,
-        eventless_cycles: search.eventless_cycles,
-        rejected_cycles: search.rejected_cycles,
-        lassos: search.lassos,
-        truncated: search.truncated,
-        verdicts,
-    }
+    search.into_report(name, config.depth, false)
 }
 
 #[cfg(test)]
@@ -1014,6 +1125,52 @@ mod tests {
     }
 
     #[test]
+    fn parallel_report_is_byte_identical_to_the_reduced_sequential_one() {
+        for (name, factory) in [
+            (
+                "fgp",
+                Box::new(|| Box::new(FgpTm::new(2, 1, FgpVariant::CpOnly)) as BoxedTm)
+                    as Box<dyn Fn() -> BoxedTm>,
+            ),
+            ("tl2", Box::new(|| Box::new(Tl2::new(2, 1)) as BoxedTm)),
+            (
+                "global-lock",
+                Box::new(|| Box::new(GlobalLock::new(2, 1)) as BoxedTm),
+            ),
+        ] {
+            let reduced = livecheck(
+                &*factory,
+                &contended(),
+                &LivecheckConfig::new(12).with_reduction(),
+            );
+            let parallel = livecheck(
+                &*factory,
+                &contended(),
+                &LivecheckConfig::new(12).with_parallel(),
+            );
+            assert_eq!(reduced.states, parallel.states, "{name}");
+            assert_eq!(reduced.edges, parallel.edges, "{name}");
+            assert_eq!(reduced.steps, parallel.steps, "{name}");
+            assert_eq!(reduced.replayed_steps, parallel.replayed_steps, "{name}");
+            assert_eq!(reduced.dedup_hits, parallel.dedup_hits, "{name}");
+            assert_eq!(reduced.cycles_detected, parallel.cycles_detected, "{name}");
+            assert_eq!(
+                reduced.eventless_cycles, parallel.eventless_cycles,
+                "{name}"
+            );
+            assert_eq!(reduced.rejected_cycles, parallel.rejected_cycles, "{name}");
+            assert_eq!(reduced.lassos.len(), parallel.lassos.len(), "{name}");
+            for (a, b) in reduced.lassos.iter().zip(&parallel.lassos) {
+                assert_eq!(a.schedule_prefix, b.schedule_prefix, "{name}");
+                assert_eq!(a.schedule_cycle, b.schedule_cycle, "{name}");
+                assert_eq!(a.classes, b.classes, "{name}");
+            }
+            assert_eq!(reduced.truncated, parallel.truncated, "{name}");
+            assert_eq!(reduced.verdicts, parallel.verdicts, "{name}");
+        }
+    }
+
+    #[test]
     fn reduction_with_parasitic_processes_is_identical_too() {
         let scripts = vec![
             ClientScript::new(vec![PlannedOp::Read(X)]),
@@ -1038,6 +1195,16 @@ mod tests {
             .lassos
             .iter()
             .any(|l| l.parasitic().contains(&ProcessId(0))));
+        // And the parallel search agrees with both.
+        let parallel = livecheck(
+            || Box::new(FgpTm::new(2, 1, FgpVariant::CpOnly)),
+            &scripts,
+            &config.clone().with_parallel(),
+        );
+        assert_eq!(parallel.states, plain.states);
+        assert_eq!(parallel.edges, plain.edges);
+        assert_eq!(parallel.lassos.len(), plain.lassos.len());
+        assert_eq!(parallel.verdicts, plain.verdicts);
     }
 
     #[test]
@@ -1050,5 +1217,14 @@ mod tests {
         assert_eq!(report.steps, 2);
         assert_eq!(report.cycles_detected, 0);
         assert!(report.lasso_starvation_free());
+        // The parallel search executes the same two transitions.
+        let parallel = livecheck(
+            || Box::new(Tl2::new(2, 1)),
+            &contended(),
+            &LivecheckConfig::new(1).with_parallel(),
+        );
+        assert_eq!(parallel.steps, 2);
+        assert_eq!(parallel.replayed_steps, 0);
+        assert_eq!(parallel.states, report.states);
     }
 }

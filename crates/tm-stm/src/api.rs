@@ -314,6 +314,93 @@ pub trait SteppedTm {
     }
 }
 
+/// A recycling pool of TM boxes for tree/graph search drivers.
+///
+/// Every model-checking walk branches the TM once per explored edge. A
+/// naive driver allocates a fresh box per branch ([`SteppedTm::fork`]);
+/// TMs that implement [`SteppedTm::refork_from`] can instead
+/// re-initialize a previously used box in place, making the per-edge
+/// branch allocation-free. Both the safety explorer and the liveness
+/// checker used to carry private copies of this recycling logic; the
+/// pool is the shared form.
+///
+/// The pool probes refork support once at construction
+/// ([`TmPool::for_tm`]): TMs without the fast path keep the pool empty
+/// (`recycle == false`), so they pay neither the spare-box storage nor a
+/// failed dynamic refork attempt per edge.
+#[derive(Default)]
+pub struct TmPool {
+    spare: Vec<BoxedTm>,
+    recycle: bool,
+}
+
+impl std::fmt::Debug for TmPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TmPool")
+            .field("spare", &self.spare.len())
+            .field("recycle", &self.recycle)
+            .finish()
+    }
+}
+
+impl TmPool {
+    /// A pool for TMs of `tm`'s concrete type: probes
+    /// [`SteppedTm::refork_from`] once and, when supported, seeds the
+    /// pool with the probe box.
+    pub fn for_tm(tm: &BoxedTm) -> Self {
+        let mut probe = tm.fork();
+        let recycle = probe.refork_from(&**tm);
+        TmPool {
+            spare: if recycle { vec![probe] } else { Vec::new() },
+            recycle,
+        }
+    }
+
+    /// An empty pool with a pre-decided recycle capability — for
+    /// parallel workers whose driver probed once via [`TmPool::for_tm`]
+    /// and fans the answer out instead of re-probing per worker.
+    pub fn new(recycle: bool) -> Self {
+        TmPool {
+            spare: Vec::new(),
+            recycle,
+        }
+    }
+
+    /// An empty pool that never recycles (every branch allocates).
+    pub fn disabled() -> Self {
+        TmPool::default()
+    }
+
+    /// Whether the pooled TM type supports allocation-free reforking.
+    pub fn recycles(&self) -> bool {
+        self.recycle
+    }
+
+    /// Branches `parent` one step: re-initializes a recycled box via
+    /// [`SteppedTm::refork_from`] when one is available, falling back to
+    /// an allocating [`SteppedTm::fork`].
+    pub fn fork_child(&mut self, parent: &BoxedTm) -> BoxedTm {
+        match self.spare.pop() {
+            Some(mut spare) => {
+                if spare.refork_from(&**parent) {
+                    spare
+                } else {
+                    parent.fork()
+                }
+            }
+            None => parent.fork(),
+        }
+    }
+
+    /// Returns a box to the pool for later reuse. A no-op (the box is
+    /// dropped) when the TM type does not support reforking.
+    pub fn put_back(&mut self, tm: BoxedTm) {
+        if self.recycle {
+            self.spare.push(tm);
+        }
+    }
+}
+
 /// Extension helpers for driving a [`SteppedTm`] through whole operations.
 pub trait SteppedTmExt: SteppedTm {
     /// Invokes and, if the TM blocks, polls until the response arrives.

@@ -50,7 +50,7 @@ pub fn literal_fgp(processes: usize, tvars: usize) -> BoxedTm {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::api::{Outcome, SteppedTm};
+    use crate::api::{Outcome, SteppedTm, TmPool};
 
     #[test]
     fn catalog_names_are_unique() {
@@ -109,6 +109,43 @@ mod tests {
             }
             assert_eq!(tm.has_pending(p2), before, "{}", tm.name());
         }
+    }
+
+    #[test]
+    fn every_catalog_tm_recycles_through_the_pool() {
+        use tm_core::{Invocation, ProcessId, TVarId};
+        // The whole catalogue (and the buggy literal Fgp) implements the
+        // allocation-free refork fast path, so every pool recycles — and
+        // a recycled box is observationally a fork. This is the pool
+        // plumbing every search driver relies on (TmPool::for_tm per
+        // exploration): no explorer pays an allocating fork.
+        let mut tms = full_catalog(2, 1);
+        tms.push(literal_fgp(2, 1));
+        for mut tm in tms {
+            let mut pool = TmPool::for_tm(&tm);
+            assert!(pool.recycles(), "{}", tm.name());
+            tm.invoke(ProcessId(0), Invocation::Read(TVarId(0)));
+            let child = pool.fork_child(&tm);
+            assert_eq!(
+                child.has_pending(ProcessId(0)),
+                tm.has_pending(ProcessId(0))
+            );
+            assert_eq!(child.state_digest(), tm.state_digest(), "{}", tm.name());
+            pool.put_back(child);
+            // The recycled box is reforked in place on the next branch.
+            let again = pool.fork_child(&tm);
+            assert_eq!(again.state_digest(), tm.state_digest(), "{}", tm.name());
+        }
+    }
+
+    #[test]
+    fn disabled_pool_never_recycles() {
+        let tm = literal_fgp(2, 1);
+        let mut pool = TmPool::disabled();
+        assert!(!pool.recycles());
+        let child = pool.fork_child(&tm);
+        pool.put_back(child); // dropped, not stored
+        assert!(!pool.recycles());
     }
 
     #[test]

@@ -14,12 +14,12 @@
 //! |----|-----------------|--------------------|
 //! | [`GlobalLock`] | §1.1, §3.2.1 | local progress without faults; starves everyone on a crash |
 //! | [`FgpTm`] | §6 | opacity + global progress in any fault-prone system |
-//! | [`Tl2`] | §3.2.3 [15] | deferred updates: solo progress in crash-prone systems |
-//! | [`TinyStm`] | §3.2.3 [17] | encounter-time locks: solo progress only crash-free |
-//! | [`SwissTm`] | §3.2.3 [16] | eager W/W + greedy CM: livelock-free, solo progress only crash-free |
+//! | [`Tl2`] | §3.2.3 \[15\] | deferred updates: solo progress in crash-prone systems |
+//! | [`TinyStm`] | §3.2.3 \[17\] | encounter-time locks: solo progress only crash-free |
+//! | [`SwissTm`] | §3.2.3 \[16\] | eager W/W + greedy CM: livelock-free, solo progress only crash-free |
 //! | [`NOrec`] | baseline | value validation, single global orec |
-//! | [`Ostm`] | §6 [13] | lock-free, global progress |
-//! | [`Dstm`] | §3.2.3 [14] | obstruction-free, livelocks under contention |
+//! | [`Ostm`] | §6 \[13\] | lock-free, global progress |
+//! | [`Dstm`] | §3.2.3 \[14\] | obstruction-free, livelocks under contention |
 //!
 //! **Concurrent** ([`concurrent`]) — thread-driven forms of the global
 //! lock, TL2 and NOrec on real atomics, for the throughput benchmarks.
@@ -54,7 +54,7 @@ pub mod swiss;
 pub mod tiny;
 pub mod tl2;
 
-pub use api::{BoxedTm, Outcome, StepFootprint, SteppedTm, SteppedTmExt};
+pub use api::{BoxedTm, Outcome, StepFootprint, SteppedTm, SteppedTmExt, TmPool};
 pub use catalog::{full_catalog, literal_fgp, nonblocking_catalog};
 pub use dstm::Dstm;
 pub use fgp::FgpTm;

@@ -10,13 +10,93 @@
 
 #![forbid(unsafe_code)]
 
+use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-/// Number of worker threads a parallel iterator will use.
-pub fn current_num_threads() -> usize {
-    std::thread::available_parallelism().map_or(1, |n| n.get())
+std::thread_local! {
+    /// Thread-count override installed by [`ThreadPool::install`].
+    static POOL_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
 }
+
+/// Number of worker threads a parallel iterator will use: the
+/// [`ThreadPool::install`] override when one is active on this thread,
+/// otherwise the machine's available parallelism.
+pub fn current_num_threads() -> usize {
+    POOL_THREADS
+        .with(Cell::get)
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+}
+
+/// Builder for a fixed-size pool, mirroring `rayon::ThreadPoolBuilder`.
+/// The shim has no persistent worker threads; a "pool" is a thread-count
+/// override that [`ThreadPool::install`] scopes over a closure (the
+/// parallel iterators spawn scoped threads per call).
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// A builder with the default (machine) thread count.
+    pub fn new() -> Self {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Pins the pool's thread count (`0` keeps the default, as in rayon).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = if n == 0 { None } else { Some(n) };
+        self
+    }
+
+    /// Builds the pool. Never fails in the shim; the `Result` mirrors
+    /// rayon's signature so call sites port unchanged.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            threads: self
+                .num_threads
+                .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get())),
+        })
+    }
+}
+
+/// A fixed-thread-count scope, mirroring `rayon::ThreadPool`.
+#[derive(Debug)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// The pool's thread count.
+    pub fn current_num_threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `op` with this pool's thread count governing every parallel
+    /// iterator it executes (restored afterwards, panic-safe).
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        struct Restore(Option<usize>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                POOL_THREADS.with(|threads| threads.set(self.0));
+            }
+        }
+        let _restore = Restore(POOL_THREADS.with(|threads| threads.replace(Some(self.threads))));
+        op()
+    }
+}
+
+/// Error type of [`ThreadPoolBuilder::build`] (never produced here).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
 
 /// Conversion into a parallel iterator, mirroring
 /// `rayon::iter::IntoParallelIterator`.
@@ -165,5 +245,24 @@ mod tests {
     #[test]
     fn thread_count_is_positive() {
         assert!(super::current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn install_scopes_the_thread_count_override() {
+        let outside = super::current_num_threads();
+        let pool = super::ThreadPoolBuilder::new()
+            .num_threads(3)
+            .build()
+            .unwrap();
+        let inside = pool.install(|| {
+            // Parallel iterators under install use the pinned count and
+            // still preserve order.
+            let v: Vec<usize> = (0..64).collect();
+            let out: Vec<usize> = v.into_par_iter().map(|x| x + 1).collect();
+            assert_eq!(out, (1..65).collect::<Vec<_>>());
+            super::current_num_threads()
+        });
+        assert_eq!(inside, 3);
+        assert_eq!(super::current_num_threads(), outside);
     }
 }

@@ -11,7 +11,7 @@ use tm_core::TVarId;
 use tm_sim::{
     explore_schedules_naive, explore_with, ClientScript, Exploration, ExploreConfig, PlannedOp,
 };
-use tm_stm::{BoxedTm, Dstm, FgpTm, GlobalLock, NOrec, Tl2};
+use tm_stm::{BoxedTm, Dstm, FgpTm, GlobalLock, NOrec, Ostm, SwissTm, TinyStm, Tl2};
 
 use tm_automata::FgpVariant;
 
@@ -66,6 +66,95 @@ fn assert_identical(name: &str, naive: &Exploration, dfs: &Exploration, what: &s
         naive.violations, dfs.violations,
         "{name} ({what}): violation sets diverged"
     );
+}
+
+/// The **full** nine-TM catalogue (both Fgp variants, every STM, the
+/// blocking global-lock TM) plus the seeded-buggy literal Fgp: the
+/// population for the engine-vs-legacy byte-identity gate.
+fn full_catalogue_factories(processes: usize, tvars: usize) -> Vec<(&'static str, Factory)> {
+    vec![
+        (
+            "fgp",
+            Box::new(move || Box::new(FgpTm::new(processes, tvars, FgpVariant::CpOnly)) as BoxedTm)
+                as Factory,
+        ),
+        (
+            "fgp-strict",
+            Box::new(move || Box::new(FgpTm::new(processes, tvars, FgpVariant::Strict)) as BoxedTm),
+        ),
+        (
+            "tl2",
+            Box::new(move || Box::new(Tl2::new(processes, tvars)) as BoxedTm),
+        ),
+        (
+            "tinystm",
+            Box::new(move || Box::new(TinyStm::new(processes, tvars)) as BoxedTm),
+        ),
+        (
+            "swisstm",
+            Box::new(move || Box::new(SwissTm::new(processes, tvars)) as BoxedTm),
+        ),
+        (
+            "norec",
+            Box::new(move || Box::new(NOrec::new(processes, tvars)) as BoxedTm),
+        ),
+        (
+            "ostm",
+            Box::new(move || Box::new(Ostm::new(processes, tvars)) as BoxedTm),
+        ),
+        (
+            "dstm",
+            Box::new(move || Box::new(Dstm::new(processes, tvars)) as BoxedTm),
+        ),
+        (
+            "global-lock",
+            Box::new(move || Box::new(GlobalLock::new(processes, tvars)) as BoxedTm),
+        ),
+        (
+            "fgp-literal",
+            Box::new(move || tm_stm::literal_fgp(processes, tvars)),
+        ),
+    ]
+}
+
+#[test]
+fn engine_reports_match_the_naive_legacy_across_the_full_catalogue() {
+    // The engine-backed explorer (shared kernel: ScheduleSpace, TmPool,
+    // engine frontier) against the seed's from-scratch enumerator, byte
+    // for byte, across the full nine-TM catalogue plus the seeded-buggy
+    // literal Fgp — sequential, parallel-split, and dedup'd.
+    let scripts = vec![
+        ClientScript::increment(X),
+        ClientScript::new(vec![PlannedOp::Read(X), PlannedOp::Write(X, 5)]),
+    ];
+    let mut buggy_caught = false;
+    for (name, factory) in full_catalogue_factories(2, 1) {
+        let naive = explore_schedules_naive(&*factory, &scripts, 7);
+        let dfs = explore_with(&*factory, &scripts, &ExploreConfig::new(7).sequential());
+        assert_eq!(naive.schedules, 1 << 7, "{name}");
+        assert_identical(name, &naive, &dfs, "full catalogue, sequential");
+        let par = explore_with(
+            &*factory,
+            &scripts,
+            &ExploreConfig::new(7).with_split_depth(2),
+        );
+        assert_identical(name, &naive, &par, "full catalogue, split 2");
+        let dedup = explore_with(
+            &*factory,
+            &scripts,
+            &ExploreConfig::new(7).sequential().with_dedup(),
+        );
+        assert_eq!(
+            naive.report(),
+            dedup.report(),
+            "{name}: dedup changed the report"
+        );
+        if name == "fgp-literal" {
+            assert!(!dfs.all_opaque(), "the literal-Fgp leak must surface");
+            buggy_caught = true;
+        }
+    }
+    assert!(buggy_caught);
 }
 
 #[test]

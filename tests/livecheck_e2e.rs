@@ -6,7 +6,7 @@
 use tm_automata::FgpVariant;
 use tm_core::{ProcessId, TVarId};
 use tm_liveness::{GlobalProgress, LocalProgress, ProcessClass, TmLivenessProperty};
-use tm_sim::{livecheck, ClientScript, LivecheckConfig, PlannedOp};
+use tm_sim::{livecheck, ClientScript, LivecheckConfig, LivecheckReport, PlannedOp};
 use tm_stm::{BoxedTm, Dstm, FgpTm, GlobalLock, NOrec, Ostm, SteppedTm, SwissTm, TinyStm, Tl2};
 
 const X: TVarId = TVarId(0);
@@ -29,6 +29,10 @@ fn fingerprinting_catalog() -> Vec<(&'static str, Factory)> {
         (
             "fgp",
             Box::new(|| Box::new(FgpTm::new(2, 1, FgpVariant::CpOnly)) as BoxedTm) as Factory,
+        ),
+        (
+            "fgp-strict",
+            Box::new(|| Box::new(FgpTm::new(2, 1, FgpVariant::Strict)) as BoxedTm),
         ),
         ("tl2", Box::new(|| Box::new(Tl2::new(2, 1)) as BoxedTm)),
         ("norec", Box::new(|| Box::new(NOrec::new(2, 1)) as BoxedTm)),
@@ -195,6 +199,120 @@ fn parasitic_process_is_classified_and_never_progresses() {
         assert!(!lasso.progressing().contains(&P1));
     }
     assert!(report.progressing_processes().contains(&P2));
+}
+
+/// Field-by-field byte-identity of two livecheck reports, including the
+/// full lasso findings (histories, schedules and classifications).
+fn assert_reports_identical(name: &str, a: &LivecheckReport, b: &LivecheckReport, what: &str) {
+    assert_eq!(a.states, b.states, "{name} ({what}): states");
+    assert_eq!(a.edges, b.edges, "{name} ({what}): edges");
+    assert_eq!(a.steps, b.steps, "{name} ({what}): steps");
+    assert_eq!(
+        a.replayed_steps, b.replayed_steps,
+        "{name} ({what}): replayed_steps"
+    );
+    assert_eq!(a.dedup_hits, b.dedup_hits, "{name} ({what}): dedup_hits");
+    assert_eq!(
+        a.cycles_detected, b.cycles_detected,
+        "{name} ({what}): cycles_detected"
+    );
+    assert_eq!(
+        a.eventless_cycles, b.eventless_cycles,
+        "{name} ({what}): eventless_cycles"
+    );
+    assert_eq!(
+        a.rejected_cycles, b.rejected_cycles,
+        "{name} ({what}): rejected_cycles"
+    );
+    assert_eq!(a.truncated, b.truncated, "{name} ({what}): truncated");
+    assert_eq!(a.verdicts, b.verdicts, "{name} ({what}): verdicts");
+    assert_eq!(a.lassos.len(), b.lassos.len(), "{name} ({what}): lassos");
+    for (x, y) in a.lassos.iter().zip(&b.lassos) {
+        assert_eq!(
+            x.schedule_prefix, y.schedule_prefix,
+            "{name} ({what}): lasso prefix"
+        );
+        assert_eq!(
+            x.schedule_cycle, y.schedule_cycle,
+            "{name} ({what}): lasso cycle"
+        );
+        assert_eq!(x.lasso, y.lasso, "{name} ({what}): lasso history");
+        assert_eq!(x.classes, y.classes, "{name} ({what}): lasso classes");
+    }
+}
+
+#[test]
+fn parallel_livecheck_is_byte_identical_across_the_catalog() {
+    // Engine-vs-legacy identity: the parallel search (level-synchronous
+    // graph construction + replay DFS + parallel SCC certificates) must
+    // report byte-identically to the sequential reduced search on every
+    // field, and to the plain sequential search on everything except the
+    // execution-discipline counters (steps/replayed_steps) — across the
+    // whole fingerprinting catalogue, blocking global-lock TM included.
+    for (name, factory) in fingerprinting_catalog() {
+        let plain = livecheck(&*factory, &contended(), &LivecheckConfig::new(11));
+        let reduced = livecheck(
+            &*factory,
+            &contended(),
+            &LivecheckConfig::new(11).with_reduction(),
+        );
+        let parallel = livecheck(
+            &*factory,
+            &contended(),
+            &LivecheckConfig::new(11).with_parallel(),
+        );
+        assert_reports_identical(name, &reduced, &parallel, "parallel vs reduced");
+        // Graph, findings and verdicts also match the unreduced search.
+        assert_eq!(plain.states, parallel.states, "{name}");
+        assert_eq!(plain.edges, parallel.edges, "{name}");
+        assert_eq!(plain.cycles_detected, parallel.cycles_detected, "{name}");
+        assert_eq!(plain.lassos.len(), parallel.lassos.len(), "{name}");
+        assert_eq!(plain.verdicts, parallel.verdicts, "{name}");
+        assert_eq!(
+            plain.steps,
+            parallel.steps + parallel.replayed_steps,
+            "{name}: every sequential execution is executed once or replayed"
+        );
+    }
+}
+
+#[test]
+fn parallel_livecheck_is_deterministic_across_thread_counts() {
+    // The acceptance gate for the parallel lasso search: identical
+    // reports regardless of thread count. The frontier merges levels in
+    // a canonical order, so even the internal node numbering — and with
+    // it every downstream artifact — is pinned.
+    let baseline = livecheck(
+        || Box::new(FgpTm::new(2, 1, FgpVariant::CpOnly)) as BoxedTm,
+        &contended(),
+        &LivecheckConfig::new(12).with_parallel(),
+    );
+    for threads in [1, 2, 4] {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("pool");
+        let report = pool.install(|| {
+            livecheck(
+                || Box::new(FgpTm::new(2, 1, FgpVariant::CpOnly)) as BoxedTm,
+                &contended(),
+                &LivecheckConfig::new(12).with_parallel(),
+            )
+        });
+        assert_reports_identical("fgp", &baseline, &report, &format!("{threads} threads"));
+        // And against the sequential reduced search, per the contract.
+        let sequential = livecheck(
+            || Box::new(FgpTm::new(2, 1, FgpVariant::CpOnly)) as BoxedTm,
+            &contended(),
+            &LivecheckConfig::new(12).with_reduction(),
+        );
+        assert_reports_identical(
+            "fgp",
+            &sequential,
+            &report,
+            &format!("{threads} threads vs seq"),
+        );
+    }
 }
 
 #[test]
