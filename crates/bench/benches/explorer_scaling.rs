@@ -11,13 +11,13 @@
 //!
 //! Run: `cargo bench -p bench --bench explorer_scaling`
 
-use std::time::Instant;
-
+use bench::{best_secs, BenchRun, Json};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use tm_automata::FgpVariant;
 use tm_core::TVarId;
 use tm_sim::{explore_schedules_naive, explore_with, ClientScript, ExploreConfig};
 use tm_stm::{BoxedTm, FgpTm};
+use tm_telemetry::{Counter, Telemetry};
 
 const X: TVarId = TVarId(0);
 const Y: TVarId = TVarId(1);
@@ -105,34 +105,11 @@ fn bench_three_processes(c: &mut Criterion) {
     group.finish();
 }
 
-/// Minimum wall-clock seconds per execution over `runs` rounds, batching
-/// each round to ≥ 2 ms. The minimum is the standard noise-robust
-/// estimator for deterministic workloads on a shared machine: scheduler
-/// preemption and frequency drift only ever inflate a sample.
-fn best_secs(runs: usize, mut f: impl FnMut()) -> f64 {
-    let mut best = f64::INFINITY;
-    for _ in 0..runs.max(1) {
-        let mut iters = 0u32;
-        let start = Instant::now();
-        loop {
-            f();
-            iters += 1;
-            if start.elapsed() >= std::time::Duration::from_millis(2) {
-                break;
-            }
-        }
-        best = best.min(start.elapsed().as_secs_f64() / f64::from(iters));
-    }
-    best
-}
-
 /// Emits `BENCH_explorer.json`: the headline comparison table plus the
 /// deep-bound runs the naive enumerator cannot reach comfortably.
 fn emit_json(_c: &mut Criterion) {
-    use bench::Json;
-    let test_mode = std::env::args().any(|a| a == "--test");
-    let runs = if test_mode { 1 } else { 7 };
-    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let run = BenchRun::from_args();
+    let (test_mode, runs) = (run.test_mode, run.runs);
 
     let mut rows = Vec::new();
     let mut headline_speedup = 0.0;
@@ -186,16 +163,28 @@ fn emit_json(_c: &mut Criterion) {
             headline_speedup = naive / dfs;
         }
         // Executed-schedule counts: the equivalence-class reduction.
+        // The sample runs carry counter-mode telemetry so the artifact
+        // rows gain the engine's own tallies (sleep-set blocks, DPOR
+        // races, TM fork/refork traffic) alongside the timings.
+        let sleep_telemetry = Telemetry::counters();
         let sleep_sample = explore_with(
             factory,
             &scripts,
-            &ExploreConfig::new(depth).sequential().with_sleep_sets(),
+            &ExploreConfig::new(depth)
+                .sequential()
+                .with_sleep_sets()
+                .with_telemetry(&sleep_telemetry),
         );
+        let dpor_telemetry = Telemetry::counters();
         let dpor_sample = explore_with(
             factory,
             &scripts,
-            &ExploreConfig::new(depth).sequential().with_dpor(),
+            &ExploreConfig::new(depth)
+                .sequential()
+                .with_dpor()
+                .with_telemetry(&dpor_telemetry),
         );
+        let (sleep_snap, dpor_snap) = (sleep_telemetry.snapshot(), dpor_telemetry.snapshot());
         assert_eq!(
             sleep_sample.all_opaque(),
             dpor_sample.all_opaque(),
@@ -230,6 +219,26 @@ fn emit_json(_c: &mut Criterion) {
             (
                 "executed_schedules".into(),
                 Json::Int(dpor_sample.schedules as i64),
+            ),
+            (
+                "sleep_set_blocks".into(),
+                Json::Int(sleep_snap.get(Counter::SleepSetBlocks) as i64),
+            ),
+            (
+                "dpor_races".into(),
+                Json::Int(dpor_snap.get(Counter::DporRaces) as i64),
+            ),
+            (
+                "dpor_schedules_pruned".into(),
+                Json::Int(dpor_snap.get(Counter::SchedulesPruned) as i64),
+            ),
+            (
+                "dpor_tm_forks".into(),
+                Json::Int(dpor_snap.get(Counter::TmForks) as i64),
+            ),
+            (
+                "dpor_tm_reforks".into(),
+                Json::Int(dpor_snap.get(Counter::TmReforks) as i64),
             ),
             ("dpor_reduction_vs_sleep".into(), Json::Num(reduction)),
             ("speedup_dfs_vs_naive".into(), Json::Num(naive / dfs)),
@@ -293,31 +302,25 @@ fn emit_json(_c: &mut Criterion) {
     let dpor_parity = naive.all_opaque() == dpor.all_opaque()
         && dpor.violations.iter().all(|v| naive.violations.contains(v));
 
-    let report = Json::Obj(vec![
-        ("bench".into(), Json::str("explorer_scaling")),
-        ("tm".into(), Json::str("fgp")),
-        ("cores".into(), Json::Int(cores as i64)),
-        ("test_mode".into(), Json::Bool(test_mode)),
-        ("comparison".into(), Json::Arr(rows)),
-        ("deep_bounds".into(), Json::Arr(deep)),
-        (
-            "headline_speedup_dfs_vs_naive_2p_depth10".into(),
-            Json::Num(headline_speedup),
-        ),
-        (
-            "headline_dpor_reduction_vs_sleep_3p_depth8".into(),
-            Json::Num(headline_dpor_reduction),
-        ),
-        ("verdict_parity_with_naive".into(), Json::Bool(parity)),
-        ("dpor_verdict_parity".into(), Json::Bool(dpor_parity)),
-    ]);
-    if test_mode {
-        // Smoke mode (CI, local `-- --test`) exercises the emitter but
-        // must not clobber the committed full-run artifact with
-        // throwaway shallow rows.
-        println!("test mode: skipping BENCH_explorer.json write\n{report}");
-    } else {
-        bench::write_bench_json("explorer", &report).expect("write artifact");
+    run.emit(
+        "explorer",
+        vec![
+            ("tm".into(), Json::str("fgp")),
+            ("comparison".into(), Json::Arr(rows)),
+            ("deep_bounds".into(), Json::Arr(deep)),
+            (
+                "headline_speedup_dfs_vs_naive_2p_depth10".into(),
+                Json::Num(headline_speedup),
+            ),
+            (
+                "headline_dpor_reduction_vs_sleep_3p_depth8".into(),
+                Json::Num(headline_dpor_reduction),
+            ),
+            ("verdict_parity_with_naive".into(), Json::Bool(parity)),
+            ("dpor_verdict_parity".into(), Json::Bool(dpor_parity)),
+        ],
+    );
+    if !test_mode {
         assert!(
             headline_dpor_reduction >= 5.0,
             "DPOR must execute ≥5× fewer schedules than sleep sets at 3p depth 8 \

@@ -29,13 +29,13 @@
 //!
 //! Run: `cargo bench -p bench --bench livecheck_scaling`
 
-use std::time::Instant;
-
+use bench::{best_secs, BenchRun, Json};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use tm_automata::FgpVariant;
 use tm_core::TVarId;
 use tm_sim::{explore_with, livecheck, ClientScript, ExploreConfig, LivecheckConfig, PlannedOp};
 use tm_stm::{BoxedTm, Dstm, FgpTm, GlobalLock, NOrec, Ostm, SteppedTm, SwissTm, TinyStm, Tl2};
+use tm_telemetry::{Counter, Telemetry};
 
 const X: TVarId = TVarId(0);
 
@@ -107,30 +107,9 @@ fn bench_livecheck(c: &mut Criterion) {
     group.finish();
 }
 
-/// Minimum wall-clock seconds per execution over `runs` rounds (the
-/// noise-robust estimator for deterministic workloads; see PERF3).
-fn best_secs(runs: usize, mut f: impl FnMut()) -> f64 {
-    let mut best = f64::INFINITY;
-    for _ in 0..runs.max(1) {
-        let mut iters = 0u32;
-        let start = Instant::now();
-        loop {
-            f();
-            iters += 1;
-            if start.elapsed() >= std::time::Duration::from_millis(2) {
-                break;
-            }
-        }
-        best = best.min(start.elapsed().as_secs_f64() / f64::from(iters));
-    }
-    best
-}
-
 fn emit_json(_c: &mut Criterion) {
-    use bench::Json;
-    let test_mode = std::env::args().any(|a| a == "--test");
-    let runs = if test_mode { 1 } else { 7 };
-    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let run = BenchRun::from_args();
+    let (test_mode, runs) = (run.test_mode, run.runs);
 
     // 1. Dedup on/off across workloads and depths.
     let mut dedup_rows = Vec::new();
@@ -277,7 +256,16 @@ fn emit_json(_c: &mut Criterion) {
             criterion::black_box(livecheck(&*factory, &scripts, &parallel_config));
         });
         let report = livecheck(&*factory, &scripts, &config);
-        let reduced = livecheck(&*factory, &scripts, &reduced_config);
+        // The reduced sample run carries counter-mode telemetry so the
+        // artifact rows gain the engine's own tallies (memo traffic, TM
+        // fork/refork counts) alongside the report fields.
+        let reduced_telemetry = Telemetry::counters();
+        let reduced = livecheck(
+            &*factory,
+            &scripts,
+            &reduced_config.clone().with_telemetry(&reduced_telemetry),
+        );
+        let reduced_snap = reduced_telemetry.snapshot();
         let parallel = livecheck(&*factory, &scripts, &parallel_config);
         assert_eq!(report.rejected_cycles, 0, "{name}: canonicalization bug");
         // The reduction's contract: identical graph, lassos and
@@ -318,6 +306,18 @@ fn emit_json(_c: &mut Criterion) {
             (
                 "replayed_steps".into(),
                 Json::Int(reduced.replayed_steps as i64),
+            ),
+            (
+                "memo_hits".into(),
+                Json::Int(reduced_snap.get(Counter::MemoHits) as i64),
+            ),
+            (
+                "tm_forks".into(),
+                Json::Int(reduced_snap.get(Counter::TmForks) as i64),
+            ),
+            (
+                "tm_reforks".into(),
+                Json::Int(reduced_snap.get(Counter::TmReforks) as i64),
             ),
             ("cycles".into(), Json::Int(report.cycles_detected as i64)),
             ("lassos".into(), Json::Int(report.lassos.len() as i64)),
@@ -416,29 +416,21 @@ fn emit_json(_c: &mut Criterion) {
         plain.report() == deduped.report()
     };
 
-    let report = Json::Obj(vec![
-        ("bench".into(), Json::str("livecheck_scaling")),
-        ("cores".into(), Json::Int(cores as i64)),
-        ("test_mode".into(), Json::Bool(test_mode)),
-        ("dedup_comparison".into(), Json::Arr(dedup_rows)),
-        ("dedup_deep_bounds".into(), Json::Arr(deep)),
-        ("refork".into(), Json::Arr(refork_rows)),
-        ("livecheck".into(), Json::Arr(live_rows)),
-        ("scc_certification".into(), Json::Arr(scc_rows)),
-        (
-            "headline_speedup_dedup_vs_dfs_bounded_depth12".into(),
-            Json::Num(headline_speedup),
-        ),
-        ("report_parity_with_plain_dfs".into(), Json::Bool(parity)),
-    ]);
-    if test_mode {
-        // Smoke mode (CI, local `-- --test`) exercises the emitter but
-        // must not clobber the committed full-run artifact with
-        // throwaway depth-8 rows.
-        println!("test mode: skipping BENCH_livecheck.json write\n{report}");
-    } else {
-        bench::write_bench_json("livecheck", &report).expect("write artifact");
-    }
+    run.emit(
+        "livecheck",
+        vec![
+            ("dedup_comparison".into(), Json::Arr(dedup_rows)),
+            ("dedup_deep_bounds".into(), Json::Arr(deep)),
+            ("refork".into(), Json::Arr(refork_rows)),
+            ("livecheck".into(), Json::Arr(live_rows)),
+            ("scc_certification".into(), Json::Arr(scc_rows)),
+            (
+                "headline_speedup_dedup_vs_dfs_bounded_depth12".into(),
+                Json::Num(headline_speedup),
+            ),
+            ("report_parity_with_plain_dfs".into(), Json::Bool(parity)),
+        ],
+    );
     assert!(parity, "dedup changed the exploration report");
 }
 

@@ -116,6 +116,11 @@ pub(crate) struct Dpor {
     /// Per-depth backtrack sets (a step's trace index is also the depth
     /// of the node it was executed from).
     pub(crate) backtrack: Vec<u64>,
+    /// Reversible races detected over this instance's lifetime
+    /// (telemetry tally, flushed per worker as [`Counter::DporRaces`]).
+    ///
+    /// [`Counter::DporRaces`]: tm_telemetry::Counter::DporRaces
+    pub(crate) races: u64,
 }
 
 impl Dpor {
@@ -126,6 +131,7 @@ impl Dpor {
             clocks: Vec::new(),
             last_of: vec![None; n],
             backtrack: Vec::new(),
+            races: 0,
         }
     }
 
@@ -213,6 +219,7 @@ impl Dpor {
             if step.proc as usize == k || !step.foot.conflicts(fp) || self.hb_to_next(e, k) {
                 continue;
             }
+            self.races += 1;
             let initials = self.source_initials(e, k);
             if self.backtrack[e] & initials == 0 {
                 let add = if initials & (1 << k) != 0 {

@@ -193,6 +193,7 @@ use std::sync::Arc;
 use tm_core::{Event, History, ProcessId};
 use tm_safety::{check_opacity, Checkpoint, IncrementalChecker, Mode, SafetyVerdict};
 use tm_stm::{BoxedTm, Outcome, StepFootprint, SteppedTm, TmPool};
+use tm_telemetry::{Counter, Json, Telemetry, Timer};
 
 use crate::engine::frontier;
 use crate::engine::memo::{SeenSet, StripedTable};
@@ -295,6 +296,10 @@ pub struct ExploreConfig {
     /// because its diagnostics (`dedup_hits`) are run-to-run
     /// deterministic. No effect unless `dedup` and `parallel` are on.
     pub shared_dedup: bool,
+    /// Observability handle (off by default — hooks are no-ops). The
+    /// counters it accumulates are deterministic at any thread count;
+    /// see the `tm_telemetry` module docs for the schema and contract.
+    pub telemetry: Telemetry,
 }
 
 impl ExploreConfig {
@@ -309,6 +314,7 @@ impl ExploreConfig {
             dedup: false,
             dpor: false,
             shared_dedup: false,
+            telemetry: Telemetry::off(),
         }
     }
 
@@ -347,6 +353,13 @@ impl ExploreConfig {
         self.shared_dedup = true;
         self
     }
+
+    /// Attaches a telemetry handle (counters, phase spans and — when the
+    /// handle streams — NDJSON progress events).
+    pub fn with_telemetry(mut self, telemetry: &Telemetry) -> Self {
+        self.telemetry = telemetry.clone();
+        self
+    }
 }
 
 /// The safety explorer's instantiation of the kernel's [`SearchSpace`]:
@@ -359,6 +372,10 @@ struct ScheduleSpace {
     path: Vec<usize>,
     history: Vec<Event>,
     checker: IncrementalChecker,
+    telemetry: Telemetry,
+    /// Steps this space executed — a plain worker-local tally, flushed
+    /// once per walk as [`tm_telemetry::Counter::WorkerSteps`].
+    steps: u64,
 }
 
 /// Everything one [`ScheduleSpace`] step mutates, for O(1) backtrack.
@@ -369,12 +386,14 @@ struct ScheduleMark {
 }
 
 impl ScheduleSpace {
-    fn new(scripts: &[ClientScript], depth: usize) -> Self {
+    fn new(scripts: &[ClientScript], depth: usize, telemetry: Telemetry) -> Self {
         ScheduleSpace {
             clients: scripts.iter().cloned().map(Client::new).collect(),
             path: Vec::with_capacity(depth),
             history: Vec::with_capacity(depth * 2),
             checker: IncrementalChecker::new(Mode::Opacity),
+            telemetry,
+            steps: 0,
         }
     }
 
@@ -389,6 +408,8 @@ impl ScheduleSpace {
             path: self.path.clone(),
             history: self.history.clone(),
             checker,
+            telemetry: self.telemetry.clone(),
+            steps: 0,
         }
     }
 }
@@ -409,8 +430,11 @@ impl SearchSpace for ScheduleSpace {
     }
 
     fn step(&mut self, tm: &mut BoxedTm, k: usize) -> StepRecord {
+        self.steps += 1;
+        let started = self.telemetry.timer_start();
         self.path.push(k);
         let record = step_process(tm, &mut self.clients, k, false, &mut self.history);
+        self.telemetry.timer_stop(Timer::Step, started);
         // Feed the certifier from the record; its verdict latches on
         // rejection, so pushes after a reject are deliberate no-ops.
         match record {
@@ -524,6 +548,26 @@ struct Walk<'a> {
     /// The digest seen set (disabled during the parallel split walk,
     /// whose "leaves" collect subtree roots rather than certifying).
     memo: &'a mut Memo,
+    /// Worker-local telemetry tallies: plain integer increments on the
+    /// hot path, one atomic add each at flush.
+    tally: Tally,
+}
+
+/// The per-walk telemetry tallies (see [`Walk::tally`]).
+#[derive(Default)]
+struct Tally {
+    /// Seen-set lookups that did not replay a summary (true misses plus
+    /// DPOR-mode hits blocked by the footprint replay guard).
+    memo_misses: u64,
+    /// Reversible races the source-set analysis detected.
+    dpor_races: u64,
+}
+
+impl Tally {
+    fn flush(&self, telemetry: &Telemetry) {
+        telemetry.add(Counter::MemoMisses, self.memo_misses);
+        telemetry.add(Counter::DporRaces, self.dpor_races);
+    }
 }
 
 /// Depth-first walk of the schedule tree below the current path,
@@ -569,6 +613,7 @@ where
             walk.out.dedup_hits += 1;
             return Some(tm);
         }
+        walk.tally.memo_misses += 1;
         Some((
             key,
             walk.out.schedules,
@@ -704,6 +749,7 @@ fn walk_dpor(
                 return (tm, delta.agg);
             }
         }
+        walk.tally.memo_misses += 1;
         Some((
             key,
             walk.out.schedules,
@@ -791,6 +837,17 @@ where
     assert!(n <= 64, "sleep sets are a u64 bitmask");
     let tm = factory();
     assert_eq!(tm.process_count(), n, "factory must match scripts");
+    let telemetry = config.telemetry.clone();
+    let tm_name = tm.name();
+    telemetry.event(
+        "run_start",
+        &[
+            ("engine", Json::str("explore")),
+            ("tm", Json::str(tm_name)),
+            ("depth", Json::Int(config.depth as i64)),
+            ("processes", Json::Int(n as i64)),
+        ],
+    );
     // Sleep sets are sound only for TMs whose disjoint-variable
     // operations provably commute (an audited, opt-in trait contract);
     // for the rest, pruning silently disables rather than risking a
@@ -799,12 +856,12 @@ where
     // Probe refork support once ([`TmPool::for_tm`]): TMs without it
     // keep the spare pool empty rather than paying a failed dynamic
     // refork per tree edge.
-    let pool = TmPool::for_tm(&tm);
+    let pool = TmPool::for_tm(&tm).instrument(&telemetry);
     // Digest dedup silently disables for TMs without a fingerprint,
     // mirroring the sleep-set probe above.
     let dedup = config.dedup && tm.state_digest().is_some();
 
-    if config.dpor {
+    let out = if config.dpor {
         // Source-set DPOR. Parallel: the prefix tree up to the split
         // depth is enumerated **exhaustively** (no sleep sets — a
         // reduced prefix tree could owe race reversals across the
@@ -813,7 +870,7 @@ where
         // exact prefix explored and a representative of its suffix class
         // explored from that exact state, which preserves the verdict.
         let n = scripts.len();
-        return explore_split(
+        explore_split(
             tm,
             pool,
             scripts,
@@ -823,31 +880,84 @@ where
             move |walk, tm, remaining, _sleep| {
                 let mut dpor = Dpor::new(n);
                 walk_dpor(walk, &mut dpor, tm, remaining, 0, None);
+                walk.tally.dpor_races += dpor.races;
             },
+        )
+    } else {
+        explore_split(
+            tm,
+            pool,
+            scripts,
+            config,
+            dedup,
+            sleep_sets,
+            move |walk, tm, remaining, sleep| {
+                walk_tree(
+                    walk,
+                    tm,
+                    remaining,
+                    sleep,
+                    sleep_sets,
+                    &mut |walk, tm, _sleep| {
+                        certify_leaf(walk.space, walk.out);
+                        Some(tm)
+                    },
+                );
+            },
+        )
+    };
+
+    // The deterministic end-of-run flush: every count below is a fixed
+    // property of the search, so the snapshot is thread-count-invariant.
+    // `SchedulesExecuted` is flushed from the report itself, making
+    // "snapshot equals report" true by construction.
+    telemetry.add(Counter::SchedulesExecuted, out.schedules as u64);
+    let pruned = (n as u128)
+        .checked_pow(config.depth as u32)
+        .map_or(u64::MAX, |total| {
+            u64::try_from(total.saturating_sub(out.schedules as u128)).unwrap_or(u64::MAX)
+        });
+    telemetry.add(Counter::SchedulesPruned, pruned);
+    telemetry.add(Counter::MemoHits, out.dedup_hits as u64);
+    telemetry.add(Counter::ExactFallbacks, out.exact_fallbacks as u64);
+    telemetry.add(Counter::ViolationsFound, out.violations.len() as u64);
+    telemetry.add(Counter::SleepSetBlocks, out.pruned_subtrees as u64);
+    if telemetry.streams() {
+        for v in out.violations.iter().take(8) {
+            telemetry.event(
+                "violation",
+                &[
+                    ("engine", Json::str("explore")),
+                    (
+                        "schedule",
+                        Json::Arr(v.schedule.iter().map(|p| Json::Int(p.0 as i64)).collect()),
+                    ),
+                    ("detail", Json::str(v.detail.as_str())),
+                ],
+            );
+        }
+        telemetry.heartbeat_now(
+            "explore",
+            &[
+                (
+                    "steps",
+                    Json::Int(telemetry.value(Counter::WorkerSteps) as i64),
+                ),
+                ("schedules", Json::Int(out.schedules as i64)),
+            ],
+        );
+        telemetry.emit_counters(tm_name);
+        telemetry.event(
+            "verdict",
+            &[
+                ("engine", Json::str("explore")),
+                ("tm", Json::str(tm_name)),
+                ("all_opaque", Json::Bool(out.all_opaque())),
+                ("schedules", Json::Int(out.schedules as i64)),
+            ],
         );
     }
-
-    explore_split(
-        tm,
-        pool,
-        scripts,
-        config,
-        dedup,
-        sleep_sets,
-        move |walk, tm, remaining, sleep| {
-            walk_tree(
-                walk,
-                tm,
-                remaining,
-                sleep,
-                sleep_sets,
-                &mut |walk, tm, _sleep| {
-                    certify_leaf(walk.space, walk.out);
-                    Some(tm)
-                },
-            );
-        },
-    )
+    out
 }
 
 /// The shared driver behind both explorers: runs `walk_root` once from
@@ -871,7 +981,8 @@ where
 {
     let n = scripts.len();
     let recycle = pool.recycles();
-    let mut space = ScheduleSpace::new(scripts, config.depth);
+    let telemetry = config.telemetry.clone();
+    let mut space = ScheduleSpace::new(scripts, config.depth, telemetry.clone());
     let mut out = Exploration::default();
 
     let split = if config.parallel {
@@ -885,13 +996,20 @@ where
 
     if !config.parallel || split == 0 {
         let mut memo = Memo::new(dedup);
-        let mut walk = Walk {
-            space: &mut space,
-            out: &mut out,
-            pool: &mut pool,
-            memo: &mut memo,
+        let tally = {
+            let mut walk = Walk {
+                space: &mut space,
+                out: &mut out,
+                pool: &mut pool,
+                memo: &mut memo,
+                tally: Tally::default(),
+            };
+            let _span = telemetry.phase("explore", "walk");
+            walk_root(&mut walk, tm, config.depth, 0);
+            walk.tally
         };
-        walk_root(&mut walk, tm, config.depth, 0);
+        tally.flush(&telemetry);
+        telemetry.add(Counter::WorkerSteps, space.steps);
         return out;
     }
 
@@ -900,12 +1018,14 @@ where
         // The split walk's "leaves" collect subtree roots instead of
         // certifying, so its subtree summaries would be vacuous: dedup
         // stays off here and runs per worker below.
+        let _span = telemetry.phase("explore", "split");
         let mut memo = Memo::new(false);
         let mut walk = Walk {
             space: &mut space,
             out: &mut out,
             pool: &mut pool,
             memo: &mut memo,
+            tally: Tally::default(),
         };
         walk_tree(
             &mut walk,
@@ -923,28 +1043,53 @@ where
             },
         );
     }
+    telemetry.add(Counter::WorkerSteps, space.steps);
+    telemetry.add(Counter::FrontierSplits, 1);
+    telemetry.add(Counter::FrontierItems, roots.len() as u64);
     // Per-worker seen sets by default: sound (digests are
     // thread-agnostic), deterministic, and lock-free; only cross-subtree
     // hits are forgone relative to the sequential walk. The opt-in
     // sharded shared table recovers those hits at stripe-lock cost.
     let shared = (dedup && config.shared_dedup).then(|| Arc::new(StripedTable::new()));
     let remaining = config.depth - split;
-    let results = frontier::distribute(roots, |mut root| {
-        let mut sub = Exploration::default();
-        let mut pool = TmPool::new(recycle);
-        let mut memo = match &shared {
-            Some(table) => Memo::shared(Arc::clone(table)),
-            None => Memo::new(dedup),
-        };
-        let mut walk = Walk {
-            space: &mut root.space,
-            out: &mut sub,
-            pool: &mut pool,
-            memo: &mut memo,
-        };
-        walk_root(&mut walk, root.tm, remaining, root.sleep);
-        sub
-    });
+    let results = {
+        let telemetry = &telemetry;
+        let walk_root = &walk_root;
+        let shared = &shared;
+        let _span = telemetry.phase("explore", "walk");
+        frontier::distribute(roots, move |mut root| {
+            let mut sub = Exploration::default();
+            let mut pool = TmPool::new(recycle).instrument(telemetry);
+            let mut memo = match &shared {
+                Some(table) => Memo::shared(Arc::clone(table)),
+                None => Memo::new(dedup),
+            };
+            let tally = {
+                let mut walk = Walk {
+                    space: &mut root.space,
+                    out: &mut sub,
+                    pool: &mut pool,
+                    memo: &mut memo,
+                    tally: Tally::default(),
+                };
+                walk_root(&mut walk, root.tm, remaining, root.sleep);
+                walk.tally
+            };
+            tally.flush(telemetry);
+            telemetry.add(Counter::WorkerSteps, root.space.steps);
+            telemetry.heartbeat("explore", || {
+                let steps = telemetry.value(Counter::WorkerSteps);
+                vec![
+                    ("steps", Json::Int(steps as i64)),
+                    (
+                        "steps_per_sec",
+                        Json::Num(steps as f64 / telemetry.elapsed_secs().max(1e-9)),
+                    ),
+                ]
+            });
+            sub
+        })
+    };
     for sub in results {
         out.absorb(sub);
     }

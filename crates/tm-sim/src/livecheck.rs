@@ -155,6 +155,7 @@ use std::collections::{HashMap, HashSet};
 use tm_core::{digest_of, Event, Invocation, ProcessId, Value};
 use tm_liveness::{classify, detect::lasso_from_cycle, CycleEdge, InfiniteHistory, ProcessClass};
 use tm_stm::{BoxedTm, SteppedTm, TmPool};
+use tm_telemetry::{Counter, Json, Telemetry, Timer};
 
 use crate::engine::frontier;
 use crate::engine::memo::Interner;
@@ -191,6 +192,10 @@ pub struct LivecheckConfig {
     /// Bitmask of processes that never invoke `tryC` (loop their
     /// operations forever): the paper's parasitic processes.
     parasitic: u64,
+    /// Observability handle (off by default — hooks are no-ops). The
+    /// counters it accumulates are deterministic at any thread count;
+    /// see the `tm_telemetry` module docs for the schema and contract.
+    pub telemetry: Telemetry,
 }
 
 impl LivecheckConfig {
@@ -202,6 +207,7 @@ impl LivecheckConfig {
             reduce: false,
             parallel: false,
             parasitic: 0,
+            telemetry: Telemetry::off(),
         }
     }
 
@@ -230,6 +236,13 @@ impl LivecheckConfig {
     /// Caps the number of stored lasso findings.
     pub fn with_max_lassos(mut self, max: usize) -> Self {
         self.max_lassos = max;
+        self
+    }
+
+    /// Attaches a telemetry handle (counters, phase spans and — when the
+    /// handle streams — NDJSON progress events).
+    pub fn with_telemetry(mut self, telemetry: &Telemetry) -> Self {
+        self.telemetry = telemetry.clone();
         self
     }
 }
@@ -419,6 +432,7 @@ struct GraphSpace {
     history: Vec<Event>,
     sched: Vec<usize>,
     parasitic: u64,
+    telemetry: Telemetry,
 }
 
 /// Everything one [`GraphSpace`] step mutates, for O(1) backtrack.
@@ -428,12 +442,13 @@ struct GraphMark {
 }
 
 impl GraphSpace {
-    fn new(scripts: &[ClientScript], parasitic: u64) -> Self {
+    fn new(scripts: &[ClientScript], parasitic: u64, telemetry: Telemetry) -> Self {
         GraphSpace {
             clients: scripts.iter().cloned().map(Client::new).collect(),
             history: Vec::new(),
             sched: Vec::new(),
             parasitic,
+            telemetry,
         }
     }
 
@@ -483,7 +498,10 @@ impl SearchSpace for GraphSpace {
     fn step(&mut self, tm: &mut BoxedTm, k: usize) -> StepRecord {
         self.sched.push(k);
         let parasitic = self.parasitic & (1 << k) != 0;
-        step_process(tm, &mut self.clients, k, parasitic, &mut self.history)
+        let started = self.telemetry.timer_start();
+        let record = step_process(tm, &mut self.clients, k, parasitic, &mut self.history);
+        self.telemetry.timer_stop(Timer::Step, started);
+        record
     }
 
     fn rewind(&mut self, k: usize, mark: GraphMark) {
@@ -690,7 +708,7 @@ impl Search<'_> {
                 let classes = (0..self.space.width())
                     .map(|k| (ProcessId(k), classify(&lasso, ProcessId(k))))
                     .collect();
-                self.lassos.push(LassoFinding {
+                let finding = LassoFinding {
                     schedule_prefix: self.space.sched[..frame.sched_len]
                         .iter()
                         .copied()
@@ -699,7 +717,25 @@ impl Search<'_> {
                     schedule_cycle: sched_cycle.iter().copied().map(ProcessId).collect(),
                     lasso,
                     classes,
-                });
+                };
+                if self.config.telemetry.streams() {
+                    let procs = |ps: &[ProcessId]| {
+                        Json::Arr(ps.iter().map(|p| Json::Int(p.0 as i64)).collect())
+                    };
+                    self.config.telemetry.event(
+                        "lasso_found",
+                        &[
+                            (
+                                "prefix_len",
+                                Json::Int(finding.schedule_prefix.len() as i64),
+                            ),
+                            ("cycle_len", Json::Int(finding.schedule_cycle.len() as i64)),
+                            ("starving", procs(&finding.starving())),
+                            ("parasitic", procs(&finding.parasitic())),
+                        ],
+                    );
+                }
+                self.lassos.push(finding);
             }
             Err(_) => self.rejected_cycles += 1,
         }
@@ -726,12 +762,16 @@ impl Search<'_> {
                     .collect()
             })
             .collect();
-        let verdicts = if parallel {
-            tm_liveness::certify_cycles_parallel(&graph, processes)
-        } else {
-            tm_liveness::certify_cycles(&graph, processes)
+        let telemetry = self.config.telemetry.clone();
+        let verdicts = {
+            let _span = telemetry.phase("livecheck", "scc_certify");
+            if parallel {
+                tm_liveness::certify_cycles_parallel(&graph, processes)
+            } else {
+                tm_liveness::certify_cycles(&graph, processes)
+            }
         };
-        LivecheckReport {
+        let report = LivecheckReport {
             tm,
             depth,
             states: self.nodes.len(),
@@ -745,7 +785,49 @@ impl Search<'_> {
             lassos: self.lassos,
             truncated: self.truncated,
             verdicts,
+        };
+        // The deterministic end-of-run flush: every count below comes
+        // from the report itself (fixed properties of the bounded
+        // graph), so the snapshot is thread-count-invariant.
+        telemetry.add(Counter::GraphNodes, report.states as u64);
+        telemetry.add(Counter::GraphEdges, report.edges as u64);
+        telemetry.add(Counter::StepsExecuted, report.steps as u64);
+        telemetry.add(Counter::StepsReplayed, report.replayed_steps as u64);
+        telemetry.add(Counter::MemoHits, report.dedup_hits as u64);
+        telemetry.add(Counter::CyclesDetected, report.cycles_detected as u64);
+        telemetry.add(Counter::EventlessCycles, report.eventless_cycles as u64);
+        telemetry.add(Counter::LassosFound, report.lassos.len() as u64);
+        if telemetry.streams() {
+            telemetry.heartbeat_now(
+                "livecheck",
+                &[
+                    ("states", Json::Int(report.states as i64)),
+                    ("steps", Json::Int(report.steps as i64)),
+                    ("lassos", Json::Int(report.lassos.len() as i64)),
+                    (
+                        "states_per_sec",
+                        Json::Num(report.states as f64 / telemetry.elapsed_secs().max(1e-9)),
+                    ),
+                ],
+            );
+            telemetry.emit_counters(&report.tm);
+            telemetry.event(
+                "verdict",
+                &[
+                    ("engine", Json::str("livecheck")),
+                    ("tm", Json::str(report.tm.as_str())),
+                    (
+                        "starvation_free",
+                        Json::Bool(report.lasso_starvation_free()),
+                    ),
+                    ("states", Json::Int(report.states as i64)),
+                    ("edges", Json::Int(report.edges as i64)),
+                    ("lassos", Json::Int(report.lassos.len() as i64)),
+                    ("depth", Json::Int(report.depth as i64)),
+                ],
+            );
         }
+        report
     }
 }
 
@@ -757,7 +839,7 @@ fn fresh_search<'a>(
 ) -> Search<'a> {
     Search {
         config,
-        space: GraphSpace::new(scripts, config.parasitic),
+        space: GraphSpace::new(scripts, config.parasitic, config.telemetry.clone()),
         frames: Vec::new(),
         on_path: HashMap::new(),
         ids: Interner::new(),
@@ -808,14 +890,15 @@ fn expand_level_node(
     scripts: &[ClientScript],
     parasitic: u64,
     recycle: bool,
+    telemetry: &Telemetry,
     node: LevelNode,
 ) -> Vec<ChildRecord> {
-    let mut space = GraphSpace::new(scripts, parasitic);
+    let mut space = GraphSpace::new(scripts, parasitic, telemetry.clone());
     for (client, cursor) in space.clients.iter_mut().zip(&node.cursors) {
         client.set_cursor(*cursor);
     }
     let n = space.width();
-    let mut pool = TmPool::new(recycle);
+    let mut pool = TmPool::new(recycle).instrument(telemetry);
     for spare in node.spares {
         pool.put_back(spare);
     }
@@ -867,6 +950,7 @@ fn livecheck_parallel(
     let root = search.intern(root_key);
     let root_cursors = search.space.clients.iter().map(Client::cursor).collect();
     let n = scripts.len();
+    let telemetry = config.telemetry.clone();
     let mut steps = 0usize;
     let mut level = vec![LevelNode {
         id: root,
@@ -879,38 +963,55 @@ fn livecheck_parallel(
     // being dropped — the frontier's analogue of the DFS spare pool.
     let mut spare_pool: Vec<BoxedTm> = Vec::new();
     let parasitic = config.parasitic;
-    for _dist in 0..config.depth {
-        if level.is_empty() {
-            break;
-        }
-        let parents: Vec<u32> = level.iter().map(|node| node.id).collect();
-        let expansions = frontier::distribute(level, |node| {
-            expand_level_node(scripts, parasitic, recycle, node)
-        });
-        level = Vec::new();
-        for (parent, children) in parents.into_iter().zip(expansions) {
-            for (k, child) in children.into_iter().enumerate() {
-                steps += 1;
-                let (cid, new) = search.ids.intern(child.key);
-                if new {
-                    search.nodes.push(Node::default());
-                    let take = spare_pool.len().min(n.saturating_sub(1));
-                    level.push(LevelNode {
-                        id: cid,
-                        tm: child.tm,
-                        cursors: child.cursors,
-                        spares: spare_pool.split_off(spare_pool.len() - take),
-                    });
-                } else if recycle {
-                    spare_pool.push(child.tm);
-                }
-                search.nodes[parent as usize].edges.push(Edge {
-                    target: cid,
-                    process: u8::try_from(k).expect("≤ 64 processes"),
-                    facts: child.facts,
-                    events: child.events,
-                });
+    {
+        let _span = telemetry.phase("livecheck", "graph_build");
+        for _dist in 0..config.depth {
+            if level.is_empty() {
+                break;
             }
+            telemetry.add(Counter::FrontierSplits, 1);
+            telemetry.add(Counter::FrontierItems, level.len() as u64);
+            let parents: Vec<u32> = level.iter().map(|node| node.id).collect();
+            let expansions = frontier::distribute(level, |node| {
+                expand_level_node(scripts, parasitic, recycle, &telemetry, node)
+            });
+            level = Vec::new();
+            for (parent, children) in parents.into_iter().zip(expansions) {
+                for (k, child) in children.into_iter().enumerate() {
+                    steps += 1;
+                    let (cid, new) = search.ids.intern(child.key);
+                    if new {
+                        search.nodes.push(Node::default());
+                        let take = spare_pool.len().min(n.saturating_sub(1));
+                        level.push(LevelNode {
+                            id: cid,
+                            tm: child.tm,
+                            cursors: child.cursors,
+                            spares: spare_pool.split_off(spare_pool.len() - take),
+                        });
+                    } else if recycle {
+                        spare_pool.push(child.tm);
+                    }
+                    search.nodes[parent as usize].edges.push(Edge {
+                        target: cid,
+                        process: u8::try_from(k).expect("≤ 64 processes"),
+                        facts: child.facts,
+                        events: child.events,
+                    });
+                }
+            }
+            telemetry.heartbeat("livecheck", || {
+                let states = search.nodes.len();
+                vec![
+                    ("states", Json::Int(states as i64)),
+                    ("frontier", Json::Int(level.len() as i64)),
+                    ("steps", Json::Int(steps as i64)),
+                    (
+                        "states_per_sec",
+                        Json::Num(states as f64 / telemetry.elapsed_secs().max(1e-9)),
+                    ),
+                ]
+            });
         }
     }
     // Phase 2: replay the sequential DFS over the recorded graph (every
@@ -919,7 +1020,10 @@ fn livecheck_parallel(
     // executed transitions (= the reduced sequential search's `steps`);
     // the replay count minus those once-executed edges is what the
     // reduced sequential search reports as `replayed_steps`.
-    search.expand(None, root, config.depth);
+    {
+        let _span = telemetry.phase("livecheck", "lasso_scan");
+        search.expand(None, root, config.depth);
+    }
     search.steps = steps;
     debug_assert!(search.replayed >= steps, "replay walks every recorded edge");
     search.replayed -= steps;
@@ -951,14 +1055,26 @@ where
     let tm = factory();
     assert_eq!(tm.process_count(), n, "factory must match scripts");
     let name = tm.name().to_string();
+    config.telemetry.event(
+        "run_start",
+        &[
+            ("engine", Json::str("livecheck")),
+            ("tm", Json::str(name.as_str())),
+            ("depth", Json::Int(config.depth as i64)),
+            ("processes", Json::Int(n as i64)),
+        ],
+    );
     if config.parallel {
         return livecheck_parallel(tm, scripts, config, name);
     }
-    let pool = TmPool::for_tm(&tm);
+    let pool = TmPool::for_tm(&tm).instrument(&config.telemetry);
     let mut search = fresh_search(config, scripts, pool, config.reduce);
     let root_key = search.key_of(&tm);
     let root = search.intern(root_key);
-    search.expand(Some(tm), root, config.depth);
+    {
+        let _span = config.telemetry.phase("livecheck", "search");
+        search.expand(Some(tm), root, config.depth);
+    }
     search.into_report(name, config.depth, false)
 }
 

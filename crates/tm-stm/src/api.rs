@@ -11,6 +11,7 @@
 //! it invoke `tryC` (a parasitic process).
 
 use tm_core::{Invocation, ProcessId, Response, TVarId};
+use tm_telemetry::{Counter, Telemetry, Timer};
 
 /// The shared-state footprint of one scheduler step, as declared by a
 /// TM's conflict oracle ([`SteppedTm::step_footprint`]) *before* the step
@@ -332,6 +333,9 @@ pub trait SteppedTm {
 pub struct TmPool {
     spare: Vec<BoxedTm>,
     recycle: bool,
+    telemetry: Telemetry,
+    forks: u64,
+    reforks: u64,
 }
 
 impl std::fmt::Debug for TmPool {
@@ -343,6 +347,15 @@ impl std::fmt::Debug for TmPool {
     }
 }
 
+impl Drop for TmPool {
+    fn drop(&mut self) {
+        // Flush the branch tallies once per pool lifetime so the hot
+        // fork path pays plain integer increments, never atomics.
+        self.telemetry.add(Counter::TmForks, self.forks);
+        self.telemetry.add(Counter::TmReforks, self.reforks);
+    }
+}
+
 impl TmPool {
     /// A pool for TMs of `tm`'s concrete type: probes
     /// [`SteppedTm::refork_from`] once and, when supported, seeds the
@@ -350,10 +363,11 @@ impl TmPool {
     pub fn for_tm(tm: &BoxedTm) -> Self {
         let mut probe = tm.fork();
         let recycle = probe.refork_from(&**tm);
-        TmPool {
-            spare: if recycle { vec![probe] } else { Vec::new() },
-            recycle,
+        let mut pool = TmPool::new(recycle);
+        if recycle {
+            pool.spare.push(probe);
         }
+        pool
     }
 
     /// An empty pool with a pre-decided recycle capability — for
@@ -363,6 +377,9 @@ impl TmPool {
         TmPool {
             spare: Vec::new(),
             recycle,
+            telemetry: Telemetry::off(),
+            forks: 0,
+            reforks: 0,
         }
     }
 
@@ -376,20 +393,34 @@ impl TmPool {
         self.recycle
     }
 
+    /// Attaches a telemetry handle: the pool tallies forks/reforks
+    /// locally and flushes them ([`Counter::TmForks`] /
+    /// [`Counter::TmReforks`]) when dropped; with timing enabled each
+    /// branch is recorded into the fork/refork histograms.
+    #[must_use]
+    pub fn instrument(mut self, telemetry: &Telemetry) -> Self {
+        self.telemetry = telemetry.clone();
+        self
+    }
+
     /// Branches `parent` one step: re-initializes a recycled box via
     /// [`SteppedTm::refork_from`] when one is available, falling back to
     /// an allocating [`SteppedTm::fork`].
     pub fn fork_child(&mut self, parent: &BoxedTm) -> BoxedTm {
-        match self.spare.pop() {
-            Some(mut spare) => {
-                if spare.refork_from(&**parent) {
-                    spare
-                } else {
-                    parent.fork()
-                }
+        let started = self.telemetry.timer_start();
+        if let Some(mut spare) = self.spare.pop() {
+            if spare.refork_from(&**parent) {
+                self.reforks += 1;
+                self.telemetry.timer_stop(Timer::Refork, started);
+                return spare;
             }
-            None => parent.fork(),
+            // Refork refused (e.g. a capacity mismatch): fall through to
+            // the allocating fork; the stale box is dropped.
         }
+        self.forks += 1;
+        let child = parent.fork();
+        self.telemetry.timer_stop(Timer::Fork, started);
+        child
     }
 
     /// Returns a box to the pool for later reuse. A no-op (the box is

@@ -12,6 +12,10 @@
 //!    greedy `Fgp` must yield a classified starvation lasso.
 //!
 //! Run with: `cargo run --example liveness_audit`
+//!
+//! Telemetry: set `TM_TELEMETRY=stderr` (or a file path) to stream the
+//! checker's NDJSON event log, or pass `--progress` to force the stderr
+//! stream — heartbeats included — when the variable is unset.
 
 use tm_liveness_repro::liveness::{
     classify_all, figures, meta, GlobalProgress, InfiniteHistory, LocalProgress, SoloProgress,
@@ -113,7 +117,16 @@ fn main() {
         ),
     ];
     let depth = 12;
-    let config = LivecheckConfig::new(depth);
+    // `--progress` forces the stderr NDJSON stream (run_start, phase
+    // spans, heartbeats, per-TM verdicts) when TM_TELEMETRY is unset;
+    // otherwise the environment decides (off by default).
+    let progress = std::env::args().any(|a| a == "--progress");
+    let telemetry = if progress && std::env::var_os("TM_TELEMETRY").is_none() {
+        Telemetry::to_stderr()
+    } else {
+        Telemetry::from_env()
+    };
+    let config = LivecheckConfig::new(depth).with_telemetry(&telemetry);
 
     println!("\n=== Livecheck: lasso search over the canonical state graph ===");
     println!(

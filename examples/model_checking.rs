@@ -3,6 +3,10 @@
 //! specification bug automatically.
 //!
 //! Run with: `cargo run --release --example model_checking`
+//!
+//! Telemetry: set `TM_TELEMETRY=stderr` (or a file path) to stream the
+//! explorer's NDJSON event log, or pass `--progress` to force the
+//! stderr stream — heartbeats included — when the variable is unset.
 
 use tm_liveness_repro::prelude::*;
 use tm_liveness_repro::sim::PlannedOp;
@@ -12,6 +16,15 @@ use tm_liveness_repro::sim::explore_schedules_naive;
 
 fn main() {
     let x = TVarId(0);
+    // `--progress` forces the stderr NDJSON stream (run_start, phase
+    // spans, heartbeats, verdicts) when TM_TELEMETRY is unset;
+    // otherwise the environment decides (off by default).
+    let progress = std::env::args().any(|a| a == "--progress");
+    let telemetry = if progress && std::env::var_os("TM_TELEMETRY").is_none() {
+        Telemetry::to_stderr()
+    } else {
+        Telemetry::from_env()
+    };
 
     println!("== 1. Figure 15: the reachable states of Fgp (1 proc, 1 binary var) ==\n");
     let graph =
@@ -50,7 +63,7 @@ fn main() {
     let deep = explore_with(
         || Box::new(tm_liveness_repro::stm::FgpTm::new(2, 1, FgpVariant::CpOnly)) as BoxedTm,
         &scripts,
-        &ExploreConfig::new(16),
+        &ExploreConfig::new(16).with_telemetry(&telemetry),
     );
     println!(
         "   fgp        schedules={} (2^16) violations={}",
@@ -67,7 +80,9 @@ fn main() {
     let pruned = explore_with(
         || Box::new(tm_liveness_repro::stm::FgpTm::new(2, 2, FgpVariant::CpOnly)) as BoxedTm,
         &disjoint,
-        &ExploreConfig::new(12).with_sleep_sets(),
+        &ExploreConfig::new(12)
+            .with_sleep_sets()
+            .with_telemetry(&telemetry),
     );
     println!(
         "   fgp        schedules={} of 4096 after pruning ({} subtrees skipped)",
@@ -89,7 +104,10 @@ fn main() {
     let dpor = explore_with(
         || Box::new(tm_liveness_repro::stm::FgpTm::new(3, 2, FgpVariant::CpOnly)) as BoxedTm,
         &contended,
-        &ExploreConfig::new(8).sequential().with_dpor(),
+        &ExploreConfig::new(8)
+            .sequential()
+            .with_dpor()
+            .with_telemetry(&telemetry),
     );
     println!(
         "   fgp 3p/d8  executed {} of {} schedules ({:.0}x fewer), same verdict",

@@ -19,7 +19,10 @@
 //! * [`adversary`] — Algorithms 1 and 2 from Theorem 1's proof and the
 //!   n-process generalization (Lemma 1), with the game driver;
 //! * [`sim`] — schedulers, crash/parasitic fault injection, workloads, and
-//!   the bounded-exhaustive interleaving model checker.
+//!   the bounded-exhaustive interleaving model checker;
+//! * [`telemetry`] — engine-wide counters, phase spans and the NDJSON
+//!   event stream both checkers emit (see its module docs for the wire
+//!   schema and the counter-semantics contract).
 //!
 //! ## Quickstart
 //!
@@ -47,6 +50,7 @@ pub use tm_liveness as liveness;
 pub use tm_safety as safety;
 pub use tm_sim as sim;
 pub use tm_stm as stm;
+pub use tm_telemetry as telemetry;
 
 /// The most commonly used items, importable in one line.
 pub mod prelude {
@@ -77,4 +81,5 @@ pub mod prelude {
         full_catalog, nonblocking_catalog, Dstm, FgpTm, GlobalLock, NOrec, Ostm, Outcome, Recorded,
         SteppedTm, TinyStm, Tl2,
     };
+    pub use tm_telemetry::{Counter, Snapshot, Telemetry};
 }

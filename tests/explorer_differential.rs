@@ -343,3 +343,85 @@ fn sleep_sets_preserve_every_catalogue_verdict() {
         );
     }
 }
+
+#[test]
+fn telemetry_snapshot_is_identical_across_thread_counts() {
+    // The counter-determinism contract (see tm_telemetry's module docs):
+    // counters flush at phase boundaries from per-worker deterministic
+    // tallies whose sum is partition-independent. The split depth is
+    // pinned because `auto_split_depth` follows the pool size — that is
+    // a config difference, not a scheduling race.
+    use tm_telemetry::{Counter, Telemetry};
+    let scripts = vec![ClientScript::increment(X), ClientScript::increment(X)];
+    let snap_at = |threads: usize| {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("pool");
+        let telemetry = Telemetry::counters();
+        let report = pool.install(|| {
+            explore_with(
+                || Box::new(FgpTm::new(2, 1, FgpVariant::CpOnly)) as BoxedTm,
+                &scripts,
+                &ExploreConfig::new(10)
+                    .with_split_depth(3)
+                    .with_telemetry(&telemetry),
+            )
+        });
+        (telemetry.snapshot(), report)
+    };
+    let (baseline, report) = snap_at(1);
+    assert!(!baseline.is_empty(), "the instrumented run must count");
+    assert_eq!(
+        baseline.get(Counter::SchedulesExecuted),
+        report.schedules as u64
+    );
+    assert!(baseline.get(Counter::WorkerSteps) > 0);
+    for threads in [2usize, 4] {
+        let (snap, parallel_report) = snap_at(threads);
+        assert_eq!(report, parallel_report, "report diverged");
+        assert_eq!(
+            baseline, snap,
+            "telemetry snapshot diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn executed_schedule_counter_matches_the_report_across_the_catalogue() {
+    // `Counter::SchedulesExecuted` must agree with the report's leaf
+    // count for every TM and configuration — the anchor that ties the
+    // telemetry stream to the exploration it narrates.
+    use tm_telemetry::{Counter, Telemetry};
+    let scripts = vec![
+        ClientScript::increment(X),
+        ClientScript::new(vec![PlannedOp::Read(X), PlannedOp::Write(X, 5)]),
+    ];
+    for (name, factory) in full_catalogue_factories(2, 1) {
+        for config in [
+            ExploreConfig::new(8).sequential(),
+            ExploreConfig::new(8).sequential().with_sleep_sets(),
+            ExploreConfig::new(8).sequential().with_dpor(),
+            ExploreConfig::new(8),
+        ] {
+            let telemetry = Telemetry::counters();
+            let report = explore_with(&*factory, &scripts, &config.with_telemetry(&telemetry));
+            let snap = telemetry.snapshot();
+            assert_eq!(
+                snap.get(Counter::SchedulesExecuted),
+                report.schedules as u64,
+                "{name}: executed-schedule counter diverged from the report"
+            );
+            assert_eq!(
+                snap.get(Counter::ViolationsFound),
+                report.violations.len() as u64,
+                "{name}: violation counter diverged from the report"
+            );
+            assert_eq!(
+                snap.get(Counter::SleepSetBlocks),
+                report.pruned_subtrees as u64,
+                "{name}: sleep-set counter diverged from the report"
+            );
+        }
+    }
+}

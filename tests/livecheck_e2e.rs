@@ -335,3 +335,45 @@ fn classes_cover_crashed_processes_abandoned_by_the_scheduler() {
         "solo-p1 cycles must classify p2 as crashed/absent: {report:?}"
     );
 }
+
+#[test]
+fn telemetry_snapshot_is_identical_across_thread_counts() {
+    // The counter-determinism contract (see tm_telemetry's module docs):
+    // every counter is flushed at a phase boundary from a deterministic
+    // tally, so the snapshot — like the report — is a pure function of
+    // (TM, workload, config), never of the rayon pool size.
+    use tm_telemetry::{Counter, Telemetry};
+    let snap_at = |threads: usize| {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("pool");
+        let telemetry = Telemetry::counters();
+        let report = pool.install(|| {
+            livecheck(
+                || Box::new(FgpTm::new(2, 1, FgpVariant::CpOnly)) as BoxedTm,
+                &contended(),
+                &LivecheckConfig::new(12)
+                    .with_parallel()
+                    .with_telemetry(&telemetry),
+            )
+        });
+        (telemetry.snapshot(), report)
+    };
+    let (baseline, report) = snap_at(1);
+    assert!(!baseline.is_empty(), "the instrumented run must count");
+    assert_eq!(baseline.get(Counter::GraphNodes), report.states as u64);
+    assert_eq!(baseline.get(Counter::GraphEdges), report.edges as u64);
+    assert_eq!(baseline.get(Counter::StepsExecuted), report.steps as u64);
+    assert_eq!(
+        baseline.get(Counter::StepsReplayed),
+        report.replayed_steps as u64
+    );
+    for threads in [2usize, 4] {
+        let (snap, _) = snap_at(threads);
+        assert_eq!(
+            baseline, snap,
+            "telemetry snapshot diverged at {threads} threads"
+        );
+    }
+}
