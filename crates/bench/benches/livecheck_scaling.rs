@@ -210,6 +210,16 @@ fn emit_json(_c: &mut Criterion) {
         let refork_s = best_secs(runs, || {
             criterion::black_box(spare.refork_from(&*tm));
         });
+        // Regression floor: refork exists to beat the allocating fork,
+        // and every catalogue TM clears 1.3× comfortably once its state's
+        // `clone_from` reuses buffers (the global-lock TM was the
+        // laggard at 1.19× until its runner stopped recording history
+        // and its state gained a buffer-reusing `clone_from`).
+        assert!(
+            fork_s / refork_s >= 1.3,
+            "{name}: refork regressed to {:.2}x vs fork",
+            fork_s / refork_s
+        );
         refork_rows.push(Json::Obj(vec![
             ("tm".into(), Json::str(name)),
             ("fork_ns".into(), Json::Num(fork_s * 1e9)),

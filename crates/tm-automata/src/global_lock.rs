@@ -20,7 +20,7 @@ use crate::ioa::TmAutomaton;
 
 /// State of the global-lock TM: the lock owner, the store, and pending
 /// invocations.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct GlobalLockState {
     /// Index of the process currently holding the global lock.
     pub owner: Option<usize>,
@@ -28,6 +28,24 @@ pub struct GlobalLockState {
     pub vals: Vec<Value>,
     /// Pending invocation per process.
     pub pending: Vec<Option<Invocation>>,
+}
+
+// Hand-written so `clone_from` reuses the target's vector buffers — the
+// model checker reforks states through it on every recycled tree edge.
+impl Clone for GlobalLockState {
+    fn clone(&self) -> Self {
+        GlobalLockState {
+            owner: self.owner,
+            vals: self.vals.clone(),
+            pending: self.pending.clone(),
+        }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.owner = source.owner;
+        self.vals.clone_from(&source.vals);
+        self.pending.clone_from(&source.pending);
+    }
 }
 
 /// The single-global-lock TM automaton. Never aborts; blocks instead.

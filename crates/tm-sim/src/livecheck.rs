@@ -107,6 +107,18 @@
 //! the differential suite), and
 //! `steps(plain) = steps(reduced) + replayed_steps(reduced)`.
 //!
+//! The safety explorer's wakeup trees
+//! ([`crate::explore`](crate::explore#optimal-dpor-wakeup-trees))
+//! sharpen its reduction further — never *starting* a schedule later
+//! abandoned as redundant. Transition memoization is this checker's
+//! analogue of that optimality: where wakeup trees guarantee at most
+//! one executed schedule per interleaving class, `reduce` guarantees
+//! exactly one executed step per state-graph edge — the quantified
+//! object each checker certifies over. A wakeup-tree mode for liveness
+//! itself would be unsound for the same reason sleep sets are: pruned
+//! interleavings pass through unexplored intermediate configurations,
+//! and the SCC certificates must quantify over all of them.
+//!
 //! # Parallel lasso search
 //!
 //! With [`LivecheckConfig::parallel`] the expensive part of the search —

@@ -186,11 +186,25 @@ pub enum Counter {
     TmForks,
     /// Allocation-free TM reforks performed by the branching pool.
     TmReforks,
+    /// Race-reversal sequences inserted into wakeup trees (optimal
+    /// DPOR).
+    WakeupInserts,
+    /// Race reversals proved already covered — rejected by the
+    /// weak-initial sleep guard or subsumed by an existing wakeup-tree
+    /// branch (optimal DPOR).
+    WakeupRedundant,
+    /// Executions the sleep discipline blocked: in source-set mode,
+    /// race-inserted backtrack branches suppressed because their process
+    /// was already asleep (each is a walk the classic SDPOR formulation
+    /// starts and abandons); in optimal mode, wakeup-tree branches whose
+    /// head was asleep when scheduled — provably none, so the counter
+    /// must read 0 there.
+    SleepBlockedExecutions,
 }
 
 impl Counter {
     /// Number of counters (the snapshot array length).
-    pub const COUNT: usize = 20;
+    pub const COUNT: usize = 23;
 
     /// Every counter, in snapshot order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -214,6 +228,9 @@ impl Counter {
         Counter::LassosFound,
         Counter::TmForks,
         Counter::TmReforks,
+        Counter::WakeupInserts,
+        Counter::WakeupRedundant,
+        Counter::SleepBlockedExecutions,
     ];
 
     /// The counter's stable snake_case name (the `counter_snapshot`
@@ -240,6 +257,9 @@ impl Counter {
             Counter::LassosFound => "lassos_found",
             Counter::TmForks => "tm_forks",
             Counter::TmReforks => "tm_reforks",
+            Counter::WakeupInserts => "wakeup_inserts",
+            Counter::WakeupRedundant => "wakeup_redundant",
+            Counter::SleepBlockedExecutions => "sleep_blocked_executions",
         }
     }
 }
@@ -646,19 +666,28 @@ impl Telemetry {
     /// Emits a `counter_snapshot` event of every non-zero counter (plus
     /// the timing histograms when enabled); a no-op without a sink.
     pub fn emit_counters(&self, label: &str) {
+        self.emit_counters_pinned(label, &[]);
+    }
+
+    /// [`Self::emit_counters`], with `pinned` counters included even at
+    /// zero. Zero is normally elided as noise, but some zeros *are* the
+    /// datum — the explorer's optimal-DPOR mode pins
+    /// [`Counter::SleepBlockedExecutions`] so its guaranteed-zero value
+    /// is visible (and assertable) in the event stream.
+    pub fn emit_counters_pinned(&self, label: &str, pinned: &[Counter]) {
         let Some(inner) = &self.inner else { return };
         if inner.sink.is_none() {
             return;
         }
         let snapshot = self.snapshot();
         let counters = Json::Obj(
-            snapshot
-                .nonzero()
-                .into_iter()
-                .map(|(name, value)| {
+            Counter::ALL
+                .iter()
+                .filter(|&&c| snapshot.get(c) != 0 || pinned.contains(&c))
+                .map(|&c| {
                     (
-                        name.to_string(),
-                        Json::Int(i64::try_from(value).unwrap_or(i64::MAX)),
+                        c.name().to_string(),
+                        Json::Int(i64::try_from(snapshot.get(c)).unwrap_or(i64::MAX)),
                     )
                 })
                 .collect(),

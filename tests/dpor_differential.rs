@@ -242,6 +242,230 @@ fn dpor_catches_the_leak_on_disjoint_variables_too() {
 }
 
 #[test]
+fn optimal_dpor_verdicts_and_violation_subset_across_the_catalogue() {
+    // The wakeup-tree walk is held to the same differential bar as
+    // source sets — verdict parity with plain DFS on all nine TMs and a
+    // verbatim violation subset on the seeded-buggy literal Fgp — plus
+    // the optimality ordering: never more executed schedules than the
+    // source-set walk.
+    let scripts = contended_scripts();
+    let mut buggy_caught = false;
+    for (name, factory) in factories(2, 1) {
+        let plain = explore_with(&*factory, &scripts, &ExploreConfig::new(8).sequential());
+        let dpor = explore_with(
+            &*factory,
+            &scripts,
+            &ExploreConfig::new(8).sequential().with_dpor(),
+        );
+        let optimal = explore_with(
+            &*factory,
+            &scripts,
+            &ExploreConfig::new(8).sequential().with_optimal_dpor(),
+        );
+        assert_eq!(
+            plain.all_opaque(),
+            optimal.all_opaque(),
+            "{name}: optimal DPOR changed the verdict"
+        );
+        for violation in &optimal.violations {
+            assert!(
+                plain.violations.contains(violation),
+                "{name}: optimal DPOR reported a violation the full exploration lacks: \
+                 {violation:?}"
+            );
+        }
+        assert!(
+            optimal.schedules <= dpor.schedules,
+            "{name}: optimal DPOR ({}) may never execute more than source sets ({})",
+            optimal.schedules,
+            dpor.schedules
+        );
+        if name == "fgp-literal" {
+            assert!(
+                !optimal.all_opaque() && !optimal.violations.is_empty(),
+                "optimal DPOR must still catch the literal-Fgp leak"
+            );
+            buggy_caught = true;
+        }
+    }
+    assert!(buggy_caught);
+}
+
+#[test]
+fn optimal_dpor_executes_at_most_one_schedule_per_class() {
+    // The optimality oracle: replay every schedule the wakeup-tree walk
+    // executed and reduce it to its class's canonical normal form — the
+    // images must be pairwise distinct (at most one execution per
+    // Mazurkiewicz class), bounded by the brute-force class count, and
+    // no larger than the source-set walk's executed count. The absolute
+    // counts are pinned so a regression in either direction (lost
+    // coverage or lost reduction) fails loudly.
+    use std::collections::HashSet;
+    use tm_sim::{mazurkiewicz_classes, schedule_normal_form};
+    let table: &[(usize, usize, usize)] = &[(2, 8, 33), (3, 6, 37)];
+    for &(procs, depth, expected) in table {
+        let scripts: Vec<ClientScript> = (0..procs)
+            .map(|i| {
+                if i == 2 {
+                    ClientScript::read_both(X, Y)
+                } else {
+                    ClientScript::increment(X)
+                }
+            })
+            .collect();
+        let tvars = if procs > 2 { 2 } else { 1 };
+        let factory = move || Box::new(FgpTm::new(procs, tvars, FgpVariant::CpOnly)) as BoxedTm;
+        let optimal = explore_with(
+            factory,
+            &scripts,
+            &ExploreConfig::new(depth)
+                .sequential()
+                .with_optimal_dpor()
+                .with_schedule_log(),
+        );
+        assert!(optimal.all_opaque());
+        assert_eq!(
+            optimal.schedule_log.len(),
+            optimal.schedules,
+            "{procs}p depth {depth}: the log must record every executed schedule"
+        );
+        let normals: HashSet<Vec<u8>> = optimal
+            .schedule_log
+            .iter()
+            .map(|s| schedule_normal_form(factory, &scripts, s))
+            .collect();
+        assert_eq!(
+            normals.len(),
+            optimal.schedules,
+            "{procs}p depth {depth}: two executed schedules share a Mazurkiewicz class"
+        );
+        let classes = mazurkiewicz_classes(factory, &scripts, depth);
+        assert!(
+            optimal.schedules <= classes,
+            "{procs}p depth {depth}: executed {} exceeds the {} classes",
+            optimal.schedules,
+            classes
+        );
+        let dpor = explore_with(
+            factory,
+            &scripts,
+            &ExploreConfig::new(depth).sequential().with_dpor(),
+        );
+        assert!(
+            optimal.schedules <= dpor.schedules,
+            "{procs}p depth {depth}: optimal ({}) exceeded source sets ({})",
+            optimal.schedules,
+            dpor.schedules
+        );
+        assert_eq!(
+            optimal.schedules, expected,
+            "{procs}p depth {depth}: pinned executed-schedule count moved"
+        );
+    }
+}
+
+#[test]
+fn optimal_dpor_never_starts_a_sleep_blocked_execution() {
+    // The headline optimality property, as telemetry: in optimal mode
+    // `SleepBlockedExecutions` — wakeup-tree edges popped with their
+    // head asleep — is exactly zero on every TM and shape, while the
+    // source-set walk's analogue (backtrack branches its sleep set
+    // suppressed) is demonstrably nonzero on the same 3-process
+    // workload. Together: the redundancy source sets schedule-and-drop
+    // is real, and wakeup trees never schedule it.
+    use tm_telemetry::{Counter, Telemetry};
+    let scripts = vec![
+        ClientScript::increment(X),
+        ClientScript::increment(X),
+        ClientScript::read_both(X, Y),
+    ];
+    for (name, factory) in factories(3, 2) {
+        let telemetry = Telemetry::counters();
+        explore_with(
+            &*factory,
+            &scripts,
+            &ExploreConfig::new(6)
+                .sequential()
+                .with_optimal_dpor()
+                .with_telemetry(&telemetry),
+        );
+        assert_eq!(
+            telemetry.snapshot().get(Counter::SleepBlockedExecutions),
+            0,
+            "{name}: optimal DPOR started a redundant execution"
+        );
+    }
+    let source_telemetry = Telemetry::counters();
+    explore_with(
+        || Box::new(FgpTm::new(3, 2, FgpVariant::CpOnly)) as BoxedTm,
+        &scripts,
+        &ExploreConfig::new(6)
+            .sequential()
+            .with_dpor()
+            .with_telemetry(&source_telemetry),
+    );
+    assert!(
+        source_telemetry
+            .snapshot()
+            .get(Counter::SleepBlockedExecutions)
+            > 0,
+        "the source-set walk must suppress some backtrack branches here \
+         (otherwise the comparison is vacuous)"
+    );
+}
+
+#[test]
+fn optimal_dpor_is_deterministic_across_rayon_thread_counts() {
+    // With the split depth pinned, the parallel wakeup-tree walk's
+    // report — executed schedules, fallbacks, violations, in merge
+    // order — must be byte-identical at any worker count.
+    let scripts = vec![
+        ClientScript::increment(X),
+        ClientScript::increment(X),
+        ClientScript::read_both(X, Y),
+    ];
+    let run_at = |threads: usize| {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("pool");
+        pool.install(|| {
+            explore_with(
+                || Box::new(FgpTm::new(3, 2, FgpVariant::CpOnly)) as BoxedTm,
+                &scripts,
+                &ExploreConfig::new(7)
+                    .with_split_depth(2)
+                    .with_optimal_dpor(),
+            )
+        })
+    };
+    let baseline = run_at(1);
+    assert!(baseline.all_opaque());
+    for threads in [2, 4] {
+        assert_eq!(baseline, run_at(threads), "{threads} threads");
+    }
+}
+
+#[test]
+fn optimal_dpor_degenerates_to_full_exploration_for_conservative_oracles() {
+    // Same bar as the source-set walk: the global-lock TM's audited
+    // oracle conflicts on every pair, so wakeup trees must reproduce the
+    // plain DFS report byte for byte.
+    let scripts = contended_scripts();
+    let plain = explore_with(
+        || Box::new(GlobalLock::new(2, 1)) as BoxedTm,
+        &scripts,
+        &ExploreConfig::new(8).sequential(),
+    );
+    let optimal = explore_with(
+        || Box::new(GlobalLock::new(2, 1)) as BoxedTm,
+        &scripts,
+        &ExploreConfig::new(8).sequential().with_optimal_dpor(),
+    );
+    assert_eq!(plain, optimal);
+}
+
+#[test]
 fn livecheck_reduction_is_byte_identical_across_the_catalogue() {
     // The liveness reduction's bar is stricter than the safety
     // explorer's: the state graph, every lasso and every certified
