@@ -1,0 +1,482 @@
+//! Regression comparison of two counter snapshots or two `BENCH_*.json`
+//! artifacts — the repo's CI perf gate.
+//!
+//! Inputs are detected by shape: a single JSON object with a `bench`
+//! key is a benchmark artifact; anything else is parsed as an NDJSON
+//! stream whose **last** `counter_snapshot` event is the snapshot under
+//! comparison. Artifacts from different machines are not comparable —
+//! every artifact records the `cores` it was measured on, and the diff
+//! **refuses** cross-`cores` comparisons unless explicitly overridden.
+//!
+//! Columns are classified by name, each with its own threshold
+//! direction:
+//!
+//! * **rates and ratios** (`speedup_*`, `*reduction*`, `*_per_sec`,
+//!   `throughput*`) — higher is better; a regression is a drop beyond
+//!   the ratio threshold;
+//! * **times** (`*_ms`, `*_us`, `*_ns`, `*secs`) — lower is better; a
+//!   regression is an increase beyond the time threshold;
+//! * **counts** (everything else numeric: schedules, states, forks…) —
+//!   deterministic search properties; a regression is *any* drift
+//!   beyond the count threshold (default: exact equality).
+//!
+//! Rows of benchmark tables are matched by their identity fields
+//! (string/bool columns such as `workload`, plus the structural ints
+//! `processes`/`depth`/`threads`/`rounds`); rows or columns present on
+//! only one side are reported as skipped, never as regressions — a
+//! `--test`-mode smoke artifact can therefore be diffed against a
+//! full checked-in artifact over their common rows.
+
+use tm_telemetry::Json;
+
+use crate::event::{parse_stream, EventBody};
+
+/// Int-valued row fields that identify a row rather than measure it.
+const IDENTITY_INTS: &[&str] = &["processes", "depth", "threads", "rounds"];
+
+/// Per-class thresholds, in percent, plus per-column overrides.
+#[derive(Debug, Clone)]
+pub struct Thresholds {
+    /// Allowed increase for time columns (percent).
+    pub time_pct: f64,
+    /// Allowed decrease for rate/ratio columns (percent).
+    pub ratio_pct: f64,
+    /// Allowed drift (either direction) for count columns (percent).
+    pub count_pct: f64,
+    /// Per-column overrides (column name → percent), taking precedence
+    /// over the class defaults; the class still sets the direction.
+    pub per_column: Vec<(String, f64)>,
+    /// Compare artifacts measured on different core counts anyway.
+    pub ignore_cores: bool,
+}
+
+impl Default for Thresholds {
+    fn default() -> Self {
+        Thresholds {
+            time_pct: 25.0,
+            ratio_pct: 25.0,
+            count_pct: 0.0,
+            per_column: Vec::new(),
+            ignore_cores: false,
+        }
+    }
+}
+
+/// How a column's values compare: which direction is worse.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ColumnClass {
+    /// Higher is better (speedups, throughputs, reductions).
+    Ratio,
+    /// Lower is better (wall-clock times).
+    Time,
+    /// Deterministic count: any drift is suspect.
+    Count,
+}
+
+fn classify(name: &str) -> ColumnClass {
+    if name.starts_with("speedup")
+        || name.starts_with("throughput")
+        || name.contains("reduction")
+        || name.contains("_per_sec")
+    {
+        ColumnClass::Ratio
+    } else if name.ends_with("_ms")
+        || name.ends_with("_us")
+        || name.ends_with("_ns")
+        || name.ends_with("secs")
+    {
+        ColumnClass::Time
+    } else {
+        ColumnClass::Count
+    }
+}
+
+/// One side of a diff, detected from its text shape.
+#[derive(Debug, Clone)]
+pub enum DiffInput {
+    /// A `BENCH_*.json` artifact.
+    Bench {
+        /// The artifact's `bench` name.
+        name: String,
+        /// The `cores` the artifact was measured on.
+        cores: i64,
+        /// The full artifact object.
+        root: Json,
+    },
+    /// A counter snapshot taken from an NDJSON stream.
+    Counters {
+        /// The snapshot label.
+        label: String,
+        /// The counters, in snapshot order.
+        counters: Vec<(String, i64)>,
+    },
+}
+
+impl DiffInput {
+    /// Detects and parses one input.
+    ///
+    /// # Errors
+    ///
+    /// Unparseable text, or a stream without any `counter_snapshot`.
+    pub fn load(text: &str) -> Result<DiffInput, String> {
+        if let Ok(root) = Json::parse(text.trim()) {
+            if root.get("bench").is_some() {
+                return Ok(DiffInput::Bench {
+                    name: root
+                        .get("bench")
+                        .and_then(Json::as_str)
+                        .unwrap_or_default()
+                        .to_string(),
+                    cores: root.get("cores").and_then(Json::as_int).unwrap_or(0),
+                    root,
+                });
+            }
+        }
+        let events = parse_stream(text).map_err(|e| e.to_string())?;
+        let snapshot = events
+            .into_iter()
+            .rev()
+            .find_map(|env| match env.body {
+                EventBody::CounterSnapshot { label, counters } => Some((label, counters)),
+                _ => None,
+            })
+            .ok_or_else(|| {
+                "input is neither a BENCH_*.json artifact nor a stream with a counter_snapshot"
+                    .to_string()
+            })?;
+        Ok(DiffInput::Counters {
+            label: snapshot.0,
+            counters: snapshot.1,
+        })
+    }
+}
+
+/// The outcome of one diff.
+#[derive(Debug, Clone, Default)]
+pub struct DiffReport {
+    /// One line per detected regression (empty: the gate passes).
+    pub regressions: Vec<String>,
+    /// Numeric cells compared.
+    pub compared: usize,
+    /// Rows/columns present on only one side, reported not judged.
+    pub skipped: Vec<String>,
+}
+
+impl DiffReport {
+    /// Whether the gate passes.
+    pub fn is_clean(&self) -> bool {
+        self.regressions.is_empty()
+    }
+
+    /// Renders the report for terminal output.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for note in &self.skipped {
+            let _ = writeln!(out, "  (skipped) {note}");
+        }
+        for regression in &self.regressions {
+            let _ = writeln!(out, "  REGRESSION {regression}");
+        }
+        let _ = writeln!(
+            out,
+            "{} cells compared, {} skipped, {} regressions",
+            self.compared,
+            self.skipped.len(),
+            self.regressions.len()
+        );
+        out
+    }
+}
+
+fn as_f64(value: &Json) -> Option<f64> {
+    match value {
+        Json::Int(i) => Some(*i as f64),
+        Json::Num(x) => Some(*x),
+        _ => None,
+    }
+}
+
+fn threshold_for(name: &str, th: &Thresholds) -> f64 {
+    th.per_column
+        .iter()
+        .find(|(col, _)| col == name)
+        .map(|(_, pct)| *pct)
+        .unwrap_or(match classify(name) {
+            ColumnClass::Ratio => th.ratio_pct,
+            ColumnClass::Time => th.time_pct,
+            ColumnClass::Count => th.count_pct,
+        })
+}
+
+/// Compares one numeric cell, pushing a regression line if it trips.
+fn compare_cell(
+    context: &str,
+    name: &str,
+    baseline: f64,
+    candidate: f64,
+    th: &Thresholds,
+    report: &mut DiffReport,
+) {
+    report.compared += 1;
+    let pct = threshold_for(name, th);
+    let frac = pct / 100.0;
+    let tripped = match classify(name) {
+        // Times near the clock floor jitter wildly in relative terms; a
+        // 5 µs absolute floor keeps sub-threshold noise out of the gate.
+        ColumnClass::Time => candidate > baseline * (1.0 + frac) && candidate - baseline > 0.005,
+        ColumnClass::Ratio => candidate < baseline * (1.0 - frac),
+        ColumnClass::Count => (candidate - baseline).abs() > baseline.abs() * frac + 1e-9,
+    };
+    if tripped {
+        report.regressions.push(format!(
+            "{context}{name}: {baseline} → {candidate} (threshold {pct}%)"
+        ));
+    }
+}
+
+/// A row's identity: its string/bool fields plus the structural ints.
+fn row_identity(row: &Json) -> Vec<(String, String)> {
+    let Json::Obj(pairs) = row else {
+        return Vec::new();
+    };
+    pairs
+        .iter()
+        .filter(|(k, v)| {
+            matches!(v, Json::Str(_) | Json::Bool(_))
+                || (matches!(v, Json::Int(_)) && IDENTITY_INTS.contains(&k.as_str()))
+        })
+        .map(|(k, v)| (k.clone(), v.to_string()))
+        .collect()
+}
+
+fn identity_label(identity: &[(String, String)]) -> String {
+    let parts: Vec<String> = identity
+        .iter()
+        .map(|(k, v)| format!("{k}={}", v.trim_matches('"')))
+        .collect();
+    parts.join(" ")
+}
+
+fn diff_rows(
+    table: &str,
+    baseline: &Json,
+    candidate: &Json,
+    th: &Thresholds,
+    report: &mut DiffReport,
+) {
+    let (Json::Obj(base_pairs), Json::Obj(cand_pairs)) = (baseline, candidate) else {
+        return;
+    };
+    let context = format!("{table}[{}] ", identity_label(&row_identity(baseline)));
+    for (name, base_value) in base_pairs {
+        let Some(base_num) = as_f64(base_value) else {
+            continue;
+        };
+        if IDENTITY_INTS.contains(&name.as_str()) {
+            continue;
+        }
+        match cand_pairs.iter().find(|(k, _)| k == name) {
+            Some((_, cand_value)) => {
+                if let Some(cand_num) = as_f64(cand_value) {
+                    compare_cell(&context, name, base_num, cand_num, th, report);
+                }
+            }
+            None => report
+                .skipped
+                .push(format!("{context}column {name} missing from candidate")),
+        }
+    }
+}
+
+fn diff_bench(base_root: &Json, cand_root: &Json, th: &Thresholds, report: &mut DiffReport) {
+    let Json::Obj(base_pairs) = base_root else {
+        return;
+    };
+    for (field, base_value) in base_pairs {
+        if field == "cores" || field == "test_mode" || field == "bench" {
+            continue;
+        }
+        let Some(cand_value) = cand_root.get(field) else {
+            report
+                .skipped
+                .push(format!("section {field} missing from candidate"));
+            continue;
+        };
+        match (base_value, cand_value) {
+            (Json::Arr(base_rows), Json::Arr(cand_rows)) => {
+                for base_row in base_rows {
+                    let identity = row_identity(base_row);
+                    match cand_rows.iter().find(|r| row_identity(r) == identity) {
+                        Some(cand_row) => diff_rows(field, base_row, cand_row, th, report),
+                        None => report.skipped.push(format!(
+                            "{field}[{}] missing from candidate",
+                            identity_label(&identity)
+                        )),
+                    }
+                }
+            }
+            _ => {
+                if let (Some(base_num), Some(cand_num)) = (as_f64(base_value), as_f64(cand_value)) {
+                    compare_cell("", field, base_num, cand_num, th, report);
+                }
+            }
+        }
+    }
+}
+
+fn diff_counters(
+    baseline: &[(String, i64)],
+    candidate: &[(String, i64)],
+    th: &Thresholds,
+    report: &mut DiffReport,
+) {
+    let get =
+        |side: &[(String, i64)], name: &str| side.iter().find(|(k, _)| k == name).map(|(_, v)| *v);
+    for (name, base) in baseline {
+        let cand = get(candidate, name).unwrap_or(0);
+        compare_cell("", name, *base as f64, cand as f64, th, report);
+    }
+    for (name, cand) in candidate {
+        if get(baseline, name).is_none() {
+            compare_cell("", name, 0.0, *cand as f64, th, report);
+        }
+    }
+}
+
+/// Diffs a candidate against a baseline.
+///
+/// # Errors
+///
+/// Mismatched input kinds, different `bench` names, or different
+/// `cores` (unless [`Thresholds::ignore_cores`]); these are usage
+/// errors, distinct from regressions.
+pub fn diff(
+    baseline: &DiffInput,
+    candidate: &DiffInput,
+    th: &Thresholds,
+) -> Result<DiffReport, String> {
+    let mut report = DiffReport::default();
+    match (baseline, candidate) {
+        (
+            DiffInput::Bench {
+                name: base_name,
+                cores: base_cores,
+                root: base_root,
+            },
+            DiffInput::Bench {
+                name: cand_name,
+                cores: cand_cores,
+                root: cand_root,
+            },
+        ) => {
+            if base_name != cand_name {
+                return Err(format!(
+                    "refusing to compare different benches: `{base_name}` vs `{cand_name}`"
+                ));
+            }
+            if base_cores != cand_cores && !th.ignore_cores {
+                return Err(format!(
+                    "refusing cross-cores comparison: baseline measured on {base_cores} \
+                     core(s), candidate on {cand_cores} (pass --ignore-cores to override)"
+                ));
+            }
+            diff_bench(base_root, cand_root, th, &mut report);
+        }
+        (
+            DiffInput::Counters { counters: base, .. },
+            DiffInput::Counters { counters: cand, .. },
+        ) => diff_counters(base, cand, th, &mut report),
+        _ => {
+            return Err(
+                "cannot compare a BENCH_*.json artifact against a counter snapshot".to_string(),
+            )
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ARTIFACT: &str = r#"{"bench":"explorer","cores":1,"test_mode":false,"tm":"fgp","comparison":[{"processes":2,"depth":8,"schedules":256,"dfs_seq_ms":0.5,"executed_schedules":33,"speedup_dfs_vs_naive":4.5}]}"#;
+
+    #[test]
+    fn self_diff_is_clean() {
+        let input = DiffInput::load(ARTIFACT).expect("load");
+        let report = diff(&input, &input, &Thresholds::default()).expect("diff");
+        assert!(report.is_clean(), "{report:?}");
+        assert!(report.compared > 0);
+    }
+
+    #[test]
+    fn regressions_trip_per_class() {
+        let base = DiffInput::load(ARTIFACT).expect("load");
+        // Time ×10, count drifted, speedup halved: three regressions.
+        let regressed = ARTIFACT
+            .replace("\"dfs_seq_ms\":0.5", "\"dfs_seq_ms\":5.0")
+            .replace("\"executed_schedules\":33", "\"executed_schedules\":40")
+            .replace(
+                "\"speedup_dfs_vs_naive\":4.5",
+                "\"speedup_dfs_vs_naive\":2.0",
+            );
+        let cand = DiffInput::load(&regressed).expect("load");
+        let report = diff(&base, &cand, &Thresholds::default()).expect("diff");
+        assert_eq!(report.regressions.len(), 3, "{report:?}");
+        // An improvement in every class is not a regression.
+        let improved = ARTIFACT
+            .replace("\"dfs_seq_ms\":0.5", "\"dfs_seq_ms\":0.1")
+            .replace(
+                "\"speedup_dfs_vs_naive\":4.5",
+                "\"speedup_dfs_vs_naive\":9.0",
+            );
+        let cand = DiffInput::load(&improved).expect("load");
+        let report = diff(&base, &cand, &Thresholds::default()).expect("diff");
+        assert!(report.is_clean(), "{report:?}");
+    }
+
+    #[test]
+    fn refuses_cross_cores_unless_overridden() {
+        let base = DiffInput::load(ARTIFACT).expect("load");
+        let other = ARTIFACT.replace("\"cores\":1", "\"cores\":8");
+        let cand = DiffInput::load(&other).expect("load");
+        assert!(diff(&base, &cand, &Thresholds::default()).is_err());
+        let th = Thresholds {
+            ignore_cores: true,
+            ..Thresholds::default()
+        };
+        assert!(diff(&base, &cand, &th).expect("diff").is_clean());
+    }
+
+    #[test]
+    fn missing_rows_are_skipped_not_regressions() {
+        let base = DiffInput::load(ARTIFACT).expect("load");
+        let shallow = r#"{"bench":"explorer","cores":1,"test_mode":true,"tm":"fgp","comparison":[{"processes":2,"depth":4,"schedules":16,"dfs_seq_ms":0.1}]}"#;
+        let cand = DiffInput::load(shallow).expect("load");
+        let report = diff(&base, &cand, &Thresholds::default()).expect("diff");
+        assert!(report.is_clean(), "{report:?}");
+        assert!(!report.skipped.is_empty());
+    }
+
+    #[test]
+    fn counter_snapshots_diff_from_streams() {
+        let stream_a =
+            "{\"v\":1,\"ev\":\"counter_snapshot\",\"t_ms\":0.1,\"label\":\"fgp\",\"counters\":{\"schedules_executed\":33,\"memo_hits\":5}}\n";
+        let stream_b =
+            "{\"v\":1,\"ev\":\"counter_snapshot\",\"t_ms\":0.1,\"label\":\"fgp\",\"counters\":{\"schedules_executed\":35,\"memo_hits\":5}}\n";
+        let a = DiffInput::load(stream_a).expect("load");
+        let b = DiffInput::load(stream_b).expect("load");
+        assert!(diff(&a, &a, &Thresholds::default())
+            .expect("diff")
+            .is_clean());
+        let report = diff(&a, &b, &Thresholds::default()).expect("diff");
+        assert_eq!(report.regressions.len(), 1, "{report:?}");
+        // A per-column waiver admits the drift.
+        let th = Thresholds {
+            per_column: vec![("schedules_executed".to_string(), 10.0)],
+            ..Thresholds::default()
+        };
+        assert!(diff(&a, &b, &th).expect("diff").is_clean());
+    }
+}

@@ -1,0 +1,166 @@
+//! Witness timelines: `violation` / `lasso_found` events and their
+//! adjacent `trace` events rendered as annotated per-step tables.
+//!
+//! The producers emit each `trace` event immediately after the witness
+//! event it annotates (see the tm-telemetry module docs), so this
+//! renderer carries the most recent witness context forward and prints
+//! one block per trace: run header, the witness annotation (violation
+//! detail, or the lasso's starving/parasitic classification), then the
+//! replayed per-step timeline — step index, process, operation, TM
+//! response, and the canonical state digest after the step. For lassos
+//! the cycle suffix is marked: every state digest inside it recurs
+//! forever under the repeated schedule.
+
+use crate::event::{parse_stream, EventBody, ParseError, TraceStep};
+
+/// The witness event most recently seen, carried to its trace.
+enum Pending {
+    Violation {
+        detail: String,
+    },
+    Lasso {
+        starving: Vec<i64>,
+        parasitic: Vec<i64>,
+    },
+}
+
+fn render_procs(ps: &[i64]) -> String {
+    if ps.is_empty() {
+        "none".to_string()
+    } else {
+        let items: Vec<String> = ps.iter().map(|p| format!("p{p}")).collect();
+        items.join(", ")
+    }
+}
+
+fn render_steps(out: &mut String, steps: &[TraceStep], cycle_start: Option<usize>) {
+    use std::fmt::Write as _;
+    let op_width = steps.iter().map(|s| s.op.len()).max().unwrap_or(2).max(2);
+    let _ = writeln!(
+        out,
+        "    step  p  {:<op_width$}  {:<8}  digest",
+        "op", "resp"
+    );
+    for (i, step) in steps.iter().enumerate() {
+        if Some(i) == cycle_start {
+            let _ = writeln!(out, "    ↻ cycle (repeats forever):");
+        }
+        let _ = writeln!(
+            out,
+            "    {i:>4}  {}  {:<op_width$}  {:<8}  {}",
+            step.process,
+            step.op,
+            step.resp.as_deref().unwrap_or("·"),
+            step.digest.as_deref().unwrap_or("-"),
+        );
+    }
+}
+
+/// Renders every witness timeline in the stream.
+///
+/// Returns a human-readable report, one block per `trace` event; an
+/// empty string when the stream carries no traces.
+///
+/// # Errors
+///
+/// Propagates the first [`ParseError`] (malformed line or version
+/// bump).
+pub fn explain(text: &str) -> Result<String, ParseError> {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let mut run = ("?".to_string(), "?".to_string());
+    let mut pending: Option<Pending> = None;
+    for env in parse_stream(text)? {
+        match env.body {
+            EventBody::RunStart { engine, tm, .. } => {
+                run = (engine, tm);
+                pending = None;
+            }
+            EventBody::Violation { detail, .. } => pending = Some(Pending::Violation { detail }),
+            EventBody::LassoFound {
+                starving,
+                parasitic,
+                ..
+            } => {
+                pending = Some(Pending::Lasso {
+                    starving,
+                    parasitic,
+                })
+            }
+            EventBody::Trace {
+                kind,
+                idx,
+                schedule,
+                cycle_start,
+                steps,
+                ..
+            } => {
+                let schedule_text: Vec<String> = schedule.iter().map(ToString::to_string).collect();
+                let _ = writeln!(
+                    out,
+                    "━ {}/{} · {kind} #{idx} · schedule [{}]",
+                    run.0,
+                    run.1,
+                    schedule_text.join(",")
+                );
+                match pending.take() {
+                    Some(Pending::Violation { detail }) => {
+                        let _ = writeln!(out, "    detail: {detail}");
+                    }
+                    Some(Pending::Lasso {
+                        starving,
+                        parasitic,
+                    }) => {
+                        let _ = writeln!(
+                            out,
+                            "    starving: {} · parasitic: {}",
+                            render_procs(&starving),
+                            render_procs(&parasitic)
+                        );
+                    }
+                    None => {}
+                }
+                let cycle = cycle_start.and_then(|c| usize::try_from(c).ok());
+                render_steps(&mut out, &steps, cycle);
+                if cycle.is_some() {
+                    let _ = writeln!(
+                        out,
+                        "    (the cycle's end state digest equals its start: the suffix repeats)"
+                    );
+                }
+                out.push('\n');
+            }
+            _ => {}
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_violation_and_lasso_blocks() {
+        let stream = concat!(
+            "{\"v\":1,\"ev\":\"run_start\",\"t_ms\":0.1,\"engine\":\"explore\",\"tm\":\"literal-fgp\",\"depth\":8,\"processes\":2}\n",
+            "{\"v\":1,\"ev\":\"violation\",\"t_ms\":0.2,\"engine\":\"explore\",\"schedule\":[0,1],\"detail\":\"no serialization\"}\n",
+            "{\"v\":1,\"ev\":\"trace\",\"t_ms\":0.3,\"engine\":\"explore\",\"kind\":\"violation\",\"idx\":0,\"schedule\":[0,1],\"steps\":[{\"p\":0,\"op\":\"x.read\",\"resp\":\"0\",\"digest\":\"00ff\"},{\"p\":1,\"op\":\"x.write(5)\",\"resp\":null,\"digest\":\"11ee\"}]}\n",
+            "{\"v\":1,\"ev\":\"run_start\",\"t_ms\":0.4,\"engine\":\"livecheck\",\"tm\":\"fgp\",\"depth\":8,\"processes\":2}\n",
+            "{\"v\":1,\"ev\":\"lasso_found\",\"t_ms\":0.5,\"prefix_len\":1,\"cycle_len\":1,\"starving\":[1],\"parasitic\":[]}\n",
+            "{\"v\":1,\"ev\":\"trace\",\"t_ms\":0.6,\"engine\":\"livecheck\",\"kind\":\"lasso\",\"idx\":0,\"schedule\":[0,0],\"cycle_start\":1,\"steps\":[{\"p\":0,\"op\":\"tryC\",\"resp\":\"C\",\"digest\":\"aa\"},{\"p\":0,\"op\":\"tryC\",\"resp\":\"C\",\"digest\":\"aa\"}]}\n",
+        );
+        let report = explain(stream).expect("explain");
+        assert!(
+            report.contains("explore/literal-fgp · violation #0"),
+            "{report}"
+        );
+        assert!(report.contains("detail: no serialization"), "{report}");
+        assert!(report.contains("x.write(5)"), "{report}");
+        assert!(report.contains("livecheck/fgp · lasso #0"), "{report}");
+        assert!(report.contains("starving: p1"), "{report}");
+        assert!(report.contains("↻ cycle"), "{report}");
+        // A withheld response renders as a placeholder, not "null".
+        assert!(report.contains('·'), "{report}");
+    }
+}

@@ -4,8 +4,9 @@
 
 use tm_core::{Event, Invocation, ProcessId, Response};
 use tm_stm::{BoxedTm, Outcome, SteppedTm, TmPool};
+use tm_telemetry::{Json, Telemetry};
 
-use crate::workload::Client;
+use crate::workload::{Client, ClientScript};
 
 /// What one scheduler step of one process did, as recorded by
 /// [`SearchSpace::step`]. A step is either the delivery attempt of a
@@ -145,6 +146,81 @@ pub trait SearchSpace {
     /// invocation and response coincides); this is what the seen sets
     /// and the graph interner hash.
     fn config_key(&self, tm: &BoxedTm) -> Option<(u64, u64)>;
+}
+
+/// Replays `schedule` from the initial configuration — `tm` fresh from
+/// Identity of the witness a `trace` event annotates: which engine and
+/// event kind it is adjacent to, its index within the run, and (for
+/// lassos) where the repeated cycle begins in the schedule.
+pub(crate) struct TraceWitness<'a> {
+    /// The producing engine (`"explore"` / `"livecheck"`).
+    pub engine: &'a str,
+    /// `"violation"` or `"lasso"`.
+    pub kind: &'a str,
+    /// Witness index within the run.
+    pub idx: usize,
+    /// Lasso only: the step index where the cycle starts.
+    pub cycle_start: Option<usize>,
+}
+
+/// Replays `schedule` from the initial configuration — `tm` fresh from
+/// the factory (or a fork of the root) and clients fresh from `scripts`
+/// — and emits one v1 `trace` event annotating the witness: a
+/// `{"p","op","resp","digest"}` object per scheduler step, the digest
+/// taken *after* the step (the canonical fingerprint of the state the
+/// step produced). Stepping is deterministic, so the replay reproduces
+/// exactly the history the search recorded for this schedule; it runs
+/// outside the search hot path and touches no counters, so enabling
+/// traces cannot perturb [`tm_telemetry::Snapshot`] equality.
+pub(crate) fn emit_trace(
+    telemetry: &Telemetry,
+    witness: &TraceWitness<'_>,
+    mut tm: BoxedTm,
+    scripts: &[ClientScript],
+    parasitic: u64,
+    schedule: &[ProcessId],
+) {
+    let mut clients: Vec<Client> = scripts.iter().cloned().map(Client::new).collect();
+    let mut history = Vec::new();
+    let mut steps = Vec::with_capacity(schedule.len());
+    for &p in schedule {
+        let k = p.0;
+        let record = step_process(
+            &mut tm,
+            &mut clients,
+            k,
+            parasitic & (1 << k) != 0,
+            &mut history,
+        );
+        let op = match record {
+            StepRecord::Polled(_) => "poll".to_string(),
+            StepRecord::Call(inv, _) | StepRecord::Withheld(inv) => inv.to_string(),
+        };
+        let resp = record
+            .response()
+            .map_or(Json::Null, |r| Json::str(r.to_string()));
+        let mut step = vec![
+            ("p".to_string(), Json::Int(k as i64)),
+            ("op".to_string(), Json::Str(op)),
+            ("resp".to_string(), resp),
+        ];
+        if let Some(digest) = tm.state_digest() {
+            step.push(("digest".to_string(), Json::Str(format!("{digest:016x}"))));
+        }
+        steps.push(Json::Obj(step));
+    }
+    let schedule_json = Json::Arr(schedule.iter().map(|p| Json::Int(p.0 as i64)).collect());
+    let mut fields = vec![
+        ("engine", Json::str(witness.engine)),
+        ("kind", Json::str(witness.kind)),
+        ("idx", Json::Int(witness.idx as i64)),
+        ("schedule", schedule_json),
+    ];
+    if let Some(start) = witness.cycle_start {
+        fields.push(("cycle_start", Json::Int(start as i64)));
+    }
+    fields.push(("steps", Json::Arr(steps)));
+    telemetry.event("trace", &fields);
 }
 
 /// Branches `parent` through the pool and steps process `k` on the

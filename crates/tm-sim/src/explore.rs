@@ -235,7 +235,9 @@ use tm_telemetry::{Counter, Json, Telemetry, Timer};
 use crate::engine::frontier;
 use crate::engine::memo::{SeenSet, StripedTable};
 use crate::engine::reduction::{self, Dpor, Feet, OptimalDpor, WakeupTree};
-use crate::engine::space::{expand_child, step_process, SearchSpace, StepRecord};
+use crate::engine::space::{
+    emit_trace, expand_child, step_process, SearchSpace, StepRecord, TraceWitness,
+};
 use crate::workload::{clients_digest, Client, ClientMark, ClientScript};
 
 /// A definitive safety violation found during exploration.
@@ -1216,7 +1218,7 @@ where
     telemetry.add(Counter::ViolationsFound, out.violations.len() as u64);
     telemetry.add(Counter::SleepSetBlocks, out.pruned_subtrees as u64);
     if telemetry.streams() {
-        for v in out.violations.iter().take(8) {
+        for (idx, v) in out.violations.iter().take(8).enumerate() {
             telemetry.event(
                 "violation",
                 &[
@@ -1227,6 +1229,22 @@ where
                     ),
                     ("detail", Json::str(v.detail.as_str())),
                 ],
+            );
+            // The witness timeline: a deterministic replay of the
+            // violating schedule from a fresh TM, one `trace` event per
+            // violation, adjacent to it in the stream.
+            emit_trace(
+                &telemetry,
+                &TraceWitness {
+                    engine: "explore",
+                    kind: "violation",
+                    idx,
+                    cycle_start: None,
+                },
+                factory(),
+                scripts,
+                0,
+                &v.schedule,
             );
         }
         telemetry.heartbeat_now(

@@ -171,7 +171,7 @@ use tm_telemetry::{Counter, Json, Telemetry, Timer};
 
 use crate::engine::frontier;
 use crate::engine::memo::Interner;
-use crate::engine::space::{step_process, SearchSpace, StepRecord};
+use crate::engine::space::{emit_trace, step_process, SearchSpace, StepRecord, TraceWitness};
 use crate::workload::{clients_digest, Client, ClientMark, ClientScript};
 
 pub use tm_liveness::ProcessCycleVerdicts;
@@ -546,6 +546,11 @@ struct Search<'a> {
     seen_cycles: HashSet<u64>,
     lassos: Vec<LassoFinding>,
     truncated: bool,
+    /// A fork of the root TM plus the scripts, kept only when the
+    /// telemetry handle streams: each stored lasso finding is replayed
+    /// from here (out of band, off the counters) to emit its `trace`
+    /// event adjacent to the `lasso_found` event.
+    trace_seed: Option<(BoxedTm, Vec<ClientScript>)>,
 }
 
 impl Search<'_> {
@@ -746,6 +751,26 @@ impl Search<'_> {
                             ("parasitic", procs(&finding.parasitic())),
                         ],
                     );
+                    // The witness timeline: replay prefix + cycle from a
+                    // fork of the root, one `trace` event per stored
+                    // lasso, adjacent to its `lasso_found` event.
+                    if let Some((root, scripts)) = &self.trace_seed {
+                        let mut schedule = finding.schedule_prefix.clone();
+                        schedule.extend_from_slice(&finding.schedule_cycle);
+                        emit_trace(
+                            &self.config.telemetry,
+                            &TraceWitness {
+                                engine: "livecheck",
+                                kind: "lasso",
+                                idx: self.lassos.len(),
+                                cycle_start: Some(finding.schedule_prefix.len()),
+                            },
+                            root.fork(),
+                            scripts,
+                            self.config.parasitic,
+                            &schedule,
+                        );
+                    }
                 }
                 self.lassos.push(finding);
             }
@@ -755,7 +780,11 @@ impl Search<'_> {
 
     /// Assembles the report: counters, findings, and the SCC-certified
     /// verdicts (fanned over the rayon pool when `parallel`).
-    fn into_report(self, tm: String, depth: usize, parallel: bool) -> LivecheckReport {
+    fn into_report(mut self, tm: String, depth: usize, parallel: bool) -> LivecheckReport {
+        // The pool normally flushes its fork tallies at drop, which is
+        // after the counter_snapshot below — flush now so the emitted
+        // snapshot carries the complete run.
+        self.pool.flush_counters();
         let processes = self.space.width();
         let graph: Vec<Vec<CycleEdge>> = self
             .nodes
@@ -867,6 +896,7 @@ fn fresh_search<'a>(
         seen_cycles: HashSet::new(),
         lassos: Vec::new(),
         truncated: false,
+        trace_seed: None,
     }
 }
 
@@ -957,6 +987,9 @@ fn livecheck_parallel(
     // levels concurrently; the merge interns successors in parent-then-
     // process order, so ids are the canonical BFS discovery order.
     let mut search = fresh_search(config, scripts, TmPool::disabled(), true);
+    if config.telemetry.streams() {
+        search.trace_seed = Some((tm.fork(), scripts.to_vec()));
+    }
     let recycle = TmPool::for_tm(&tm).recycles();
     let root_key = search.key_of(&tm);
     let root = search.intern(root_key);
@@ -1081,6 +1114,9 @@ where
     }
     let pool = TmPool::for_tm(&tm).instrument(&config.telemetry);
     let mut search = fresh_search(config, scripts, pool, config.reduce);
+    if config.telemetry.streams() {
+        search.trace_seed = Some((tm.fork(), scripts.to_vec()));
+    }
     let root_key = search.key_of(&tm);
     let root = search.intern(root_key);
     {

@@ -351,8 +351,7 @@ impl Drop for TmPool {
     fn drop(&mut self) {
         // Flush the branch tallies once per pool lifetime so the hot
         // fork path pays plain integer increments, never atomics.
-        self.telemetry.add(Counter::TmForks, self.forks);
-        self.telemetry.add(Counter::TmReforks, self.reforks);
+        self.flush_counters();
     }
 }
 
@@ -391,6 +390,18 @@ impl TmPool {
     /// Whether the pooled TM type supports allocation-free reforking.
     pub fn recycles(&self) -> bool {
         self.recycle
+    }
+
+    /// Flushes the fork/refork tallies to the attached telemetry handle
+    /// now rather than at drop — engines that emit a `counter_snapshot`
+    /// while the pool is still alive must call this first, or the
+    /// snapshot under-reports [`Counter::TmForks`] /
+    /// [`Counter::TmReforks`]. Idempotent: the tallies reset to zero.
+    pub fn flush_counters(&mut self) {
+        self.telemetry
+            .add(Counter::TmForks, std::mem::take(&mut self.forks));
+        self.telemetry
+            .add(Counter::TmReforks, std::mem::take(&mut self.reforks));
     }
 
     /// Attaches a telemetry handle: the pool tallies forks/reforks

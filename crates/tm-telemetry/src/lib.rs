@@ -86,6 +86,7 @@
 //! | `heartbeat` | `engine` plus live gauges (e.g. `steps`, `steps_per_sec`, `states`, `frontier`, `dedup_hit_rate`) |
 //! | `lasso_found` | `prefix_len`, `cycle_len`, `starving`, `parasitic` (process index arrays) |
 //! | `violation` | `engine`, `schedule` (process index array), `detail` |
+//! | `trace` | `engine`, `kind` (`"violation"` \| `"lasso"`), `idx` (witness index within the run), `schedule` (process index array), `cycle_start` (lasso only: step index where the repeated cycle begins), `steps` (per-step objects `{"p","op","resp","digest"}`: process, operation, TM response — `null` while withheld — and the canonical state fingerprint after the step, present when the TM implements `state_digest`) |
 //! | `verdict` | `engine`, `tm`, plus the engine's headline result (`all_opaque` + `schedules`, or `starvation_free` + `states`/`edges`/`lassos`) |
 //! | `counter_snapshot` | `label`, `counters` (object of non-zero counters), `timers` (object of log2 bucket arrays, only with timing) |
 //!
@@ -94,6 +95,23 @@
 //! Heartbeats are rate-limited ([`Telemetry::heartbeat`]); each checker
 //! run additionally emits one final unconditional heartbeat before its
 //! `verdict`, so even sub-millisecond runs produce at least one.
+//! Each `trace` event immediately follows the `violation` /
+//! `lasso_found` event it annotates, and is produced by a deterministic
+//! out-of-band replay of the witness schedule — never by the search hot
+//! path — so enabling traces cannot perturb [`Snapshot`] equality.
+//!
+//! # Consuming the stream
+//!
+//! The workspace ships a reference consumer: the `tm-obs` crate
+//! (`crates/tm-obs`), a typed forward-compatible parser for this schema
+//! plus a binary with four subcommands — `tm-obs summary` (per-run
+//! reports and a TM × config verdict matrix), `tm-obs tail` (live
+//! single-line progress rendered from heartbeats), `tm-obs explain`
+//! (annotated per-step witness timelines from `trace` events) and
+//! `tm-obs diff` (threshold-based regression comparison of counter
+//! snapshots and `BENCH_*.json` artifacts; CI's perf gate). New
+//! consumers — the portfolio service above all — should build on
+//! `tm_obs::event` rather than re-parsing lines by hand.
 //!
 //! # Timing histograms
 //!
@@ -128,6 +146,7 @@ pub const EVENT_TAGS: &[&str] = &[
     "heartbeat",
     "lasso_found",
     "violation",
+    "trace",
     "verdict",
     "counter_snapshot",
 ];

@@ -22,7 +22,11 @@
 //!   the bounded-exhaustive interleaving model checker;
 //! * [`telemetry`] — engine-wide counters, phase spans and the NDJSON
 //!   event stream both checkers emit (see its module docs for the wire
-//!   schema and the counter-semantics contract).
+//!   schema and the counter-semantics contract);
+//! * [`obs`] — the consumer side of that stream: a typed
+//!   forward-compatible parser plus run summaries, live progress,
+//!   witness timelines and the `BENCH_*.json` regression diff behind
+//!   the `tm-obs` binary.
 //!
 //! ## Quickstart
 //!
@@ -47,6 +51,7 @@ pub use tm_adversary as adversary;
 pub use tm_automata as automata;
 pub use tm_core as core;
 pub use tm_liveness as liveness;
+pub use tm_obs as obs;
 pub use tm_safety as safety;
 pub use tm_sim as sim;
 pub use tm_stm as stm;

@@ -74,6 +74,42 @@ fn count(events: &[(String, Json)], tag: &str) -> usize {
     events.iter().filter(|(t, _)| t == tag).count()
 }
 
+/// The `trace` contract (tm-telemetry module docs): every step object
+/// carries a process, an operation, and — for the digest-capable
+/// catalogue — a non-empty state fingerprint.
+fn assert_trace_steps_well_formed(trace: &Json) {
+    let Some(Json::Arr(steps)) = trace.get("steps") else {
+        panic!("trace must carry a steps array: {trace}");
+    };
+    let Some(Json::Arr(schedule)) = trace.get("schedule") else {
+        panic!("trace must carry its schedule: {trace}");
+    };
+    assert_eq!(
+        steps.len(),
+        schedule.len(),
+        "one step object per scheduled step: {trace}"
+    );
+    for (step, scheduled) in steps.iter().zip(schedule) {
+        assert_eq!(
+            step.get("p").and_then(Json::as_int),
+            scheduled.as_int(),
+            "step process must match the schedule: {trace}"
+        );
+        assert!(
+            step.get("op")
+                .and_then(Json::as_str)
+                .is_some_and(|op| !op.is_empty()),
+            "step must carry an operation: {trace}"
+        );
+        assert!(
+            step.get("digest")
+                .and_then(Json::as_str)
+                .is_some_and(|d| !d.is_empty()),
+            "catalogue TMs fingerprint: digest must be non-empty: {trace}"
+        );
+    }
+}
+
 #[test]
 fn livecheck_catalogue_stream_is_schema_valid() {
     let path = std::env::temp_dir().join(format!(
@@ -104,6 +140,41 @@ fn livecheck_catalogue_stream_is_schema_valid() {
     assert_eq!(count(&events, "phase_start"), count(&events, "phase_end"));
     assert!(count(&events, "heartbeat") >= tms, "missing heartbeats");
     assert_eq!(count(&events, "counter_snapshot"), tms);
+
+    // Every stored lasso is immediately followed by its witness
+    // timeline: a `trace` event whose schedule replays prefix + cycle.
+    assert!(count(&events, "lasso_found") >= 1, "no lasso streamed");
+    assert_eq!(count(&events, "lasso_found"), count(&events, "trace"));
+    for (i, (tag, lasso)) in events.iter().enumerate() {
+        if tag != "lasso_found" {
+            continue;
+        }
+        let (next_tag, trace) = events
+            .get(i + 1)
+            .unwrap_or_else(|| panic!("lasso_found at line {} ends the stream", i + 1));
+        assert_eq!(next_tag, "trace", "trace must be adjacent to its lasso");
+        assert_eq!(
+            trace.get("engine").and_then(Json::as_str),
+            Some("livecheck")
+        );
+        assert_eq!(trace.get("kind").and_then(Json::as_str), Some("lasso"));
+        let prefix_len = lasso.get("prefix_len").and_then(Json::as_int).unwrap();
+        let cycle_len = lasso.get("cycle_len").and_then(Json::as_int).unwrap();
+        assert_eq!(
+            trace.get("cycle_start").and_then(Json::as_int),
+            Some(prefix_len),
+            "cycle marker must sit at the end of the prefix: {trace}"
+        );
+        match trace.get("schedule") {
+            Some(Json::Arr(s)) => assert_eq!(
+                s.len() as i64,
+                prefix_len + cycle_len,
+                "trace schedule must replay prefix + cycle: {trace}"
+            ),
+            other => panic!("trace schedule missing or mistyped: {other:?}"),
+        }
+        assert_trace_steps_well_formed(trace);
+    }
 
     // Verdicts carry the per-TM outcome fields in catalogue order.
     let verdicts: Vec<&Json> = events
@@ -169,6 +240,31 @@ fn explorer_stream_is_schema_valid() {
         matches!(violation.get("schedule"), Some(Json::Arr(s)) if !s.is_empty()),
         "violation must carry its schedule: {violation}"
     );
+
+    // Every streamed violation is immediately followed by its witness
+    // timeline, replaying exactly the violating schedule.
+    assert_eq!(count(&events, "violation"), count(&events, "trace"));
+    for (i, (tag, violation)) in events.iter().enumerate() {
+        if tag != "violation" {
+            continue;
+        }
+        let (next_tag, trace) = events
+            .get(i + 1)
+            .unwrap_or_else(|| panic!("violation at line {} ends the stream", i + 1));
+        assert_eq!(next_tag, "trace", "trace must be adjacent to its violation");
+        assert_eq!(trace.get("engine").and_then(Json::as_str), Some("explore"));
+        assert_eq!(trace.get("kind").and_then(Json::as_str), Some("violation"));
+        assert_eq!(
+            trace.get("schedule"),
+            violation.get("schedule"),
+            "trace must replay the violating schedule verbatim"
+        );
+        assert!(
+            trace.get("cycle_start").is_none(),
+            "violation traces are finite — no cycle marker: {trace}"
+        );
+        assert_trace_steps_well_formed(trace);
+    }
 }
 
 #[test]
