@@ -268,8 +268,19 @@ fn emit_json(_c: &mut Criterion) {
         let report = livecheck(&*factory, &scripts, &config);
         // The reduced sample run carries counter-mode telemetry so the
         // artifact rows gain the engine's own tallies (memo traffic, TM
-        // fork/refork counts) alongside the report fields.
-        let reduced_telemetry = Telemetry::counters();
+        // fork/refork counts) alongside the report fields. When
+        // `TM_TELEMETRY` is set (the CI smoke streams to a file the
+        // `tm-obs summary --require-verdicts` gate then consumes), the
+        // sample streams the full NDJSON run — run_start through
+        // verdict — instead of only accumulating counters.
+        let reduced_telemetry = {
+            let streamed = Telemetry::from_env();
+            if streamed.streams() {
+                streamed
+            } else {
+                Telemetry::counters()
+            }
+        };
         let reduced = livecheck(
             &*factory,
             &scripts,

@@ -17,7 +17,10 @@
 //!   search;
 //! * [`scc`] — certified cycle-existence verdicts (starving / parasitic /
 //!   blocked / progressing) over explored state graphs, by per-process
-//!   Tarjan SCC passes with an embarrassingly parallel rayon entry point;
+//!   Tarjan SCC passes with an embarrassingly parallel rayon entry point,
+//!   plus fairness-filtered variants ([`certify_fair_cycles`]) that keep
+//!   only cycles scheduling every live process infinitely often and
+//!   separate crash-induced from TM-induced starvation;
 //! * [`figures`] — the paper's infinite-history figures (5, 6, 7, 9, 10,
 //!   12, 13, 14) as ready-made lassos.
 //!
@@ -50,4 +53,7 @@ pub use meta::{satisfies_biprogressing_condition, satisfies_nonblocking_conditio
 pub use properties::{
     GlobalProgress, LocalProgress, PriorityProgress, SoloProgress, TmLivenessProperty,
 };
-pub use scc::{certify_cycles, certify_cycles_parallel, CycleEdge, ProcessCycleVerdicts};
+pub use scc::{
+    certify_cycles, certify_cycles_parallel, certify_fair_cycles, CycleEdge, FairProcessVerdicts,
+    ProcessCycleVerdicts,
+};

@@ -181,6 +181,157 @@ fn verdicts_for(graph: &[Vec<CycleEdge>], full: &[u32], k: usize) -> ProcessCycl
     }
 }
 
+/// Fairness-filtered cycle-existence verdicts for one process.
+///
+/// The plain [`ProcessCycleVerdicts`] quantify over *all* cycles — a
+/// starving verdict may be witnessed by a lasso whose scheduler simply
+/// abandons every other process. The fair verdicts restrict each
+/// existential claim to cycles along which **every live (non-crashed)
+/// process is scheduled infinitely often** — the weak-fairness filter of
+/// the paper's §2 schedules. A flag that holds unfairly but not fairly
+/// is therefore *scheduler-induced*; a flag that survives the filter is
+/// induced by the TM itself (or, when [`FairProcessVerdicts::crash_victim`]
+/// is set, by a crash the TM cannot recover from — the Theorem 1
+/// adversary).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FairProcessVerdicts {
+    /// The process.
+    pub process: ProcessId,
+    /// A fair cycle aborts the process infinitely often, never commits it.
+    pub starving: bool,
+    /// A fair cycle gives the process infinitely many events but finitely
+    /// many `tryC`/aborts.
+    pub parasitic: bool,
+    /// A fair cycle schedules the process forever without a response.
+    pub blocked: bool,
+    /// Some witnessing fair starving/blocked cycle runs in a region of
+    /// the graph where at least one process has crashed: the starvation
+    /// is crash-induced (Theorem 1's shape), not reachable fault-free.
+    pub crash_victim: bool,
+}
+
+/// Whether some `keep`-restricted SCC contains a `want` edge of the
+/// process *and* intra-component edges of every live process — the exact
+/// criterion for a **fair** cycle with the wanted recurring shape.
+///
+/// Soundness and completeness both follow from strong connectivity: any
+/// fair cycle lies inside one SCC of the kept graph and contributes an
+/// intra-component edge per live process plus the recurring want edge;
+/// conversely, given those edges, strong connectivity stitches them into
+/// one closed walk that schedules every live process and repeats the
+/// want edge infinitely often.
+///
+/// `crashed` gives the per-node crashed-process mask (all zeros for a
+/// fault-free graph). Fault masks only grow along edges, so every node
+/// of a cycle-bearing SCC carries the same mask; processes crashed in a
+/// component are exempt from its fairness obligation. Returns the
+/// verdict and whether some witnessing component has a non-empty
+/// crashed mask.
+fn fair_cycle_exists(
+    graph: &[Vec<CycleEdge>],
+    crashed: &[u64],
+    processes: usize,
+    keep: impl Fn(&CycleEdge) -> bool + Copy,
+    want: impl Fn(&CycleEdge) -> bool,
+) -> (bool, bool) {
+    let comp = sccs(graph, keep);
+    let ncomp = comp.iter().copied().max().map_or(0, |c| c as usize + 1);
+    // Per component: which processes have a kept intra-component edge,
+    // whether a want edge is intra-component, and the component's
+    // crashed mask.
+    let mut scheduled = vec![0u64; ncomp];
+    let mut want_hit = vec![false; ncomp];
+    let mut comp_crashed = vec![0u64; ncomp];
+    for (u, edges) in graph.iter().enumerate() {
+        let c = comp[u] as usize;
+        comp_crashed[c] |= crashed[u];
+        for e in edges {
+            if keep(e) && comp[u] == comp[e.target as usize] {
+                scheduled[c] |= 1 << e.process;
+                if want(e) {
+                    want_hit[c] = true;
+                }
+            }
+        }
+    }
+    let live_mask = if processes >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << processes) - 1
+    };
+    let mut holds = false;
+    let mut victim = false;
+    for c in 0..ncomp {
+        let fair = want_hit[c] && (scheduled[c] | comp_crashed[c]) & live_mask == live_mask;
+        holds |= fair;
+        victim |= fair && comp_crashed[c] != 0;
+    }
+    (holds, victim)
+}
+
+/// The three fairness-filtered certificates of one process (see
+/// [`FairProcessVerdicts`]). The filters are exactly those of the unfair
+/// verdicts, so `fair.starving → unfair.starving` etc. by construction.
+fn fair_verdicts_for(
+    graph: &[Vec<CycleEdge>],
+    crashed: &[u64],
+    processes: usize,
+    k: usize,
+) -> FairProcessVerdicts {
+    let p = u8::try_from(k).expect("≤ 64 processes");
+    let (starving, starve_crash) = fair_cycle_exists(
+        graph,
+        crashed,
+        processes,
+        |e| !(e.process == p && e.committed),
+        |e| e.process == p && e.aborted,
+    );
+    let (parasitic, _) = fair_cycle_exists(
+        graph,
+        crashed,
+        processes,
+        |e| !(e.process == p && (e.committed || e.aborted || e.tryc)),
+        |e| e.process == p && e.events > 0,
+    );
+    let (blocked, block_crash) = fair_cycle_exists(
+        graph,
+        crashed,
+        processes,
+        |e| !(e.process == p && e.events > 0),
+        |e| e.process == p && e.events == 0,
+    );
+    FairProcessVerdicts {
+        process: ProcessId(k),
+        starving,
+        parasitic,
+        blocked,
+        crash_victim: starve_crash || block_crash,
+    }
+}
+
+/// Certifies fair starving/parasitic/blocked cycle existence for every
+/// process over the explored graph. `crashed[u]` is the crashed-process
+/// mask at node `u` (all zeros for a fault-free graph); crashed
+/// processes are exempt from the fairness obligation of the components
+/// they crashed in.
+///
+/// Runs sequentially in both checker paths: the per-process passes cost
+/// the same as [`certify_cycles`] and determinism is free.
+///
+/// # Panics
+///
+/// If `crashed` is not one mask per graph node.
+pub fn certify_fair_cycles(
+    graph: &[Vec<CycleEdge>],
+    crashed: &[u64],
+    processes: usize,
+) -> Vec<FairProcessVerdicts> {
+    assert_eq!(crashed.len(), graph.len(), "one crashed mask per node");
+    (0..processes)
+        .map(|k| fair_verdicts_for(graph, crashed, processes, k))
+        .collect()
+}
+
 /// Certifies starving/parasitic/blocked/progressing cycle existence for
 /// every process over the explored graph, sequentially.
 pub fn certify_cycles(graph: &[Vec<CycleEdge>], processes: usize) -> Vec<ProcessCycleVerdicts> {
@@ -271,5 +422,64 @@ mod tests {
                 certify_cycles_parallel(&graph, processes)
             );
         }
+    }
+
+    #[test]
+    fn fair_starving_requires_every_live_process_on_the_cycle() {
+        // Both processes scheduled around the loop: p1's starvation
+        // survives the fairness filter and is not crash-induced.
+        let graph = starving_graph();
+        let fair = certify_fair_cycles(&graph, &[0, 0], 2);
+        assert!(fair[1].starving && !fair[1].crash_victim);
+        assert!(!fair[0].starving);
+
+        // A self-loop aborting p1 while p0 is never scheduled: p1
+        // starves unfairly (the scheduler abandons p0) but NOT fairly.
+        let abandoned = vec![vec![edge(0, 1, false, true)]];
+        let unfair = certify_cycles(&abandoned, 2);
+        assert!(unfair[1].starving);
+        let fair = certify_fair_cycles(&abandoned, &[0], 2);
+        assert!(!fair[1].starving);
+    }
+
+    #[test]
+    fn crashed_processes_are_exempt_and_flagged() {
+        // p0 has crashed (mask bit 0 set at both nodes); p1 aborts
+        // around the loop alone. Fairness no longer owes p0 a slot, so
+        // the starvation is certified fair — and crash-induced.
+        let graph = vec![vec![edge(1, 1, false, true)], vec![edge(0, 1, false, true)]];
+        let fair = certify_fair_cycles(&graph, &[1, 1], 2);
+        assert!(fair[1].starving);
+        assert!(fair[1].crash_victim);
+
+        // The same graph with nobody crashed: unfair only.
+        let fair = certify_fair_cycles(&graph, &[0, 0], 2);
+        assert!(!fair[1].starving);
+    }
+
+    #[test]
+    fn fair_blocked_needs_the_other_process_in_the_same_component() {
+        // p1 spins an eventless poll at node 0 while p0 commits a
+        // self-loop at the same node: the kept graph for "p1 blocked"
+        // keeps both, one SCC schedules both processes → fair blocked.
+        let eventless = |target: u32| CycleEdge {
+            target,
+            process: 1,
+            events: 0,
+            committed: false,
+            aborted: false,
+            tryc: false,
+        };
+        let graph = vec![vec![edge(0, 0, true, false), eventless(0)]];
+        let fair = certify_fair_cycles(&graph, &[0], 2);
+        assert!(fair[1].blocked && !fair[1].crash_victim);
+        // Fair implies unfair by construction.
+        assert!(certify_cycles(&graph, 2)[1].blocked);
+
+        // Without p0's self-loop the same poll cycle abandons p0: the
+        // unfair verdict stays, the fair one falls.
+        let lonely = vec![vec![eventless(0)]];
+        assert!(certify_cycles(&lonely, 2)[1].blocked);
+        assert!(!certify_fair_cycles(&lonely, &[0], 2)[1].blocked);
     }
 }

@@ -131,6 +131,23 @@ pub enum EventBody {
         /// The replayed per-step timeline.
         steps: Vec<TraceStep>,
     },
+    /// A checker exercised a fault transition (once per distinct fault,
+    /// at end of run).
+    FaultInjected {
+        /// The producing engine.
+        engine: String,
+        /// `"crash"` or `"parasite"`.
+        kind: String,
+        /// The faulted process index.
+        process: i64,
+    },
+    /// An exploration budget tripped: the run's verdict is partial.
+    BudgetExhausted {
+        /// The producing engine.
+        engine: String,
+        /// Which budget tripped, human-readable.
+        reason: String,
+    },
     /// A run's headline result.
     Verdict {
         /// The producing engine.
@@ -138,8 +155,12 @@ pub enum EventBody {
         /// The TM under check.
         tm: String,
         /// The boolean headline (`all_opaque`, `starvation_free`, or
-        /// `conserved`), whichever the producer emits.
+        /// `conserved`), whichever the producer emits. `None` for a
+        /// partial verdict — a truncated run makes no claim.
         ok: Option<bool>,
+        /// Whether the producer marked the verdict partial (a budget
+        /// tripped or a worker died before the search completed).
+        partial: bool,
         /// Every non-envelope field, in emitted order.
         fields: Vec<(String, Json)>,
     },
@@ -169,6 +190,8 @@ impl EventBody {
             EventBody::Heartbeat { .. } => "heartbeat",
             EventBody::LassoFound { .. } => "lasso_found",
             EventBody::Violation { .. } => "violation",
+            EventBody::FaultInjected { .. } => "fault_injected",
+            EventBody::BudgetExhausted { .. } => "budget_exhausted",
             EventBody::Trace { .. } => "trace",
             EventBody::Verdict { .. } => "verdict",
             EventBody::CounterSnapshot { .. } => "counter_snapshot",
@@ -314,12 +337,22 @@ pub fn parse_line(line: &str, line_no: usize) -> Result<Envelope, ParseError> {
             cycle_start: raw.get("cycle_start").and_then(Json::as_int),
             steps: trace_steps(&raw),
         },
+        "fault_injected" => EventBody::FaultInjected {
+            engine: get_str(&raw, "engine"),
+            kind: get_str(&raw, "kind"),
+            process: get_int(&raw, "process"),
+        },
+        "budget_exhausted" => EventBody::BudgetExhausted {
+            engine: get_str(&raw, "engine"),
+            reason: get_str(&raw, "reason"),
+        },
         "verdict" => EventBody::Verdict {
             engine: get_str(&raw, "engine"),
             tm: get_str(&raw, "tm"),
             ok: get_bool(&raw, "all_opaque")
                 .or_else(|| get_bool(&raw, "starvation_free"))
                 .or_else(|| get_bool(&raw, "conserved")),
+            partial: get_bool(&raw, "partial").unwrap_or(false),
             fields: non_envelope_fields(&raw),
         },
         "counter_snapshot" => EventBody::CounterSnapshot {

@@ -2,7 +2,7 @@
 //! NDJSON v1 stream.
 //!
 //! ```text
-//! tm-obs summary [FILE|-] [--require-verdicts] [--expect-runs N]
+//! tm-obs summary [FILE|-] [--require-verdicts] [--allow-partial] [--expect-runs N]
 //! tm-obs tail    [FILE|-] [--follow]
 //! tm-obs explain [FILE|-]
 //! tm-obs diff    [--against] BASELINE CANDIDATE
@@ -41,11 +41,13 @@ fn fail(message: &str) -> ExitCode {
 fn cmd_summary(args: &[String]) -> ExitCode {
     let mut path = "-".to_string();
     let mut require_verdicts = false;
+    let mut allow_partial = false;
     let mut expect_runs: Option<usize> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--require-verdicts" => require_verdicts = true,
+            "--allow-partial" => allow_partial = true,
             "--expect-runs" => match it.next().and_then(|n| n.parse().ok()) {
                 Some(n) => expect_runs = Some(n),
                 None => return fail("--expect-runs needs a number"),
@@ -76,6 +78,21 @@ fn cmd_summary(args: &[String]) -> ExitCode {
         eprintln!(
             "tm-obs: {} of {} runs closed without a verdict",
             missing,
+            stream.runs.len()
+        );
+        return ExitCode::from(1);
+    }
+    // A partial verdict (budget tripped, worker died) is a verdict that
+    // makes no claim: the gate rejects it unless explicitly allowed.
+    if require_verdicts && !allow_partial && stream.has_partial_runs() {
+        let partial = stream
+            .runs
+            .iter()
+            .filter(|r| r.exhausted.is_some() || r.verdict.as_ref().is_some_and(|v| v.partial))
+            .count();
+        eprintln!(
+            "tm-obs: {} of {} runs closed with a partial verdict (rerun with --allow-partial to accept)",
+            partial,
             stream.runs.len()
         );
         return ExitCode::from(1);

@@ -18,6 +18,9 @@ pub struct VerdictSummary {
     /// The boolean headline (`all_opaque` / `starvation_free`), when
     /// the engine emitted one.
     pub ok: Option<bool>,
+    /// Whether the engine marked the verdict partial (a budget tripped
+    /// or a worker died): the run closed without a headline claim.
+    pub partial: bool,
     /// Every non-envelope verdict field, in emitted order.
     pub fields: Vec<(String, Json)>,
 }
@@ -43,6 +46,12 @@ pub struct RunSummary {
     pub lassos: usize,
     /// `trace` events observed.
     pub traces: usize,
+    /// `fault_injected` events observed (distinct fault transitions the
+    /// run exercised).
+    pub faults: usize,
+    /// The reason of the run's `budget_exhausted` event, when one
+    /// streamed: the search was truncated and the verdict is partial.
+    pub exhausted: Option<String>,
     /// The label of the run's last `counter_snapshot`.
     pub counter_label: Option<String>,
     /// The run's last `counter_snapshot`, verbatim (snapshot order,
@@ -64,6 +73,8 @@ impl RunSummary {
             violations: 0,
             lassos: 0,
             traces: 0,
+            faults: 0,
+            exhausted: None,
             counter_label: None,
             counters: Vec::new(),
             verdict: None,
@@ -86,6 +97,14 @@ impl StreamSummary {
     /// Whether every run closed with a verdict (and at least one ran).
     pub fn all_runs_have_verdicts(&self) -> bool {
         !self.runs.is_empty() && self.runs.iter().all(|r| r.verdict.is_some())
+    }
+
+    /// Whether some run closed with a *partial* verdict (budget tripped
+    /// or worker died) — gates reject these unless `--allow-partial`.
+    pub fn has_partial_runs(&self) -> bool {
+        self.runs
+            .iter()
+            .any(|r| r.exhausted.is_some() || r.verdict.as_ref().is_some_and(|v| v.partial))
     }
 }
 
@@ -115,12 +134,23 @@ pub fn summarize(text: &str) -> Result<StreamSummary, ParseError> {
                     EventBody::Violation { .. } => run.violations += 1,
                     EventBody::LassoFound { .. } => run.lassos += 1,
                     EventBody::Trace { .. } => run.traces += 1,
+                    EventBody::FaultInjected { .. } => run.faults += 1,
+                    EventBody::BudgetExhausted { reason, .. } => run.exhausted = Some(reason),
                     EventBody::CounterSnapshot { label, counters } => {
                         run.counter_label = Some(label);
                         run.counters = counters;
                     }
-                    EventBody::Verdict { ok, fields, .. } => {
-                        run.verdict = Some(VerdictSummary { ok, fields })
+                    EventBody::Verdict {
+                        ok,
+                        partial,
+                        fields,
+                        ..
+                    } => {
+                        run.verdict = Some(VerdictSummary {
+                            ok,
+                            partial,
+                            fields,
+                        })
                     }
                     // phase_start carries no data beyond its matching
                     // phase_end; run_start/unknown were handled above.
@@ -164,6 +194,9 @@ pub fn render(summary: &StreamSummary) -> String {
                 let _ = writeln!(out, "  verdict: (none — run did not close)");
             }
         }
+        if let Some(reason) = &run.exhausted {
+            let _ = writeln!(out, "  partial: {reason}");
+        }
         if !run.phases.is_empty() {
             let phases: Vec<String> = run
                 .phases
@@ -172,9 +205,14 @@ pub fn render(summary: &StreamSummary) -> String {
                 .collect();
             let _ = writeln!(out, "  phases: {}", phases.join(" "));
         }
+        let faults = if run.faults > 0 {
+            format!(", {} faults", run.faults)
+        } else {
+            String::new()
+        };
         let _ = writeln!(
             out,
-            "  events: {} heartbeats, {} violations, {} lassos, {} traces",
+            "  events: {} heartbeats, {} violations, {} lassos, {} traces{faults}",
             run.heartbeats, run.violations, run.lassos, run.traces
         );
         if !run.counters.is_empty() {

@@ -82,6 +82,14 @@ pub fn fold(env: &Envelope, state: &mut TailState) -> Option<TailLine> {
             state.memo_hits = Some((get("memo_hits"), get("memo_misses")));
             None
         }
+        EventBody::FaultInjected { kind, process, .. } => Some(TailLine::Keep(format!(
+            "⚡ {}/{} {kind} p{process}",
+            state.engine, state.tm
+        ))),
+        EventBody::BudgetExhausted { reason, .. } => Some(TailLine::Keep(format!(
+            "⏳ {}/{} partial: {reason}",
+            state.engine, state.tm
+        ))),
         EventBody::Verdict { ok, fields, .. } => {
             let headline = match ok {
                 Some(true) => "✓",

@@ -24,6 +24,26 @@ where
     items.into_par_iter().map(worker).collect()
 }
 
+/// [`distribute`] with per-item panic isolation: a worker that panics
+/// yields `None` in its slot instead of aborting the whole run, so the
+/// caller can merge the surviving results (slots stay aligned with
+/// `items`) and degrade to a partial report. The panic payload is
+/// dropped — the caller only learns *that* the item failed — and the
+/// default panic hook still prints the message to stderr, which is
+/// deliberate: a poisoned worker should be loud in logs yet harmless to
+/// the verdict.
+pub fn distribute_isolated<I, O, F>(items: Vec<I>, worker: F) -> Vec<Option<O>>
+where
+    I: Send,
+    O: Send,
+    F: Fn(I) -> O + Sync + Send,
+{
+    items
+        .into_par_iter()
+        .map(|item| std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| worker(item))).ok())
+        .collect()
+}
+
 /// The smallest split depth of a `width`-ary schedule tree that yields
 /// at least eight subtree roots per worker thread (so dynamic dealing
 /// can balance skew), capped below the search depth. Zero when the pool
@@ -52,6 +72,22 @@ mod tests {
         let items: Vec<usize> = (0..100).collect();
         let out = distribute(items, |i| i * 3);
         assert_eq!(out, (0..100).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn isolated_distribute_survives_a_panicking_worker() {
+        let items: Vec<usize> = (0..20).collect();
+        let out = distribute_isolated(items, |i| {
+            assert!(i != 7, "poisoned item");
+            i * 2
+        });
+        assert_eq!(out.len(), 20);
+        assert_eq!(out[7], None);
+        for (i, slot) in out.iter().enumerate() {
+            if i != 7 {
+                assert_eq!(*slot, Some(i * 2));
+            }
+        }
     }
 
     #[test]

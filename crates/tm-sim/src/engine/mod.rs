@@ -17,9 +17,19 @@
 //! ```text
 //!   report      Exploration (explore)        LivecheckReport (livecheck)
 //!      ▲                ▲                            ▲
+//!   budget      [`budget::BudgetMeter`] — shared atomic caps on states /
+//!      │        schedules / wall clock; a tripped cap degrades the run
+//!      │        into a partial report with an explicit `exhausted` verdict
+//!      ▲                ▲                            ▲
 //!   frontier    [`frontier::distribute`] — deterministic order-preserving
 //!      │        parallel map (subtree roots / BFS levels), lexicographic
-//!      │        merge; [`frontier::auto_split_depth`] picks the split
+//!      │        merge; [`frontier::distribute_isolated`] adds per-item
+//!      │        panic isolation; [`frontier::auto_split_depth`] splits
+//!      ▲                ▲                            ▲
+//!   faults      [`crate::faults::FaultConfig`] widens the branch space with
+//!      │        `crash(p)` / `parasite(p)` scheduler transitions; the
+//!      │        per-branch [`crate::faults::FaultState`] masks fold into
+//!      │        memo keys and node identities so dedup stays sound
 //!      ▲                ▲                            ▲
 //!   reduction   DPOR backtrack/sleep sets     transition memoization
 //!      │        (`reduction`, schedule search) (edge replay, graph search)
@@ -55,10 +65,12 @@
 //! so reports are byte-identical to the sequential search regardless of
 //! thread count — the property all differential suites pin.
 
+pub mod budget;
 pub mod frontier;
 pub mod memo;
 pub(crate) mod reduction;
 pub mod space;
 
+pub use budget::{Budget, BudgetMeter};
 pub use space::{SearchSpace, StepRecord};
 pub use tm_stm::TmPool;

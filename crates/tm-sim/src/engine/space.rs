@@ -172,24 +172,32 @@ pub(crate) struct TraceWitness<'a> {
 /// exactly the history the search recorded for this schedule; it runs
 /// outside the search hot path and touches no counters, so enabling
 /// traces cannot perturb [`tm_telemetry::Snapshot`] equality.
+///
+/// `plan` is the witness's concrete fault plan (indexed by *process*
+/// step, matching `schedule`, which carries process steps only): a
+/// process turned parasitic at step `t` loops instead of committing
+/// from step `t` on, exactly as the search stepped it. Crashed
+/// processes simply stop appearing in `schedule`, so crashes need no
+/// replay action.
 pub(crate) fn emit_trace(
     telemetry: &Telemetry,
     witness: &TraceWitness<'_>,
     mut tm: BoxedTm,
     scripts: &[ClientScript],
     parasitic: u64,
+    plan: &crate::faults::FaultPlan,
     schedule: &[ProcessId],
 ) {
     let mut clients: Vec<Client> = scripts.iter().cloned().map(Client::new).collect();
     let mut history = Vec::new();
     let mut steps = Vec::with_capacity(schedule.len());
-    for &p in schedule {
+    for (i, &p) in schedule.iter().enumerate() {
         let k = p.0;
         let record = step_process(
             &mut tm,
             &mut clients,
             k,
-            parasitic & (1 << k) != 0,
+            parasitic & (1 << k) != 0 || plan.is_parasitic(p, i),
             &mut history,
         );
         let op = match record {
@@ -218,6 +226,9 @@ pub(crate) fn emit_trace(
     ];
     if let Some(start) = witness.cycle_start {
         fields.push(("cycle_start", Json::Int(start as i64)));
+    }
+    if !plan.is_empty() {
+        fields.push(("faults", plan.to_json()));
     }
     fields.push(("steps", Json::Arr(steps)));
     telemetry.event("trace", &fields);

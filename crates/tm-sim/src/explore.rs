@@ -232,12 +232,14 @@ use tm_safety::{check_opacity, Checkpoint, IncrementalChecker, Mode, SafetyVerdi
 use tm_stm::{BoxedTm, Outcome, StepFootprint, SteppedTm, TmPool};
 use tm_telemetry::{Counter, Json, Telemetry, Timer};
 
+use crate::engine::budget::{Budget, BudgetMeter};
 use crate::engine::frontier;
 use crate::engine::memo::{SeenSet, StripedTable};
 use crate::engine::reduction::{self, Dpor, Feet, OptimalDpor, WakeupTree};
 use crate::engine::space::{
     emit_trace, expand_child, step_process, SearchSpace, StepRecord, TraceWitness,
 };
+use crate::faults::{Fault, FaultConfig, FaultPlan, FaultState};
 use crate::workload::{clients_digest, Client, ClientMark, ClientScript};
 
 /// A definitive safety violation found during exploration.
@@ -252,6 +254,10 @@ pub struct Violation {
     /// Index of the event at which the commit-order certifier first
     /// rejected — the shortest failing prefix of this schedule's branch.
     pub fast_reject_at: usize,
+    /// The concrete fault placements of this branch (`at_step` indexes
+    /// into `schedule`, which carries process steps only). Empty for a
+    /// fault-free run.
+    pub faults: FaultPlan,
 }
 
 /// Outcome of an exploration.
@@ -272,6 +278,17 @@ pub struct Exploration {
     /// [`ExploreConfig::with_schedule_log`] — an oracle/debugging aid
     /// for the optimality tests, empty otherwise.
     pub schedule_log: Vec<Vec<u8>>,
+    /// `Some(reason)` when the run degraded into a **partial** report —
+    /// an exploration [`Budget`] cap tripped or a frontier worker
+    /// panicked. A partial report is a sound under-approximation: every
+    /// violation it carries is real, but [`Exploration::all_opaque`] is
+    /// *not* a certification (the unexplored remainder may violate).
+    pub exhausted: Option<String>,
+    /// Processes a `crash(p)` transition was exercised for (bitmask; 0
+    /// for a fault-free run).
+    pub crash_injected: u64,
+    /// Processes a `parasite(p)` transition was exercised for (bitmask).
+    pub parasite_injected: u64,
 }
 
 impl Exploration {
@@ -295,6 +312,11 @@ impl Exploration {
         self.pruned_subtrees += other.pruned_subtrees;
         self.dedup_hits += other.dedup_hits;
         self.schedule_log.extend(other.schedule_log);
+        if self.exhausted.is_none() {
+            self.exhausted = other.exhausted;
+        }
+        self.crash_injected |= other.crash_injected;
+        self.parasite_injected |= other.parasite_injected;
     }
 }
 
@@ -356,6 +378,20 @@ pub struct ExploreConfig {
     /// because its diagnostics (`dedup_hits`) are run-to-run
     /// deterministic. No effect unless `dedup` and `parallel` are on.
     pub shared_dedup: bool,
+    /// Fault quantification (see the module docs): with a non-trivial
+    /// config, `crash(p)` / `parasite(p)` become scheduler-level
+    /// transitions of the search, exhaustively explored like any process
+    /// step. Each fault transition consumes one depth unit and leaves
+    /// the TM untouched; every reported [`Violation`] carries the
+    /// concrete [`FaultPlan`] its branch chose. With
+    /// [`FaultConfig::none()`] (the default) reports are byte-identical
+    /// to fault-free exploration.
+    pub faults: FaultConfig,
+    /// Resource caps ([`Budget`]): when a cap trips, the walk unwinds
+    /// and the run returns a *partial* report with
+    /// [`Exploration::exhausted`] set instead of running unbounded.
+    /// Unlimited by default.
+    pub budget: Budget,
     /// Observability handle (off by default — hooks are no-ops). The
     /// counters it accumulates are deterministic at any thread count;
     /// see the `tm_telemetry` module docs for the schema and contract.
@@ -376,6 +412,8 @@ impl ExploreConfig {
             optimal_dpor: false,
             record_schedules: false,
             shared_dedup: false,
+            faults: FaultConfig::none(),
+            budget: Budget::unlimited(),
             telemetry: Telemetry::off(),
         }
     }
@@ -428,6 +466,19 @@ impl ExploreConfig {
         self
     }
 
+    /// Quantifies over crash/parasitic faults ([`FaultConfig`]).
+    pub fn with_faults(mut self, faults: FaultConfig) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Caps the run's resources ([`Budget`]); a tripped cap yields a
+    /// partial report with [`Exploration::exhausted`] set.
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
     /// Attaches a telemetry handle (counters, phase spans and — when the
     /// handle streams — NDJSON progress events).
     pub fn with_telemetry(mut self, telemetry: &Telemetry) -> Self {
@@ -453,6 +504,13 @@ struct ScheduleSpace {
     /// Record executed schedules at the leaves
     /// ([`ExploreConfig::record_schedules`]).
     log_schedules: bool,
+    /// Crash/parasitic masks of the current branch. Mutated only along
+    /// fault edges (saved/restored by the walker, not via [`Self::Mark`]
+    /// — process steps never touch it).
+    fstate: FaultState,
+    /// The fault transitions taken along the current branch, in order —
+    /// the concrete [`FaultPlan`] a violation on this branch reports.
+    fault_log: Vec<Fault>,
 }
 
 /// Everything one [`ScheduleSpace`] step mutates, for O(1) backtrack.
@@ -477,6 +535,8 @@ impl ScheduleSpace {
             telemetry,
             steps: 0,
             log_schedules,
+            fstate: FaultState::none(),
+            fault_log: Vec::new(),
         }
     }
 
@@ -494,6 +554,8 @@ impl ScheduleSpace {
             telemetry: self.telemetry.clone(),
             steps: 0,
             log_schedules: self.log_schedules,
+            fstate: self.fstate,
+            fault_log: self.fault_log.clone(),
         }
     }
 }
@@ -517,7 +579,8 @@ impl SearchSpace for ScheduleSpace {
         self.steps += 1;
         let started = self.telemetry.timer_start();
         self.path.push(k);
-        let record = step_process(tm, &mut self.clients, k, false, &mut self.history);
+        let parasitic = self.fstate.parasitic & (1 << k) != 0;
+        let record = step_process(tm, &mut self.clients, k, parasitic, &mut self.history);
         self.telemetry.timer_stop(Timer::Step, started);
         // Feed the certifier from the record; its verdict latches on
         // rejection, so pushes after a reject are deliberate no-ops.
@@ -579,6 +642,7 @@ fn certify_leaf(space: &ScheduleSpace, out: &mut Exploration) {
                 history: full,
                 detail: "no legal sequential witness exists".to_string(),
                 fast_reject_at,
+                faults: FaultPlan::from_faults(space.fault_log.clone()),
             });
         }
         Err(e) => {
@@ -587,6 +651,7 @@ fn certify_leaf(space: &ScheduleSpace, out: &mut Exploration) {
                 history: full,
                 detail: format!("exact check infeasible: {e}"),
                 fast_reject_at,
+                faults: FaultPlan::from_faults(space.fault_log.clone()),
             });
         }
     }
@@ -606,6 +671,10 @@ struct MemoKey {
     /// mode only; 0 otherwise): a memoized summary transfers only
     /// between nodes owing the same reversal branches.
     wut: u64,
+    /// [`FaultState::key`] of the branch (0 in fault-free runs): a
+    /// summary never transfers between distinct crash/parasitic masks —
+    /// the residual searches differ in both branching and stepping.
+    faults: u64,
 }
 
 /// The memoized summary of a silently-certified subtree.
@@ -643,6 +712,11 @@ struct Walk<'a> {
     /// Worker-local telemetry tallies: plain integer increments on the
     /// hot path, one atomic add each at flush.
     tally: Tally,
+    /// The run's fault quantification ([`ExploreConfig::faults`]).
+    faults: FaultConfig,
+    /// The run's shared budget meter: one atomic check per tree node,
+    /// short-circuited to a load-free `true` when unlimited.
+    meter: &'a BudgetMeter,
 }
 
 /// The per-walk telemetry tallies (see [`Walk::tally`]).
@@ -666,6 +740,8 @@ struct Tally {
     /// before their first step — which is the optimality property the
     /// differential suite pins.
     sleep_blocked: u64,
+    /// Fault transitions (`crash(p)` / `parasite(p)`) the walk took.
+    faults_injected: u64,
 }
 
 impl Tally {
@@ -675,6 +751,7 @@ impl Tally {
         telemetry.add(Counter::WakeupInserts, self.wakeup_inserts);
         telemetry.add(Counter::WakeupRedundant, self.wakeup_redundant);
         telemetry.add(Counter::SleepBlockedExecutions, self.sleep_blocked);
+        telemetry.add(Counter::FaultsInjected, self.faults_injected);
     }
 }
 
@@ -685,6 +762,17 @@ impl Tally {
 /// `sleep` is the sleep set: processes whose next step is provably
 /// covered by an already-explored sibling subtree. When `sleep_sets` is
 /// false it is always empty.
+///
+/// With faults enabled ([`Walk::faults`]) each node additionally
+/// branches on every `crash(p)` / `parasite(p)` the config still allows:
+/// fault edges consume one depth unit, leave the TM and the schedule
+/// path untouched, and reset the child sleep set (their footprint is
+/// conservatively global — no sibling subtree covers anything across a
+/// fault). Crashed processes drop out of the eligible set, and the
+/// [`FaultState`] masks fold into the memo key so summaries never leak
+/// across fault placements. With `FaultConfig::none()` the node shape —
+/// including which child consumes the parent's box — is exactly the
+/// fault-free walk, which is what keeps those reports byte-identical.
 fn walk_tree<L>(
     walk: &mut Walk<'_>,
     mut tm: BoxedTm,
@@ -696,6 +784,11 @@ fn walk_tree<L>(
 where
     L: FnMut(&mut Walk<'_>, BoxedTm, u64) -> Option<BoxedTm>,
 {
+    // Budget gate before any expansion: a tripped meter unwinds the
+    // whole walk into a partial report ([`Exploration::exhausted`]).
+    if !walk.meter.note_state() {
+        return Some(tm);
+    }
     if remaining == 0 {
         return leaf(walk, tm, sleep);
     }
@@ -715,6 +808,7 @@ where
             sleep,
             remaining: remaining as u32,
             wut: 0,
+            faults: walk.space.fstate.key(),
         };
         if let Some(delta) = walk.memo.get(&key) {
             walk.out.schedules += delta.schedules;
@@ -742,12 +836,36 @@ where
     } else {
         None
     };
+    // The fault transitions available at this node, in canonical order
+    // (crashes ascending, then parasitic turns ascending) — empty in
+    // fault-free runs, so the node shape below degenerates exactly to
+    // the fault-free walk.
+    let crashed = walk.space.fstate.crashed;
+    let mut fault_edges: Vec<Fault> = Vec::new();
+    if walk.faults.enabled() {
+        let at_step = walk.space.path.len();
+        for k in 0..n {
+            if walk.space.fstate.can_crash(&walk.faults, k) {
+                let process = ProcessId(k);
+                fault_edges.push(Fault::Crash { process, at_step });
+            }
+        }
+        for k in 0..n {
+            if walk.space.fstate.can_parasite(&walk.faults, k) {
+                let process = ProcessId(k);
+                fault_edges.push(Fault::Parasitic { process, at_step });
+            }
+        }
+    }
     let last = (0..n)
         .rev()
-        .find(|k| sleep & (1 << k) == 0)
-        .expect("a step is always possible");
+        .find(|k| sleep & (1 << k) == 0 && crashed & (1 << k) == 0)
+        .expect("a live step is always possible");
+    // With fault edges pending, every process child forks and the *last
+    // fault edge* consumes the parent's box instead.
+    let consume_last = fault_edges.is_empty();
     for k in 0..n {
-        if sleep & (1 << k) != 0 || k == last {
+        if sleep & (1 << k) != 0 || crashed & (1 << k) != 0 || (consume_last && k == last) {
             continue;
         }
         let mark = walk.space.mark(k);
@@ -762,22 +880,72 @@ where
         walk.space.rewind(k, mark);
         sleep |= 1 << k;
     }
-    // The last child consumes the parent's TM instance: no fork.
-    // (Deferring this edge's rollback to an ancestor is semantically
-    // sound but measurably slower — it trades the undo log's tight LIFO
-    // locality for large cold sweeps.)
-    let mark = walk.space.mark(last);
-    let child_sleep = feet
-        .as_ref()
-        .map_or(0, |f| reduction::filtered_sleep(sleep, f, last, n));
-    walk.space.step(&mut tm, last);
-    let recycled = walk_tree(walk, tm, remaining - 1, child_sleep, sleep_sets, leaf);
-    walk.space.rewind(last, mark);
+    let recycled = if consume_last {
+        // The last child consumes the parent's TM instance: no fork.
+        // (Deferring this edge's rollback to an ancestor is semantically
+        // sound but measurably slower — it trades the undo log's tight
+        // LIFO locality for large cold sweeps.)
+        let mark = walk.space.mark(last);
+        let child_sleep = feet
+            .as_ref()
+            .map_or(0, |f| reduction::filtered_sleep(sleep, f, last, n));
+        walk.space.step(&mut tm, last);
+        let recycled = walk_tree(walk, tm, remaining - 1, child_sleep, sleep_sets, leaf);
+        walk.space.rewind(last, mark);
+        recycled
+    } else {
+        // Fault branches. A fault edge mutates only the fault state and
+        // the per-branch fault log: the TM is untouched (a crash is the
+        // *absence* of future steps; a parasitic turn reroutes the
+        // client at its next `tryC`), so the box forks unchanged. The
+        // child sleep set resets to zero — the fault's footprint is
+        // conservatively global.
+        let count = fault_edges.len();
+        let mut slot = Some(tm);
+        for (i, fault) in fault_edges.into_iter().enumerate() {
+            let saved = walk.space.fstate;
+            let k = fault.process().0;
+            match fault {
+                Fault::Crash { .. } => {
+                    walk.space.fstate.crash(k);
+                    walk.out.crash_injected |= 1 << k;
+                }
+                Fault::Parasitic { .. } => {
+                    walk.space.fstate.parasite(k);
+                    walk.out.parasite_injected |= 1 << k;
+                }
+            }
+            walk.tally.faults_injected += 1;
+            walk.space.fault_log.push(fault);
+            let is_last = i + 1 == count;
+            let child = if is_last {
+                slot.take().expect("the last fault edge consumes the box")
+            } else {
+                walk.pool
+                    .fork_child(slot.as_ref().expect("box still owned"))
+            };
+            let recycled = walk_tree(walk, child, remaining - 1, 0, sleep_sets, leaf);
+            if let Some(recycled) = recycled {
+                if is_last {
+                    slot = Some(recycled);
+                } else {
+                    walk.pool.put_back(recycled);
+                }
+            }
+            walk.space.fault_log.pop();
+            walk.space.fstate = saved;
+        }
+        slot
+    };
     // Memoize only silently-certified subtrees: violations and exact
     // fallbacks carry path-dependent report data that must be recomputed
-    // per prefix (see the module docs).
+    // per prefix (see the module docs) — and never a subtree truncated
+    // by a tripped budget (its summary would under-count on replay).
     if let Some((key, schedules, fallbacks, violations, pruned)) = memo_note {
-        if walk.out.exact_fallbacks == fallbacks && walk.out.violations.len() == violations {
+        if walk.out.exact_fallbacks == fallbacks
+            && walk.out.violations.len() == violations
+            && walk.meter.within()
+        {
             walk.memo.insert(
                 key,
                 MemoDelta {
@@ -804,6 +972,9 @@ fn walk_dpor(
     mut sleep: u64,
     parent_feet: Option<&[StepFootprint; 64]>,
 ) -> (BoxedTm, StepFootprint) {
+    if !walk.meter.note_state() {
+        return (tm, StepFootprint::local());
+    }
     let n = walk.space.width();
     let mut feet = [StepFootprint::local(); 64];
     let mut agg = StepFootprint::local();
@@ -831,6 +1002,7 @@ fn walk_dpor(
     }
     if remaining == 0 {
         certify_leaf(walk.space, walk.out);
+        walk.meter.note_schedule();
         return (tm, agg);
     }
     // Digest dedup, DPOR flavour: a stored subtree summary may be
@@ -850,6 +1022,7 @@ fn walk_dpor(
             sleep,
             remaining: remaining as u32,
             wut: 0,
+            faults: walk.space.fstate.key(),
         };
         if let Some(delta) = walk.memo.get(&key) {
             if dpor.steps.iter().all(|s| !s.foot.conflicts(&delta.agg)) {
@@ -913,7 +1086,10 @@ fn walk_dpor(
     dpor.blocked += u64::from((dpor.backtrack[depth] & !explored).count_ones());
     dpor.backtrack.pop();
     if let Some((key, schedules, fallbacks, violations, pruned)) = memo_note {
-        if walk.out.exact_fallbacks == fallbacks && walk.out.violations.len() == violations {
+        if walk.out.exact_fallbacks == fallbacks
+            && walk.out.violations.len() == violations
+            && walk.meter.within()
+        {
             walk.memo.insert(
                 key,
                 MemoDelta {
@@ -943,6 +1119,9 @@ fn walk_optimal(
     wut: WakeupTree,
     parent_feet: Option<&[StepFootprint; 64]>,
 ) -> (BoxedTm, StepFootprint) {
+    if !walk.meter.note_state() {
+        return (tm, StepFootprint::local());
+    }
     let n = walk.space.width();
     let mut feet = [StepFootprint::local(); 64];
     let mut agg = StepFootprint::local();
@@ -964,6 +1143,7 @@ fn walk_optimal(
     }
     if remaining == 0 {
         certify_leaf(walk.space, walk.out);
+        walk.meter.note_schedule();
         return (tm, agg);
     }
     // Digest dedup, optimal flavour: the replay guard of [`walk_dpor`]
@@ -981,6 +1161,7 @@ fn walk_optimal(
             sleep,
             remaining: remaining as u32,
             wut: wut.digest(),
+            faults: walk.space.fstate.key(),
         };
         if let Some(delta) = walk.memo.get(&key) {
             if opt.core.steps.iter().all(|s| !s.foot.conflicts(&delta.agg)) {
@@ -1060,7 +1241,10 @@ fn walk_optimal(
     }
     opt.pop_node();
     if let Some((key, schedules, fallbacks, violations, pruned)) = memo_note {
-        if walk.out.exact_fallbacks == fallbacks && walk.out.violations.len() == violations {
+        if walk.out.exact_fallbacks == fallbacks
+            && walk.out.violations.len() == violations
+            && walk.meter.within()
+        {
             walk.memo.insert(
                 key,
                 MemoDelta {
@@ -1125,8 +1309,20 @@ where
     // mirroring the sleep-set probe above — and under schedule logging,
     // whose replayed summaries could not reproduce their schedules.
     let dedup = config.dedup && !config.record_schedules && tm.state_digest().is_some();
+    // The run's budget meter, shared by every worker. Its verdict is
+    // read once at the end: a tripped cap makes the report partial.
+    let meter = BudgetMeter::new(config.budget);
 
-    let out = if config.optimal_dpor {
+    // Fault quantification routes DPOR requests to the exhaustive walk:
+    // the only sound footprint for a `crash(p)` / `parasite(p)`
+    // transition is the global one (a crash reshapes every process's
+    // future), under which the race analysis would demand every
+    // reversal anyway — so the kernel takes the honest exhaustive walk
+    // instead of a vacuous reduction. Sleep sets stay on where the TM
+    // admits them: fault edges are never pruned and clear the child
+    // sleep set, so the pruning refines only process-step pairs.
+    let fault_mode = config.faults.enabled();
+    let out = if config.optimal_dpor && !fault_mode {
         // Optimal DPOR: wakeup trees over the same parallel-split
         // strategy as source sets below (exhaustive prefix tree, one
         // independent walk per root with a fresh trace).
@@ -1136,8 +1332,11 @@ where
             pool,
             scripts,
             config,
-            dedup,
-            false,
+            SplitMode {
+                dedup,
+                split_sleep_sets: false,
+            },
+            &meter,
             move |walk, tm, remaining, _sleep| {
                 let mut opt = OptimalDpor::new(n);
                 walk_optimal(
@@ -1155,7 +1354,7 @@ where
                 walk.tally.sleep_blocked += opt.blocked;
             },
         )
-    } else if config.dpor {
+    } else if config.dpor && !fault_mode {
         // Source-set DPOR. Parallel: the prefix tree up to the split
         // depth is enumerated **exhaustively** (no sleep sets — a
         // reduced prefix tree could owe race reversals across the
@@ -1169,8 +1368,11 @@ where
             pool,
             scripts,
             config,
-            dedup,
-            false,
+            SplitMode {
+                dedup,
+                split_sleep_sets: false,
+            },
+            &meter,
             move |walk, tm, remaining, _sleep| {
                 let mut dpor = Dpor::new(n);
                 walk_dpor(walk, &mut dpor, tm, remaining, 0, None);
@@ -1184,8 +1386,11 @@ where
             pool,
             scripts,
             config,
-            dedup,
-            sleep_sets,
+            SplitMode {
+                dedup,
+                split_sleep_sets: sleep_sets,
+            },
+            &meter,
             move |walk, tm, remaining, sleep| {
                 walk_tree(
                     walk,
@@ -1195,12 +1400,21 @@ where
                     sleep_sets,
                     &mut |walk, tm, _sleep| {
                         certify_leaf(walk.space, walk.out);
+                        walk.meter.note_schedule();
                         Some(tm)
                     },
                 );
             },
         )
     };
+
+    // The budget verdict, read once: any tripped cap (including a
+    // panicked frontier worker, tripped externally by the split driver)
+    // turns the report partial.
+    let mut out = out;
+    if out.exhausted.is_none() {
+        out.exhausted = meter.exhausted().map(str::to_string);
+    }
 
     // The deterministic end-of-run flush: every count below is a fixed
     // property of the search, so the snapshot is thread-count-invariant.
@@ -1218,18 +1432,46 @@ where
     telemetry.add(Counter::ViolationsFound, out.violations.len() as u64);
     telemetry.add(Counter::SleepSetBlocks, out.pruned_subtrees as u64);
     if telemetry.streams() {
+        // One `fault_injected` event per distinct fault transition the
+        // search exercised — a compact, deterministic digest of the
+        // adversary moves this run quantified over.
+        for k in 0..n {
+            if out.crash_injected & (1 << k) != 0 {
+                telemetry.event(
+                    "fault_injected",
+                    &[
+                        ("engine", Json::str("explore")),
+                        ("kind", Json::str("crash")),
+                        ("process", Json::Int(k as i64)),
+                    ],
+                );
+            }
+        }
+        for k in 0..n {
+            if out.parasite_injected & (1 << k) != 0 {
+                telemetry.event(
+                    "fault_injected",
+                    &[
+                        ("engine", Json::str("explore")),
+                        ("kind", Json::str("parasite")),
+                        ("process", Json::Int(k as i64)),
+                    ],
+                );
+            }
+        }
         for (idx, v) in out.violations.iter().take(8).enumerate() {
-            telemetry.event(
-                "violation",
-                &[
-                    ("engine", Json::str("explore")),
-                    (
-                        "schedule",
-                        Json::Arr(v.schedule.iter().map(|p| Json::Int(p.0 as i64)).collect()),
-                    ),
-                    ("detail", Json::str(v.detail.as_str())),
-                ],
-            );
+            let mut fields = vec![
+                ("engine", Json::str("explore")),
+                (
+                    "schedule",
+                    Json::Arr(v.schedule.iter().map(|p| Json::Int(p.0 as i64)).collect()),
+                ),
+                ("detail", Json::str(v.detail.as_str())),
+            ];
+            if !v.faults.is_empty() {
+                fields.push(("faults", v.faults.to_json()));
+            }
+            telemetry.event("violation", &fields);
             // The witness timeline: a deterministic replay of the
             // violating schedule from a fresh TM, one `trace` event per
             // violation, adjacent to it in the stream.
@@ -1244,6 +1486,7 @@ where
                 factory(),
                 scripts,
                 0,
+                &v.faults,
                 &v.schedule,
             );
         }
@@ -1260,22 +1503,57 @@ where
         // Optimal mode pins its headline zero: `sleep_blocked_executions`
         // must appear in the snapshot event even though zero-valued
         // counters are normally elided — the zero is the claim.
-        if config.optimal_dpor {
+        if config.optimal_dpor && !fault_mode {
             telemetry.emit_counters_pinned(tm_name, &[Counter::SleepBlockedExecutions]);
         } else {
             telemetry.emit_counters(tm_name);
         }
-        telemetry.event(
-            "verdict",
-            &[
-                ("engine", Json::str("explore")),
-                ("tm", Json::str(tm_name)),
-                ("all_opaque", Json::Bool(out.all_opaque())),
-                ("schedules", Json::Int(out.schedules as i64)),
-            ],
-        );
+        // Partial runs carry no boolean headline: an exhausted search
+        // proved nothing about the schedules it never reached, so the
+        // verdict says `partial` + `reason` instead of `all_opaque`
+        // (consumers render it as inconclusive).
+        if let Some(reason) = &out.exhausted {
+            telemetry.event(
+                "budget_exhausted",
+                &[
+                    ("engine", Json::str("explore")),
+                    ("reason", Json::str(reason.as_str())),
+                ],
+            );
+            telemetry.event(
+                "verdict",
+                &[
+                    ("engine", Json::str("explore")),
+                    ("tm", Json::str(tm_name)),
+                    ("partial", Json::Bool(true)),
+                    ("reason", Json::str(reason.as_str())),
+                    ("schedules", Json::Int(out.schedules as i64)),
+                ],
+            );
+        } else {
+            telemetry.event(
+                "verdict",
+                &[
+                    ("engine", Json::str("explore")),
+                    ("tm", Json::str(tm_name)),
+                    ("all_opaque", Json::Bool(out.all_opaque())),
+                    ("schedules", Json::Int(out.schedules as i64)),
+                ],
+            );
+        }
     }
     out
+}
+
+/// Walker-variant switches threaded from [`explore_with`] into the
+/// split driver: digest dedup (already resolved against the TM's
+/// fingerprint support) and whether the split walk itself prunes with
+/// sleep sets (sound only for the exhaustive walker — a reduced prefix
+/// tree could owe race reversals across the split boundary).
+#[derive(Clone, Copy)]
+struct SplitMode {
+    dedup: bool,
+    split_sleep_sets: bool,
 }
 
 /// The shared driver behind both explorers: runs `walk_root` once from
@@ -1290,16 +1568,27 @@ fn explore_split<R>(
     mut pool: TmPool,
     scripts: &[ClientScript],
     config: &ExploreConfig,
-    dedup: bool,
-    split_sleep_sets: bool,
+    mode: SplitMode,
+    meter: &BudgetMeter,
     walk_root: R,
 ) -> Exploration
 where
     R: Fn(&mut Walk<'_>, BoxedTm, usize, u64) + Sync,
 {
+    let SplitMode {
+        dedup,
+        split_sleep_sets,
+    } = mode;
     let n = scripts.len();
     let recycle = pool.recycles();
     let telemetry = config.telemetry.clone();
+    // Crashing every process trivially halts the system, so the crash
+    // budget is clamped to n-1: the adversary gains nothing beyond it
+    // and the walk always has a live step to take.
+    let faults = FaultConfig {
+        max_crashes: config.faults.max_crashes.min(n.saturating_sub(1)),
+        ..config.faults
+    };
     let mut space = ScheduleSpace::new(
         scripts,
         config.depth,
@@ -1326,6 +1615,8 @@ where
                 pool: &mut pool,
                 memo: &mut memo,
                 tally: Tally::default(),
+                faults,
+                meter,
             };
             let _span = telemetry.phase("explore", "walk");
             walk_root(&mut walk, tm, config.depth, 0);
@@ -1349,6 +1640,8 @@ where
             pool: &mut pool,
             memo: &mut memo,
             tally: Tally::default(),
+            faults,
+            meter,
         };
         walk_tree(
             &mut walk,
@@ -1380,7 +1673,10 @@ where
         let walk_root = &walk_root;
         let shared = &shared;
         let _span = telemetry.phase("explore", "walk");
-        frontier::distribute(roots, move |mut root| {
+        // Panic isolation: a worker that panics loses its subtree's
+        // results but not the run — its slot comes back `None`, the
+        // meter trips, and the merged report is explicitly partial.
+        frontier::distribute_isolated(roots, move |mut root| {
             let mut sub = Exploration::default();
             let mut pool = TmPool::new(recycle).instrument(telemetry);
             let mut memo = match &shared {
@@ -1394,6 +1690,8 @@ where
                     pool: &mut pool,
                     memo: &mut memo,
                     tally: Tally::default(),
+                    faults,
+                    meter,
                 };
                 walk_root(&mut walk, root.tm, remaining, root.sleep);
                 walk.tally
@@ -1414,7 +1712,10 @@ where
         })
     };
     for sub in results {
-        out.absorb(sub);
+        match sub {
+            Some(sub) => out.absorb(sub),
+            None => meter.trip_external(),
+        }
     }
     out
 }
@@ -1483,6 +1784,7 @@ where
                         history: history.clone(),
                         detail: "no legal sequential witness exists".to_string(),
                         fast_reject_at,
+                        faults: FaultPlan::none(),
                     });
                 }
                 Err(e) => {
@@ -1491,6 +1793,7 @@ where
                         history: history.clone(),
                         detail: format!("exact check infeasible: {e}"),
                         fast_reject_at,
+                        faults: FaultPlan::none(),
                     });
                 }
             }

@@ -21,6 +21,13 @@
 //!   can starve, block, or keep progressing (the paper's Figure 2
 //!   taxonomy, decided mechanically), with a deterministic parallel
 //!   search (`LivecheckConfig::parallel`);
+//! * [`FaultConfig`] — fault-*prone* model checking: crash and
+//!   parasitic-turn transitions quantified exhaustively inside both
+//!   checkers (every fault placement the budget admits, not one scripted
+//!   plan), with witnesses carrying their concrete [`FaultPlan`];
+//! * [`Budget`] — graceful degradation: state/schedule/wall-clock caps
+//!   that stop the search and downgrade the result to an explicit
+//!   partial verdict instead of running unbounded;
 //! * [`engine`] — the exploration kernel beneath both model checkers:
 //!   the shared stepper and [`engine::SearchSpace`] contract, TM
 //!   fork/refork pooling ([`tm_stm::TmPool`]), seen-set/interning
@@ -59,13 +66,15 @@ pub mod runner;
 pub mod scheduler;
 pub mod workload;
 
+pub use engine::{Budget, BudgetMeter};
 pub use explore::{
     explore_schedules, explore_schedules_naive, explore_with, mazurkiewicz_classes,
     schedule_normal_form, Exploration, ExploreConfig, Violation,
 };
-pub use faults::{parasitic_script, Fault, FaultPlan};
+pub use faults::{parasitic_script, Fault, FaultConfig, FaultPlan, FaultState};
 pub use livecheck::{
-    livecheck, LassoFinding, LivecheckConfig, LivecheckReport, ProcessCycleVerdicts,
+    livecheck, FairProcessVerdicts, LassoFinding, LivecheckConfig, LivecheckReport,
+    ProcessCycleVerdicts,
 };
 pub use runner::{simulate, SimConfig, SimReport};
 pub use scheduler::{FixedSchedule, RandomScheduler, RoundRobin, Scheduler, WeightedScheduler};

@@ -169,12 +169,14 @@ use tm_liveness::{classify, detect::lasso_from_cycle, CycleEdge, InfiniteHistory
 use tm_stm::{BoxedTm, SteppedTm, TmPool};
 use tm_telemetry::{Counter, Json, Telemetry, Timer};
 
+use crate::engine::budget::{Budget, BudgetMeter};
 use crate::engine::frontier;
 use crate::engine::memo::Interner;
 use crate::engine::space::{emit_trace, step_process, SearchSpace, StepRecord, TraceWitness};
+use crate::faults::{Fault, FaultConfig, FaultPlan, FaultState};
 use crate::workload::{clients_digest, Client, ClientMark, ClientScript};
 
-pub use tm_liveness::ProcessCycleVerdicts;
+pub use tm_liveness::{FairProcessVerdicts, ProcessCycleVerdicts};
 
 /// Configuration for [`livecheck`].
 #[derive(Debug, Clone)]
@@ -204,6 +206,20 @@ pub struct LivecheckConfig {
     /// Bitmask of processes that never invoke `tryC` (loop their
     /// operations forever): the paper's parasitic processes.
     parasitic: u64,
+    /// Fault quantification: with a non-trivial config, `crash(p)` /
+    /// `parasite(p)` become scheduler-level transitions of the graph
+    /// search, exhaustively explored. Fault state folds into node
+    /// identities (same TM state under different crash masks is a
+    /// different configuration) and each lasso finding carries the
+    /// concrete [`FaultPlan`] its branch chose. With
+    /// [`FaultConfig::none()`] (the default) reports are byte-identical
+    /// to fault-free checking.
+    pub faults: FaultConfig,
+    /// Resource caps ([`Budget`]): a tripped cap degrades the run into a
+    /// partial report with [`LivecheckReport::exhausted`] set (absence
+    /// claims are then only sound for the subgraph actually explored).
+    /// Unlimited by default.
+    pub budget: Budget,
     /// Observability handle (off by default — hooks are no-ops). The
     /// counters it accumulates are deterministic at any thread count;
     /// see the `tm_telemetry` module docs for the schema and contract.
@@ -219,8 +235,23 @@ impl LivecheckConfig {
             reduce: false,
             parallel: false,
             parasitic: 0,
+            faults: FaultConfig::none(),
+            budget: Budget::unlimited(),
             telemetry: Telemetry::off(),
         }
+    }
+
+    /// Quantifies over crash/parasitic faults ([`FaultConfig`]).
+    pub fn with_faults(mut self, faults: FaultConfig) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Caps the run's resources ([`Budget`]); a tripped cap yields a
+    /// partial report with [`LivecheckReport::exhausted`] set.
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
     }
 
     /// Enables the transition-level reduction (execute each TM
@@ -272,6 +303,10 @@ pub struct LassoFinding {
     pub lasso: InfiniteHistory,
     /// Figure 2 classification of every configured process.
     pub classes: Vec<(ProcessId, ProcessClass)>,
+    /// The concrete fault placements on the branch reaching this lasso
+    /// (`at_step` indexes into `schedule_prefix · schedule_cycle`,
+    /// process steps only). Empty for fault-free branches.
+    pub plan: FaultPlan,
 }
 
 impl LassoFinding {
@@ -336,6 +371,25 @@ pub struct LivecheckReport {
     pub truncated: bool,
     /// Certified per-process cycle-existence verdicts.
     pub verdicts: Vec<ProcessCycleVerdicts>,
+    /// Fairness-filtered verdicts ([`tm_liveness::certify_fair_cycles`]):
+    /// cycle existence restricted to cycles scheduling every live
+    /// process infinitely often, separating scheduler-abandoned shapes
+    /// (unfair: the plain verdict holds, the fair one does not),
+    /// crash-induced starvation (`crash_victim`), and genuinely
+    /// TM-induced starvation (fair verdict holds with no crash).
+    pub fair_verdicts: Vec<FairProcessVerdicts>,
+    /// Bitmask of processes some explored branch crashed (0 without
+    /// fault quantification).
+    pub crash_injected: u64,
+    /// Bitmask of processes some explored branch turned parasitic via a
+    /// fault transition (0 without fault quantification).
+    pub parasite_injected: u64,
+    /// `Some(reason)` when a [`Budget`] cap tripped before the bounded
+    /// graph was fully explored: the report is *partial* — counts and
+    /// witnesses are sound, but absence claims (including
+    /// [`LivecheckReport::lasso_starvation_free`]) cover only the
+    /// subgraph actually explored and certify nothing at the bound.
+    pub exhausted: Option<String>,
 }
 
 impl LivecheckReport {
@@ -369,6 +423,39 @@ impl LivecheckReport {
         self.collect(|v| v.progressing)
     }
 
+    /// The fairness-filtered counterpart of
+    /// [`LivecheckReport::lasso_starvation_free`]: no process has a
+    /// starving or parasitic cycle along which every *live* process is
+    /// scheduled infinitely often. Weaker claims than the plain
+    /// certificate (fair cycles are a subset), so a TM can fail the
+    /// plain certificate through scheduler-abandonment shapes alone and
+    /// still pass this one.
+    pub fn fair_starvation_free(&self) -> bool {
+        self.fair_verdicts
+            .iter()
+            .all(|v| !v.starving && !v.parasitic)
+    }
+
+    /// Processes with a certified *fair* starving cycle.
+    pub fn fair_starving_processes(&self) -> Vec<ProcessId> {
+        self.fair_verdicts
+            .iter()
+            .filter(|v| v.starving)
+            .map(|v| v.process)
+            .collect()
+    }
+
+    /// Processes whose fair starving/blocked witness runs through a
+    /// crash: the Theorem-1 corollary shape (a crashed peer starves or
+    /// blocks them under every fair schedule of the witness component).
+    pub fn crash_victims(&self) -> Vec<ProcessId> {
+        self.fair_verdicts
+            .iter()
+            .filter(|v| v.crash_victim)
+            .map(|v| v.process)
+            .collect()
+    }
+
     fn collect(&self, f: impl Fn(&ProcessCycleVerdicts) -> bool) -> Vec<ProcessId> {
         self.verdicts
             .iter()
@@ -400,11 +487,24 @@ impl StepFacts {
     }
 }
 
+/// What kind of scheduler transition an edge is: a process step, or one
+/// of the fault transitions a [`FaultConfig`] adds. Fault edges carry no
+/// events, leave the TM untouched, and — because fault masks only grow
+/// along edges while node identity includes them — can never lie on a
+/// cycle, so they are excluded from the SCC certification graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EdgeKind {
+    Step,
+    Crash,
+    Parasite,
+}
+
 /// One edge of the explored configuration graph.
 #[derive(Debug, Clone, Copy)]
 struct Edge {
     target: u32,
     process: u8,
+    kind: EdgeKind,
     facts: StepFacts,
     /// The (at most two) events the step produced, recorded so
     /// reduced-mode re-walks can replay the edge — history bytes, client
@@ -421,6 +521,10 @@ struct Node {
     /// Outgoing edges, recorded on first expansion (stepping is
     /// deterministic, so re-expansions would record the same edges).
     edges: Vec<Edge>,
+    /// Crashed-process mask of this configuration (0 without fault
+    /// quantification) — the per-node input the fairness certificates
+    /// need to exempt dead processes.
+    crashed: u64,
     /// Reduced mode only: the configuration's TM, parked while the node
     /// is an unexpanded frontier so a later, deeper re-walk can expand
     /// it without re-executing the path to it. Taken (and dropped) on
@@ -443,7 +547,17 @@ struct GraphSpace {
     clients: Vec<Client>,
     history: Vec<Event>,
     sched: Vec<usize>,
+    /// The *static* parasitic mask ([`LivecheckConfig::with_parasitic`]);
+    /// fault-induced parasitism lives in [`GraphSpace::fstate`] and the
+    /// stepper honours the union of both.
     parasitic: u64,
+    /// Crash/parasitic masks of the current branch, mutated only along
+    /// fault edges (saved/restored by the walker — process steps and
+    /// [`GraphSpace::rewind`] never touch it).
+    fstate: FaultState,
+    /// The fault transitions taken along the current branch, in order —
+    /// the concrete [`FaultPlan`] a lasso on this branch reports.
+    fault_log: Vec<Fault>,
     telemetry: Telemetry,
 }
 
@@ -460,8 +574,16 @@ impl GraphSpace {
             history: Vec::new(),
             sched: Vec::new(),
             parasitic,
+            fstate: FaultState::none(),
+            fault_log: Vec::new(),
             telemetry,
         }
+    }
+
+    /// Whether process `k` currently steps parasitically: statically
+    /// configured, or turned by a fault transition on this branch.
+    fn is_parasitic(&self, k: usize) -> bool {
+        (self.parasitic | self.fstate.parasitic) & (1 << k) != 0
     }
 
     /// Reduced-mode re-walk of one recorded edge: replays its events
@@ -473,7 +595,7 @@ impl GraphSpace {
         self.sched.push(k);
         if let Some(first) = events[0] {
             if first.is_invocation() {
-                if self.parasitic & (1 << k) != 0
+                if self.is_parasitic(k)
                     && self.clients[k].next_invocation() == Invocation::TryCommit
                 {
                     self.clients[k].restart_transaction();
@@ -509,7 +631,7 @@ impl SearchSpace for GraphSpace {
 
     fn step(&mut self, tm: &mut BoxedTm, k: usize) -> StepRecord {
         self.sched.push(k);
-        let parasitic = self.parasitic & (1 << k) != 0;
+        let parasitic = self.is_parasitic(k);
         let started = self.telemetry.timer_start();
         let record = step_process(tm, &mut self.clients, k, parasitic, &mut self.history);
         self.telemetry.timer_stop(Timer::Step, started);
@@ -533,16 +655,28 @@ struct Search<'a> {
     space: GraphSpace,
     frames: Vec<Frame>,
     on_path: HashMap<u32, usize>,
-    ids: Interner<(u64, u64)>,
+    /// Node identity: `(TM digest, clients digest, fault-state key)` —
+    /// the same TM/client state under different crash/parasitic masks
+    /// has different futures and must be a different node.
+    ids: Interner<(u64, u64, u64)>,
     nodes: Vec<Node>,
     pool: TmPool,
     reduce: bool,
+    /// The run's fault quantification, crash budget pre-clamped to n−1.
+    faults: FaultConfig,
+    /// The run's budget meter (shared with the parallel frontier).
+    meter: &'a BudgetMeter,
     steps: usize,
     replayed: usize,
     dedup_hits: usize,
     cycles_detected: usize,
     eventless_cycles: usize,
     rejected_cycles: usize,
+    /// Fault transitions exercised, as process bitmasks (for the
+    /// `fault_injected` events and the report).
+    crash_injected: u64,
+    parasite_injected: u64,
+    faults_injected: u64,
     seen_cycles: HashSet<u64>,
     lassos: Vec<LassoFinding>,
     truncated: bool,
@@ -554,18 +688,52 @@ struct Search<'a> {
 }
 
 impl Search<'_> {
-    fn key_of(&self, tm: &BoxedTm) -> (u64, u64) {
-        self.space
+    fn key_of(&self, tm: &BoxedTm) -> (u64, u64, u64) {
+        let (tm_digest, clients) = self
+            .space
             .config_key(tm)
-            .expect("livecheck requires a fingerprinting TM (SteppedTm::state_digest)")
+            .expect("livecheck requires a fingerprinting TM (SteppedTm::state_digest)");
+        (tm_digest, clients, self.space.fstate.key())
     }
 
-    fn intern(&mut self, key: (u64, u64)) -> u32 {
+    fn intern(&mut self, key: (u64, u64, u64)) -> u32 {
         let (id, new) = self.ids.intern(key);
         if new {
-            self.nodes.push(Node::default());
+            self.nodes.push(Node {
+                crashed: self.space.fstate.crashed,
+                ..Node::default()
+            });
         }
         id
+    }
+
+    /// The fault transitions available from the current configuration,
+    /// in canonical order (crashes ascending, then parasitic turns
+    /// ascending) — empty in fault-free runs. Statically-parasitic
+    /// processes get no parasitic fault edge: the turn would change the
+    /// node identity without changing any future behaviour.
+    fn fault_edges(&self) -> Vec<Fault> {
+        let mut out = Vec::new();
+        if !self.faults.enabled() {
+            return out;
+        }
+        let at_step = self.space.sched.len();
+        let n = self.space.width();
+        for k in 0..n {
+            if self.space.fstate.can_crash(&self.faults, k) {
+                let process = ProcessId(k);
+                out.push(Fault::Crash { process, at_step });
+            }
+        }
+        for k in 0..n {
+            if self.space.fstate.can_parasite(&self.faults, k)
+                && self.space.parasitic & (1 << k) == 0
+            {
+                let process = ProcessId(k);
+                out.push(Fault::Parasitic { process, at_step });
+            }
+        }
+        out
     }
 
     /// Expands `id` (not on the path) with `remaining ≥ 1` budget.
@@ -573,6 +741,12 @@ impl Search<'_> {
     /// return it for recycling; reduced-mode re-expansions replay the
     /// recorded edges and need no TM at all.
     fn expand(&mut self, tm: Option<BoxedTm>, id: u32, remaining: usize) -> Option<BoxedTm> {
+        // Budget gate before any expansion: once the meter trips, the
+        // walk unwinds (the node stays an unexpanded frontier) and the
+        // run reports a partial result.
+        if !self.meter.note_state() {
+            return tm;
+        }
         let replay = self.reduce && !self.nodes[id as usize].edges.is_empty();
         let record = self.nodes[id as usize].edges.is_empty();
         self.nodes[id as usize].budget = Some(remaining);
@@ -590,17 +764,51 @@ impl Search<'_> {
         } else {
             let tm = tm.expect("fresh expansion requires the configuration's TM");
             let n = self.space.width();
+            // Live process steps first (ascending), then fault edges —
+            // the canonical child order both the sequential and the
+            // level-parallel search produce. The last child overall
+            // consumes the parent's box instead of forking.
+            let alive: Vec<usize> = (0..n)
+                .filter(|&k| !self.space.fstate.is_crashed(k))
+                .collect();
+            let fault_edges = self.fault_edges();
+            let total = alive.len() + fault_edges.len();
             let mut kept = None;
-            for k in 0..n - 1 {
-                let child = self.pool.fork_child(&tm);
+            let mut slot = Some(tm);
+            for (i, &k) in alive.iter().enumerate() {
+                let is_last = i + 1 == total;
+                let child = if is_last {
+                    slot.take().expect("the last child consumes the box")
+                } else {
+                    self.pool
+                        .fork_child(slot.as_ref().expect("box still owned"))
+                };
                 let recycled = self.child_step(child, k, id, remaining, record);
                 if let Some(recycled) = recycled {
-                    self.pool.put_back(recycled);
+                    if is_last {
+                        kept = Some(recycled);
+                    } else {
+                        self.pool.put_back(recycled);
+                    }
                 }
             }
-            // The last child consumes the parent's TM instance: no fork.
-            if let Some(recycled) = self.child_step(tm, n - 1, id, remaining, record) {
-                kept = Some(recycled);
+            let alive_count = alive.len();
+            for (j, fault) in fault_edges.into_iter().enumerate() {
+                let is_last = alive_count + j + 1 == total;
+                let child = if is_last {
+                    slot.take().expect("the last child consumes the box")
+                } else {
+                    self.pool
+                        .fork_child(slot.as_ref().expect("box still owned"))
+                };
+                let recycled = self.fault_step(child, fault, id, remaining, record);
+                if let Some(recycled) = recycled {
+                    if is_last {
+                        kept = Some(recycled);
+                    } else {
+                        self.pool.put_back(recycled);
+                    }
+                }
             }
             kept
         };
@@ -631,6 +839,7 @@ impl Search<'_> {
             self.nodes[parent as usize].edges.push(Edge {
                 target: child,
                 process: u8::try_from(k).expect("≤ 64 processes"),
+                kind: EdgeKind::Step,
                 facts: StepFacts::of(&rec),
                 events: rec.events(ProcessId(k)),
             });
@@ -668,36 +877,149 @@ impl Search<'_> {
         tm
     }
 
-    /// Reduced-mode re-walk of one recorded edge: replays its events via
-    /// [`GraphSpace::replay`], detects cycles, and recurses using parked
-    /// TMs only where a frontier node genuinely needs its first
-    /// expansion.
-    fn replay_edge(&mut self, edge: Edge, remaining: usize) {
-        let k = edge.process as usize;
-        let mark = self.space.mark(k);
-        self.space.replay(k, &edge.events);
-        self.replayed += 1;
-        let child = edge.target;
-        if let Some(&frame) = self.on_path.get(&child) {
-            self.record_cycle(frame);
-        } else if remaining > 1 {
+    /// Takes one fault transition from the configuration `parent`: the
+    /// TM and the clients are untouched (the box forks unchanged; only
+    /// the fault masks move), so the edge carries no events and — since
+    /// masks grow strictly along edges while node identity includes
+    /// them — can never close a cycle.
+    fn fault_step(
+        &mut self,
+        tm: BoxedTm,
+        fault: Fault,
+        parent: u32,
+        remaining: usize,
+        record: bool,
+    ) -> Option<BoxedTm> {
+        let saved = self.space.fstate;
+        let k = fault.process().index();
+        let kind = match fault {
+            Fault::Crash { .. } => {
+                self.space.fstate.crash(k);
+                self.crash_injected |= 1 << k;
+                EdgeKind::Crash
+            }
+            Fault::Parasitic { .. } => {
+                self.space.fstate.parasite(k);
+                self.parasite_injected |= 1 << k;
+                EdgeKind::Parasite
+            }
+        };
+        self.space.fault_log.push(fault);
+        self.steps += 1;
+        self.faults_injected += 1;
+        let key = self.key_of(&tm);
+        let child = self.intern(key);
+        if record {
+            self.nodes[parent as usize].edges.push(Edge {
+                target: child,
+                process: u8::try_from(k).expect("≤ 64 processes"),
+                kind,
+                facts: StepFacts::default(),
+                events: [None, None],
+            });
+        }
+        debug_assert!(
+            !self.on_path.contains_key(&child),
+            "fault masks grow strictly along edges — a fault edge cannot close a cycle"
+        );
+        let mut tm = Some(tm);
+        let mut expanded = false;
+        if remaining > 1 {
             let explored = self.nodes[child as usize]
                 .budget
                 .is_some_and(|b| b >= remaining - 1);
             if explored {
                 self.dedup_hits += 1;
             } else {
-                let parked = self.nodes[child as usize].parked_tm.take();
-                debug_assert!(
-                    parked.is_some() || !self.nodes[child as usize].edges.is_empty(),
-                    "frontier node must carry a parked TM"
-                );
-                if let Some(recycled) = self.expand(parked, child, remaining - 1) {
-                    self.pool.put_back(recycled);
-                }
+                tm = self.expand(tm, child, remaining - 1);
+                expanded = true;
             }
         }
-        self.space.rewind(k, mark);
+        self.space.fault_log.pop();
+        self.space.fstate = saved;
+        if self.reduce && !expanded {
+            let node = &mut self.nodes[child as usize];
+            if node.edges.is_empty()
+                && node.parked_tm.is_none()
+                && !self.on_path.contains_key(&child)
+            {
+                node.parked_tm = tm.take();
+            }
+        }
+        tm
+    }
+
+    /// Reduced-mode re-walk of one recorded edge: replays its events via
+    /// [`GraphSpace::replay`], detects cycles, and recurses using parked
+    /// TMs only where a frontier node genuinely needs its first
+    /// expansion.
+    fn replay_edge(&mut self, edge: Edge, remaining: usize) {
+        let k = edge.process as usize;
+        let child = edge.target;
+        match edge.kind {
+            EdgeKind::Step => {
+                let mark = self.space.mark(k);
+                self.space.replay(k, &edge.events);
+                self.replayed += 1;
+                if let Some(&frame) = self.on_path.get(&child) {
+                    self.record_cycle(frame);
+                } else if remaining > 1 {
+                    self.replay_descend(child, remaining);
+                }
+                self.space.rewind(k, mark);
+            }
+            EdgeKind::Crash | EdgeKind::Parasite => {
+                // Re-walk of a recorded fault transition: restore the
+                // masks the original walk applied; no events, no cycle
+                // check (fault edges never close cycles).
+                let saved = self.space.fstate;
+                let fault = match edge.kind {
+                    EdgeKind::Crash => {
+                        self.space.fstate.crash(k);
+                        Fault::Crash {
+                            process: ProcessId(k),
+                            at_step: self.space.sched.len(),
+                        }
+                    }
+                    _ => {
+                        self.space.fstate.parasite(k);
+                        Fault::Parasitic {
+                            process: ProcessId(k),
+                            at_step: self.space.sched.len(),
+                        }
+                    }
+                };
+                self.space.fault_log.push(fault);
+                self.replayed += 1;
+                if remaining > 1 {
+                    self.replay_descend(child, remaining);
+                }
+                self.space.fault_log.pop();
+                self.space.fstate = saved;
+            }
+        }
+    }
+
+    /// The recursion step shared by both replay arms: dedup against the
+    /// recorded budget, or expand the child from its parked TM. A node
+    /// with neither parked TM nor recorded edges is a budget-truncated
+    /// frontier from the tripped original walk — leave it unexpanded;
+    /// the report is partial either way.
+    fn replay_descend(&mut self, child: u32, remaining: usize) {
+        let explored = self.nodes[child as usize]
+            .budget
+            .is_some_and(|b| b >= remaining - 1);
+        if explored {
+            self.dedup_hits += 1;
+            return;
+        }
+        let parked = self.nodes[child as usize].parked_tm.take();
+        if parked.is_none() && self.nodes[child as usize].edges.is_empty() {
+            return;
+        }
+        if let Some(recycled) = self.expand(parked, child, remaining - 1) {
+            self.pool.put_back(recycled);
+        }
     }
 
     /// The DFS stepped back into the configuration at `frames[frame]`:
@@ -732,6 +1054,7 @@ impl Search<'_> {
                         .map(ProcessId)
                         .collect(),
                     schedule_cycle: sched_cycle.iter().copied().map(ProcessId).collect(),
+                    plan: FaultPlan::from_faults(self.space.fault_log.clone()),
                     lasso,
                     classes,
                 };
@@ -739,18 +1062,19 @@ impl Search<'_> {
                     let procs = |ps: &[ProcessId]| {
                         Json::Arr(ps.iter().map(|p| Json::Int(p.0 as i64)).collect())
                     };
-                    self.config.telemetry.event(
-                        "lasso_found",
-                        &[
-                            (
-                                "prefix_len",
-                                Json::Int(finding.schedule_prefix.len() as i64),
-                            ),
-                            ("cycle_len", Json::Int(finding.schedule_cycle.len() as i64)),
-                            ("starving", procs(&finding.starving())),
-                            ("parasitic", procs(&finding.parasitic())),
-                        ],
-                    );
+                    let mut fields = vec![
+                        (
+                            "prefix_len",
+                            Json::Int(finding.schedule_prefix.len() as i64),
+                        ),
+                        ("cycle_len", Json::Int(finding.schedule_cycle.len() as i64)),
+                        ("starving", procs(&finding.starving())),
+                        ("parasitic", procs(&finding.parasitic())),
+                    ];
+                    if !finding.plan.is_empty() {
+                        fields.push(("faults", finding.plan.to_json()));
+                    }
+                    self.config.telemetry.event("lasso_found", &fields);
                     // The witness timeline: replay prefix + cycle from a
                     // fork of the root, one `trace` event per stored
                     // lasso, adjacent to its `lasso_found` event.
@@ -768,6 +1092,7 @@ impl Search<'_> {
                             root.fork(),
                             scripts,
                             self.config.parasitic,
+                            &finding.plan,
                             &schedule,
                         );
                     }
@@ -786,12 +1111,19 @@ impl Search<'_> {
         // snapshot carries the complete run.
         self.pool.flush_counters();
         let processes = self.space.width();
+        let edge_count: usize = self.nodes.iter().map(|n| n.edges.len()).sum();
+        // The certification graph keeps process steps only: fault masks
+        // grow strictly along fault edges while node identity includes
+        // them, so a fault edge can never lie on a cycle — dropping them
+        // here (node count preserved) changes no certificate and keeps
+        // every SCC at a constant fault state.
         let graph: Vec<Vec<CycleEdge>> = self
             .nodes
             .iter()
             .map(|node| {
                 node.edges
                     .iter()
+                    .filter(|e| e.kind == EdgeKind::Step)
                     .map(|e| CycleEdge {
                         target: e.target,
                         process: e.process,
@@ -804,19 +1136,22 @@ impl Search<'_> {
             })
             .collect();
         let telemetry = self.config.telemetry.clone();
-        let verdicts = {
+        let (verdicts, fair_verdicts) = {
             let _span = telemetry.phase("livecheck", "scc_certify");
-            if parallel {
+            let verdicts = if parallel {
                 tm_liveness::certify_cycles_parallel(&graph, processes)
             } else {
                 tm_liveness::certify_cycles(&graph, processes)
-            }
+            };
+            let crashed: Vec<u64> = self.nodes.iter().map(|n| n.crashed).collect();
+            let fair = tm_liveness::certify_fair_cycles(&graph, &crashed, processes);
+            (verdicts, fair)
         };
         let report = LivecheckReport {
             tm,
             depth,
             states: self.nodes.len(),
-            edges: graph.iter().map(Vec::len).sum(),
+            edges: edge_count,
             steps: self.steps,
             replayed_steps: self.replayed,
             dedup_hits: self.dedup_hits,
@@ -826,6 +1161,10 @@ impl Search<'_> {
             lassos: self.lassos,
             truncated: self.truncated,
             verdicts,
+            fair_verdicts,
+            crash_injected: self.crash_injected,
+            parasite_injected: self.parasite_injected,
+            exhausted: self.meter.exhausted().map(str::to_string),
         };
         // The deterministic end-of-run flush: every count below comes
         // from the report itself (fixed properties of the bounded
@@ -838,7 +1177,35 @@ impl Search<'_> {
         telemetry.add(Counter::CyclesDetected, report.cycles_detected as u64);
         telemetry.add(Counter::EventlessCycles, report.eventless_cycles as u64);
         telemetry.add(Counter::LassosFound, report.lassos.len() as u64);
+        telemetry.add(Counter::FaultsInjected, self.faults_injected);
         if telemetry.streams() {
+            // One `fault_injected` event per distinct fault transition
+            // the search exercised (zero in fault-free runs — the stream
+            // stays byte-identical).
+            for k in 0..processes {
+                if report.crash_injected & (1 << k) != 0 {
+                    telemetry.event(
+                        "fault_injected",
+                        &[
+                            ("engine", Json::str("livecheck")),
+                            ("kind", Json::str("crash")),
+                            ("process", Json::Int(k as i64)),
+                        ],
+                    );
+                }
+            }
+            for k in 0..processes {
+                if report.parasite_injected & (1 << k) != 0 {
+                    telemetry.event(
+                        "fault_injected",
+                        &[
+                            ("engine", Json::str("livecheck")),
+                            ("kind", Json::str("parasite")),
+                            ("process", Json::Int(k as i64)),
+                        ],
+                    );
+                }
+            }
             telemetry.heartbeat_now(
                 "livecheck",
                 &[
@@ -852,21 +1219,47 @@ impl Search<'_> {
                 ],
             );
             telemetry.emit_counters(&report.tm);
-            telemetry.event(
-                "verdict",
-                &[
-                    ("engine", Json::str("livecheck")),
-                    ("tm", Json::str(report.tm.as_str())),
-                    (
-                        "starvation_free",
-                        Json::Bool(report.lasso_starvation_free()),
-                    ),
-                    ("states", Json::Int(report.states as i64)),
-                    ("edges", Json::Int(report.edges as i64)),
-                    ("lassos", Json::Int(report.lassos.len() as i64)),
-                    ("depth", Json::Int(report.depth as i64)),
-                ],
-            );
+            // A tripped budget downgrades the verdict: `partial` + the
+            // reason instead of a `starvation_free` claim the truncated
+            // search cannot back.
+            if let Some(reason) = &report.exhausted {
+                telemetry.event(
+                    "budget_exhausted",
+                    &[
+                        ("engine", Json::str("livecheck")),
+                        ("reason", Json::str(reason.as_str())),
+                    ],
+                );
+                telemetry.event(
+                    "verdict",
+                    &[
+                        ("engine", Json::str("livecheck")),
+                        ("tm", Json::str(report.tm.as_str())),
+                        ("partial", Json::Bool(true)),
+                        ("reason", Json::str(reason.as_str())),
+                        ("states", Json::Int(report.states as i64)),
+                        ("edges", Json::Int(report.edges as i64)),
+                        ("lassos", Json::Int(report.lassos.len() as i64)),
+                        ("depth", Json::Int(report.depth as i64)),
+                    ],
+                );
+            } else {
+                telemetry.event(
+                    "verdict",
+                    &[
+                        ("engine", Json::str("livecheck")),
+                        ("tm", Json::str(report.tm.as_str())),
+                        (
+                            "starvation_free",
+                            Json::Bool(report.lasso_starvation_free()),
+                        ),
+                        ("states", Json::Int(report.states as i64)),
+                        ("edges", Json::Int(report.edges as i64)),
+                        ("lassos", Json::Int(report.lassos.len() as i64)),
+                        ("depth", Json::Int(report.depth as i64)),
+                    ],
+                );
+            }
         }
         report
     }
@@ -877,6 +1270,8 @@ fn fresh_search<'a>(
     scripts: &[ClientScript],
     pool: TmPool,
     reduce: bool,
+    faults: FaultConfig,
+    meter: &'a BudgetMeter,
 ) -> Search<'a> {
     Search {
         config,
@@ -887,12 +1282,17 @@ fn fresh_search<'a>(
         nodes: Vec::new(),
         pool,
         reduce,
+        faults,
+        meter,
         steps: 0,
         replayed: 0,
         dedup_hits: 0,
         cycles_detected: 0,
         eventless_cycles: 0,
         rejected_cycles: 0,
+        crash_injected: 0,
+        parasite_injected: 0,
+        faults_injected: 0,
         seen_cycles: HashSet::new(),
         lassos: Vec::new(),
         truncated: false,
@@ -903,34 +1303,41 @@ fn fresh_search<'a>(
 /// What one parallel frontier expansion reports for one successor: the
 /// configuration key (for the deterministic merge's interning), the edge
 /// label and events, the client cursors a worker needs to expand the
-/// child next level, and the stepped TM box (kept only when the child is
-/// new).
+/// child next level, the fault state the successor lives in, and the
+/// stepped TM box (kept only when the child is new).
 struct ChildRecord {
-    key: (u64, u64),
+    key: (u64, u64, u64),
+    process: u8,
+    kind: EdgeKind,
     facts: StepFacts,
     events: [Option<Event>; 2],
     cursors: Vec<(usize, Option<Value>)>,
+    fstate: FaultState,
     tm: BoxedTm,
 }
 
 /// A configuration on the parallel frontier: its interned id, its TM
-/// box, the client cursors that complete the configuration, and spare
-/// boxes recycled from the previous level's duplicate children (so
-/// frontier forks go through the allocation-free refork fast path).
+/// box, the client cursors and fault state that complete the
+/// configuration, and spare boxes recycled from the previous level's
+/// duplicate children (so frontier forks go through the allocation-free
+/// refork fast path).
 struct LevelNode {
     id: u32,
     tm: BoxedTm,
     cursors: Vec<(usize, Option<Value>)>,
+    fstate: FaultState,
     spares: Vec<BoxedTm>,
 }
 
-/// Expands one frontier configuration: executes all `n` successor steps
-/// (the only TM work in the parallel search — each graph transition is
-/// executed exactly once, here), returning the per-process records in
-/// process order for the deterministic merge.
+/// Expands one frontier configuration: executes all live successor
+/// steps (the only TM work in the parallel search — each graph
+/// transition is executed exactly once, here) and appends the available
+/// fault transitions, returning the records in the canonical
+/// process-steps-then-faults order for the deterministic merge.
 fn expand_level_node(
     scripts: &[ClientScript],
     parasitic: u64,
+    faults: FaultConfig,
     recycle: bool,
     telemetry: &Telemetry,
     node: LevelNode,
@@ -939,35 +1346,94 @@ fn expand_level_node(
     for (client, cursor) in space.clients.iter_mut().zip(&node.cursors) {
         client.set_cursor(*cursor);
     }
+    space.fstate = node.fstate;
     let n = space.width();
     let mut pool = TmPool::new(recycle).instrument(telemetry);
     for spare in node.spares {
         pool.put_back(spare);
     }
     let tm = node.tm;
-    let mut out = Vec::with_capacity(n);
+    let digest = |space: &mut GraphSpace, tm: &BoxedTm| {
+        let (d, c) = space
+            .config_key(tm)
+            .expect("livecheck requires a fingerprinting TM (SteppedTm::state_digest)");
+        (d, c)
+    };
+    // Same transition order the sequential search produces: live process
+    // steps ascending, then crashes ascending, then parasitic turns
+    // ascending.
+    let alive: Vec<usize> = (0..n).filter(|&k| !space.fstate.is_crashed(k)).collect();
+    let mut fault_kinds: Vec<(usize, EdgeKind)> = Vec::new();
+    if faults.enabled() {
+        for k in 0..n {
+            if space.fstate.can_crash(&faults, k) {
+                fault_kinds.push((k, EdgeKind::Crash));
+            }
+        }
+        for k in 0..n {
+            if space.fstate.can_parasite(&faults, k) && parasitic & (1 << k) == 0 {
+                fault_kinds.push((k, EdgeKind::Parasite));
+            }
+        }
+    }
+    let total = alive.len() + fault_kinds.len();
+    let mut out = Vec::with_capacity(total);
+    let mut slot = Some(tm);
     let step_child = |space: &mut GraphSpace, mut tm: BoxedTm, k: usize| {
         let mark = space.mark(k);
         let rec = space.step(&mut tm, k);
-        let key = space
-            .config_key(&tm)
-            .expect("livecheck requires a fingerprinting TM (SteppedTm::state_digest)");
+        let (d, c) = digest(space, &tm);
         let cursors = space.clients.iter().map(Client::cursor).collect();
+        let fstate = space.fstate;
         space.rewind(k, mark);
         ChildRecord {
-            key,
+            key: (d, c, fstate.key()),
+            process: u8::try_from(k).expect("≤ 64 processes"),
+            kind: EdgeKind::Step,
             facts: StepFacts::of(&rec),
             events: rec.events(ProcessId(k)),
             cursors,
+            fstate,
             tm,
         }
     };
-    for k in 0..n - 1 {
-        let child = pool.fork_child(&tm);
+    for (i, &k) in alive.iter().enumerate() {
+        let child = if i + 1 == total {
+            // The last child consumes the frontier node's TM: no fork.
+            slot.take().expect("the last child consumes the box")
+        } else {
+            pool.fork_child(slot.as_ref().expect("box still owned"))
+        };
         out.push(step_child(&mut space, child, k));
     }
-    // The last child consumes the frontier node's TM instance: no fork.
-    out.push(step_child(&mut space, tm, n - 1));
+    for (j, (k, kind)) in fault_kinds.into_iter().enumerate() {
+        let child = if alive.len() + j + 1 == total {
+            slot.take().expect("the last child consumes the box")
+        } else {
+            pool.fork_child(slot.as_ref().expect("box still owned"))
+        };
+        // A fault transition leaves TM and clients untouched: fork the
+        // box, move only the fault masks.
+        let saved = space.fstate;
+        match kind {
+            EdgeKind::Crash => space.fstate.crash(k),
+            _ => space.fstate.parasite(k),
+        }
+        let (d, c) = digest(&mut space, &child);
+        let cursors = space.clients.iter().map(Client::cursor).collect();
+        let fstate = space.fstate;
+        space.fstate = saved;
+        out.push(ChildRecord {
+            key: (d, c, fstate.key()),
+            process: u8::try_from(k).expect("≤ 64 processes"),
+            kind,
+            facts: StepFacts::default(),
+            events: [None, None],
+            cursors,
+            fstate,
+            tm: child,
+        });
+    }
     out
 }
 
@@ -979,14 +1445,16 @@ fn livecheck_parallel(
     tm: BoxedTm,
     scripts: &[ClientScript],
     config: &LivecheckConfig,
+    faults: FaultConfig,
+    meter: &BudgetMeter,
     name: String,
 ) -> LivecheckReport {
     // Phase 1: build the canonical bounded graph — nodes at BFS distance
     // ≤ depth, edges of nodes at distance ≤ depth−1 (exactly the
     // subgraph the sequential budget-DFS explores). Workers expand whole
     // levels concurrently; the merge interns successors in parent-then-
-    // process order, so ids are the canonical BFS discovery order.
-    let mut search = fresh_search(config, scripts, TmPool::disabled(), true);
+    // transition order, so ids are the canonical BFS discovery order.
+    let mut search = fresh_search(config, scripts, TmPool::disabled(), true, faults, meter);
     if config.telemetry.streams() {
         search.trace_seed = Some((tm.fork(), scripts.to_vec()));
     }
@@ -1001,6 +1469,7 @@ fn livecheck_parallel(
         id: root,
         tm,
         cursors: root_cursors,
+        fstate: FaultState::none(),
         spares: Vec::new(),
     }];
     // Boxes of already-interned duplicate children, recycled into the
@@ -1011,27 +1480,52 @@ fn livecheck_parallel(
     {
         let _span = telemetry.phase("livecheck", "graph_build");
         for _dist in 0..config.depth {
-            if level.is_empty() {
+            // A tripped budget stops the level loop between levels: the
+            // graph built so far stays canonical (whole levels only) and
+            // the run degrades to a partial report.
+            if level.is_empty() || !meter.within() {
                 break;
             }
             telemetry.add(Counter::FrontierSplits, 1);
             telemetry.add(Counter::FrontierItems, level.len() as u64);
             let parents: Vec<u32> = level.iter().map(|node| node.id).collect();
-            let expansions = frontier::distribute(level, |node| {
-                expand_level_node(scripts, parasitic, recycle, &telemetry, node)
+            let expansions = frontier::distribute_isolated(level, |node| {
+                expand_level_node(scripts, parasitic, faults, recycle, &telemetry, node)
             });
             level = Vec::new();
             for (parent, children) in parents.into_iter().zip(expansions) {
-                for (k, child) in children.into_iter().enumerate() {
+                let Some(children) = children else {
+                    // The worker expanding this parent panicked: keep
+                    // every other expansion, mark the run partial.
+                    meter.trip_external();
+                    continue;
+                };
+                for child in children {
                     steps += 1;
+                    match child.kind {
+                        EdgeKind::Step => {}
+                        EdgeKind::Crash => {
+                            search.crash_injected |= 1 << child.process;
+                            search.faults_injected += 1;
+                        }
+                        EdgeKind::Parasite => {
+                            search.parasite_injected |= 1 << child.process;
+                            search.faults_injected += 1;
+                        }
+                    }
                     let (cid, new) = search.ids.intern(child.key);
                     if new {
-                        search.nodes.push(Node::default());
+                        meter.note_state();
+                        search.nodes.push(Node {
+                            crashed: child.fstate.crashed,
+                            ..Node::default()
+                        });
                         let take = spare_pool.len().min(n.saturating_sub(1));
                         level.push(LevelNode {
                             id: cid,
                             tm: child.tm,
                             cursors: child.cursors,
+                            fstate: child.fstate,
                             spares: spare_pool.split_off(spare_pool.len() - take),
                         });
                     } else if recycle {
@@ -1039,7 +1533,8 @@ fn livecheck_parallel(
                     }
                     search.nodes[parent as usize].edges.push(Edge {
                         target: cid,
-                        process: u8::try_from(k).expect("≤ 64 processes"),
+                        process: child.process,
+                        kind: child.kind,
                         facts: child.facts,
                         events: child.events,
                     });
@@ -1047,7 +1542,7 @@ fn livecheck_parallel(
             }
             telemetry.heartbeat("livecheck", || {
                 let states = search.nodes.len();
-                vec![
+                let mut fields = vec![
                     ("states", Json::Int(states as i64)),
                     ("frontier", Json::Int(level.len() as i64)),
                     ("steps", Json::Int(steps as i64)),
@@ -1055,7 +1550,14 @@ fn livecheck_parallel(
                         "states_per_sec",
                         Json::Num(states as f64 / telemetry.elapsed_secs().max(1e-9)),
                     ),
-                ]
+                ];
+                if search.crash_injected != 0 {
+                    fields.push((
+                        "crashed",
+                        Json::Int(i64::from(search.crash_injected.count_ones())),
+                    ));
+                }
+                fields
             });
         }
     }
@@ -1069,9 +1571,15 @@ fn livecheck_parallel(
         let _span = telemetry.phase("livecheck", "lasso_scan");
         search.expand(None, root, config.depth);
     }
+    debug_assert!(
+        search.replayed >= steps || meter.exhausted().is_some(),
+        "replay walks every recorded edge"
+    );
+    // Under a tripped budget the replay may cover only part of the
+    // recorded graph; the subtraction saturates and the report carries
+    // the explicit `exhausted` reason instead of exact accounting.
+    search.replayed = search.replayed.saturating_sub(steps);
     search.steps = steps;
-    debug_assert!(search.replayed >= steps, "replay walks every recorded edge");
-    search.replayed -= steps;
     search.into_report(name, config.depth, true)
 }
 
@@ -1109,11 +1617,18 @@ where
             ("processes", Json::Int(n as i64)),
         ],
     );
+    // Crashing every process trivially halts the run — cap the crash
+    // budget at n−1 so a live step always exists below the depth bound.
+    let faults = FaultConfig {
+        max_crashes: config.faults.max_crashes.min(n - 1),
+        ..config.faults
+    };
+    let meter = BudgetMeter::new(config.budget);
     if config.parallel {
-        return livecheck_parallel(tm, scripts, config, name);
+        return livecheck_parallel(tm, scripts, config, faults, &meter, name);
     }
     let pool = TmPool::for_tm(&tm).instrument(&config.telemetry);
-    let mut search = fresh_search(config, scripts, pool, config.reduce);
+    let mut search = fresh_search(config, scripts, pool, config.reduce, faults, &meter);
     if config.telemetry.streams() {
         search.trace_seed = Some((tm.fork(), scripts.to_vec()));
     }

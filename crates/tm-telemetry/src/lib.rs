@@ -87,8 +87,10 @@
 //! | `lasso_found` | `prefix_len`, `cycle_len`, `starving`, `parasitic` (process index arrays) |
 //! | `violation` | `engine`, `schedule` (process index array), `detail` |
 //! | `trace` | `engine`, `kind` (`"violation"` \| `"lasso"`), `idx` (witness index within the run), `schedule` (process index array), `cycle_start` (lasso only: step index where the repeated cycle begins), `steps` (per-step objects `{"p","op","resp","digest"}`: process, operation, TM response — `null` while withheld — and the canonical state fingerprint after the step, present when the TM implements `state_digest`) |
-//! | `verdict` | `engine`, `tm`, plus the engine's headline result (`all_opaque` + `schedules`, or `starvation_free` + `states`/`edges`/`lassos`) |
+//! | `verdict` | `engine`, `tm`, plus the engine's headline result (`all_opaque` + `schedules`, or `starvation_free` + `states`/`edges`/`lassos`) — or, for a budget-exhausted/partial run, `partial: true` + `reason` and **no** boolean headline |
 //! | `counter_snapshot` | `label`, `counters` (object of non-zero counters), `timers` (object of log2 bucket arrays, only with timing) |
+//! | `fault_injected` | `engine`, `kind` (`"crash"` \| `"parasite"`), `process` — one event per distinct fault transition the fault-aware search exercised |
+//! | `budget_exhausted` | `engine`, `reason` (which cap tripped) — the run degrades to a partial report; its `verdict` carries `partial: true` |
 //!
 //! Consumers must ignore unknown fields and unknown `ev` tags within a
 //! major version; field *removal* or semantic change bumps `"v"`.
@@ -149,6 +151,8 @@ pub const EVENT_TAGS: &[&str] = &[
     "trace",
     "verdict",
     "counter_snapshot",
+    "fault_injected",
+    "budget_exhausted",
 ];
 
 /// The deterministic engine counters (see the module docs for the
@@ -219,11 +223,14 @@ pub enum Counter {
     /// head was asleep when scheduled — provably none, so the counter
     /// must read 0 there.
     SleepBlockedExecutions,
+    /// Fault transitions (`crash(p)` / `parasite(p)`) the fault-aware
+    /// search executed as scheduler-level branches.
+    FaultsInjected,
 }
 
 impl Counter {
     /// Number of counters (the snapshot array length).
-    pub const COUNT: usize = 23;
+    pub const COUNT: usize = 24;
 
     /// Every counter, in snapshot order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -250,6 +257,7 @@ impl Counter {
         Counter::WakeupInserts,
         Counter::WakeupRedundant,
         Counter::SleepBlockedExecutions,
+        Counter::FaultsInjected,
     ];
 
     /// The counter's stable snake_case name (the `counter_snapshot`
@@ -279,6 +287,7 @@ impl Counter {
             Counter::WakeupInserts => "wakeup_inserts",
             Counter::WakeupRedundant => "wakeup_redundant",
             Counter::SleepBlockedExecutions => "sleep_blocked_executions",
+            Counter::FaultsInjected => "faults_injected",
         }
     }
 }

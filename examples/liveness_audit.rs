@@ -16,6 +16,16 @@
 //! Telemetry: set `TM_TELEMETRY=stderr` (or a file path) to stream the
 //! checker's NDJSON event log, or pass `--progress` to force the stderr
 //! stream — heartbeats included — when the variable is unset.
+//!
+//! Fault-prone mode: `--crashes <k>` lets the checker crash up to `k`
+//! processes at every reachable configuration, `--parasitic` lets it
+//! turn processes parasitic — both quantified exhaustively, streaming
+//! `fault_injected` events and (in the parallel search) heartbeats that
+//! carry the crashed-process count. With faults on, the audit reports
+//! the fairness-filtered verdicts: which starvation survives fair
+//! scheduling, and which of it is crash-induced (Theorem 1's corollary:
+//! with one crash allowed, *no* TM in the catalogue stays
+//! starvation-free — even the global lock, via a crashed lock holder).
 
 use tm_liveness_repro::liveness::{
     classify_all, figures, meta, GlobalProgress, InfiniteHistory, LocalProgress, SoloProgress,
@@ -120,15 +130,39 @@ fn main() {
     // `--progress` forces the stderr NDJSON stream (run_start, phase
     // spans, heartbeats, per-TM verdicts) when TM_TELEMETRY is unset;
     // otherwise the environment decides (off by default).
-    let progress = std::env::args().any(|a| a == "--progress");
+    let args: Vec<String> = std::env::args().collect();
+    let progress = args.iter().any(|a| a == "--progress");
+    // `--crashes <k>` / `--parasitic`: fault-prone checking — the
+    // scheduler may crash up to k processes and turn processes
+    // parasitic, exhaustively at every reachable configuration.
+    let crashes: usize = args
+        .iter()
+        .position(|a| a == "--crashes")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    let parasitic = args.iter().any(|a| a == "--parasitic");
+    let faults = if parasitic {
+        FaultConfig::with_crashes(crashes).and_parasitic()
+    } else {
+        FaultConfig::with_crashes(crashes)
+    };
     let telemetry = if progress && std::env::var_os("TM_TELEMETRY").is_none() {
         Telemetry::to_stderr()
     } else {
         Telemetry::from_env()
     };
-    let config = LivecheckConfig::new(depth).with_telemetry(&telemetry);
+    let config = LivecheckConfig::new(depth)
+        .with_telemetry(&telemetry)
+        .with_faults(faults);
 
     println!("\n=== Livecheck: lasso search over the canonical state graph ===");
+    if faults.enabled() {
+        println!(
+            "fault mode: up to {crashes} crash(es){} — every placement quantified",
+            if parasitic { " + parasitic turns" } else { "" }
+        );
+    }
     println!(
         "workload: p1 = (write x 1 · tryC)^ω, p2 = (read x · write x 2 · tryC)^ω, depth {depth}\n"
     );
@@ -168,6 +202,22 @@ fn main() {
             process_list(&report.parasitic_processes()),
             process_list(&report.blocked_processes()),
         );
+        if faults.enabled() {
+            println!(
+                "  {:<12} fair: {} · crash-victims: {} · crashed-mask: {:#b}",
+                "",
+                if report.fair_starvation_free() {
+                    "starvation-free".to_string()
+                } else {
+                    format!(
+                        "starving {}",
+                        process_list(&report.fair_starving_processes())
+                    )
+                },
+                process_list(&report.crash_victims()),
+                report.crash_injected,
+            );
+        }
         reports.push((*name, report));
     }
 
@@ -203,9 +253,20 @@ fn main() {
     assert!(!report_of("fgp").lasso_starvation_free());
     assert!(GlobalProgress.contains(&witness.lasso));
     assert!(!LocalProgress.contains(&witness.lasso));
-    // ...while the global-lock TM is certified lasso-starvation-free at
-    // the same bound (it blocks instead: §1.1 / Figure 14).
-    assert!(report_of("global-lock").lasso_starvation_free());
+    if !faults.enabled() {
+        // ...while the fault-free global-lock TM is certified
+        // lasso-starvation-free at the same bound (it blocks instead:
+        // §1.1 / Figure 14).
+        assert!(report_of("global-lock").lasso_starvation_free());
+    } else if crashes > 0 {
+        // Theorem 1's corollary, mechanically: one crash suffices to
+        // make even the lock TM's blocking crash-induced — a crashed
+        // holder leaves the other process fair-scheduled yet stuck.
+        assert!(
+            !report_of("global-lock").crash_victims().is_empty(),
+            "a crashed lock holder must produce a certified crash victim"
+        );
+    }
     assert!(!report_of("global-lock").blocked_processes().is_empty());
     // Every TM in the catalogue keeps some process progressing forever.
     for (name, report) in &reports {

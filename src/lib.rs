@@ -77,9 +77,9 @@ pub mod prelude {
         is_strictly_serializable, IncrementalChecker, Mode, SafetyProperty,
     };
     pub use tm_sim::{
-        explore_schedules, explore_with, livecheck, simulate, Client, ClientScript, ExploreConfig,
-        FaultPlan, LassoFinding, LivecheckConfig, LivecheckReport, RandomScheduler, RoundRobin,
-        Scheduler, SimConfig,
+        explore_schedules, explore_with, livecheck, simulate, Budget, Client, ClientScript,
+        ExploreConfig, FairProcessVerdicts, FaultConfig, FaultPlan, LassoFinding, LivecheckConfig,
+        LivecheckReport, RandomScheduler, RoundRobin, Scheduler, SimConfig,
     };
     pub use tm_stm::{
         concurrent::{atomically, ConcurrentGlobalLock, ConcurrentNOrec, ConcurrentTl2},
