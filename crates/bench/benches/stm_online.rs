@@ -1,0 +1,111 @@
+//! PERF5 — streaming opacity at production traffic: sustained
+//! *certified* throughput of the online pipeline (sharded recorder →
+//! chunker → parallel certifier) and how far certification trails
+//! recording.
+//!
+//! Emitted as `BENCH_online.json` at the workspace root. Each row is
+//! one TM × thread-count cell of the bank workload and records the
+//! machine's `cores` and the worker `threads` alongside the rates —
+//! `tm-obs diff` refuses to compare rows whose `cores` or `threads`
+//! differ, so cross-machine or cross-shape comparisons fail loudly
+//! instead of reading as regressions.
+//!
+//! `certified_ops_per_sec` counts recorded events per wall-clock second
+//! *with the verdict in hand* (the pipeline joined), not just recorded:
+//! it is the price of running the certifier inline with the workload.
+//!
+//! Run: `cargo bench -p bench --bench stm_online`
+
+use std::time::Instant;
+
+use bench::{BenchRun, Json};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tm_sim::{certify_workload, OnlineConfig, OnlineReport, OnlineWorkload};
+use tm_stm::concurrent::{ConcurrentGlobalLock, ConcurrentNOrec, ConcurrentTl2};
+
+const ACCOUNTS: usize = 16;
+
+fn workload(threads: usize, txs_per_thread: u64) -> OnlineWorkload {
+    OnlineWorkload {
+        threads,
+        accounts: ACCOUNTS,
+        txs_per_thread,
+        seed: 0x6a1e_55ed,
+    }
+}
+
+fn run_one(tm_name: &str, threads: usize, txs_per_thread: u64) -> (OnlineReport, f64) {
+    let wl = workload(threads, txs_per_thread);
+    let config = OnlineConfig::default();
+    let start = Instant::now();
+    let report = match tm_name {
+        "tl2" => certify_workload(ConcurrentTl2::new(ACCOUNTS), &wl, config),
+        "norec" => certify_workload(ConcurrentNOrec::new(ACCOUNTS), &wl, config),
+        "global-lock" => certify_workload(ConcurrentGlobalLock::new(ACCOUNTS), &wl, config),
+        other => panic!("unknown tm {other}"),
+    };
+    let secs = start.elapsed().as_secs_f64();
+    assert!(
+        report.certified_opaque(),
+        "{tm_name} must certify opaque, got {:?}",
+        report.violation
+    );
+    (report, secs)
+}
+
+fn bench_online(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stm_online");
+    group.sample_size(10);
+    for &threads in &[1usize, 2] {
+        group.throughput(Throughput::Elements(2_000 * threads as u64));
+        group.bench_with_input(BenchmarkId::new("tl2", threads), &threads, |b, &threads| {
+            b.iter(|| run_one("tl2", threads, 2_000));
+        });
+    }
+    group.finish();
+}
+
+fn emit_json(_c: &mut Criterion) {
+    let run = BenchRun::from_args();
+    let txs_per_thread: u64 = if run.test_mode { 200 } else { 10_000 };
+    let thread_counts: &[usize] = if run.test_mode { &[1] } else { &[1, 2, 4] };
+
+    let mut rows = Vec::new();
+    for tm in ["tl2", "norec", "global-lock"] {
+        for &threads in thread_counts {
+            let (mut best, mut best_secs) = (None, f64::INFINITY);
+            for _ in 0..run.runs.min(3) {
+                let (report, secs) = run_one(tm, threads, txs_per_thread);
+                if secs < best_secs {
+                    best_secs = secs;
+                    best = Some(report);
+                }
+            }
+            let report = best.expect("at least one run");
+            rows.push(Json::Obj(vec![
+                ("tm".into(), Json::str(tm)),
+                ("threads".into(), Json::Int(threads as i64)),
+                ("cores".into(), Json::Int(run.cores as i64)),
+                ("accounts".into(), Json::Int(ACCOUNTS as i64)),
+                ("ops".into(), Json::Int(report.events as i64)),
+                ("commits".into(), Json::Int(report.commits as i64)),
+                ("aborts".into(), Json::Int(report.aborts as i64)),
+                (
+                    "certified_ops_per_sec".into(),
+                    Json::Num(report.events as f64 / best_secs.max(1e-9)),
+                ),
+                ("wall_ms".into(), Json::Num(best_secs * 1e3)),
+                ("epochs".into(), Json::Int(report.epochs_sealed as i64)),
+                ("chunks".into(), Json::Int(report.chunks_certified as i64)),
+                (
+                    "max_lag_epochs".into(),
+                    Json::Int(report.max_lag_epochs as i64),
+                ),
+            ]));
+        }
+    }
+    run.emit("online", vec![("pipeline".into(), Json::Arr(rows))]);
+}
+
+criterion_group!(benches, bench_online, emit_json);
+criterion_main!(benches);

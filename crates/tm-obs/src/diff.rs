@@ -7,6 +7,12 @@
 //! comparison. Artifacts from different machines are not comparable —
 //! every artifact records the `cores` it was measured on, and the diff
 //! **refuses** cross-`cores` comparisons unless explicitly overridden.
+//! The same refusal applies per row: a row-level `cores` field (as in
+//! `BENCH_online.json`) that differs between sides, or a baseline row
+//! whose only identity mismatch is its `threads` count, is a usage
+//! error (`--ignore-cores` / `--ignore-threads` to override) — thread
+//! scaling changes contention, so cross-thread-count numbers are not a
+//! regression signal any more than cross-machine ones.
 //!
 //! Columns are classified by name, each with its own threshold
 //! direction:
@@ -48,6 +54,9 @@ pub struct Thresholds {
     pub per_column: Vec<(String, f64)>,
     /// Compare artifacts measured on different core counts anyway.
     pub ignore_cores: bool,
+    /// Let rows that differ only in `threads` go unmatched (skipped)
+    /// instead of refusing the whole diff.
+    pub ignore_threads: bool,
 }
 
 impl Default for Thresholds {
@@ -58,6 +67,7 @@ impl Default for Thresholds {
             count_pct: 0.0,
             per_column: Vec::new(),
             ignore_cores: false,
+            ignore_threads: false,
         }
     }
 }
@@ -264,16 +274,28 @@ fn diff_rows(
     candidate: &Json,
     th: &Thresholds,
     report: &mut DiffReport,
-) {
+) -> Result<(), String> {
     let (Json::Obj(base_pairs), Json::Obj(cand_pairs)) = (baseline, candidate) else {
-        return;
+        return Ok(());
     };
     let context = format!("{table}[{}] ", identity_label(&row_identity(baseline)));
+    // Rows may carry their own `cores` (per-row measurement context, as
+    // in BENCH_online.json): a machine mismatch there is refused just
+    // like an envelope-level one, and never judged as a count drift.
+    let row_cores = |row: &Json| row.get("cores").and_then(Json::as_int);
+    if let (Some(base_cores), Some(cand_cores)) = (row_cores(baseline), row_cores(candidate)) {
+        if base_cores != cand_cores && !th.ignore_cores {
+            return Err(format!(
+                "refusing cross-cores comparison: {context}measured on {base_cores} core(s), \
+                 candidate row on {cand_cores} (pass --ignore-cores to override)"
+            ));
+        }
+    }
     for (name, base_value) in base_pairs {
         let Some(base_num) = as_f64(base_value) else {
             continue;
         };
-        if IDENTITY_INTS.contains(&name.as_str()) {
+        if IDENTITY_INTS.contains(&name.as_str()) || name == "cores" {
             continue;
         }
         match cand_pairs.iter().find(|(k, _)| k == name) {
@@ -287,11 +309,27 @@ fn diff_rows(
                 .push(format!("{context}column {name} missing from candidate")),
         }
     }
+    Ok(())
 }
 
-fn diff_bench(base_root: &Json, cand_root: &Json, th: &Thresholds, report: &mut DiffReport) {
+/// A row identity with `threads` struck out, for detecting rows whose
+/// only mismatch is the thread count they were measured at.
+fn identity_without_threads(identity: &[(String, String)]) -> Vec<(String, String)> {
+    identity
+        .iter()
+        .filter(|(k, _)| k != "threads")
+        .cloned()
+        .collect()
+}
+
+fn diff_bench(
+    base_root: &Json,
+    cand_root: &Json,
+    th: &Thresholds,
+    report: &mut DiffReport,
+) -> Result<(), String> {
     let Json::Obj(base_pairs) = base_root else {
-        return;
+        return Ok(());
     };
     for (field, base_value) in base_pairs {
         if field == "cores" || field == "test_mode" || field == "bench" {
@@ -308,11 +346,30 @@ fn diff_bench(base_root: &Json, cand_root: &Json, th: &Thresholds, report: &mut 
                 for base_row in base_rows {
                     let identity = row_identity(base_row);
                     match cand_rows.iter().find(|r| row_identity(r) == identity) {
-                        Some(cand_row) => diff_rows(field, base_row, cand_row, th, report),
-                        None => report.skipped.push(format!(
-                            "{field}[{}] missing from candidate",
-                            identity_label(&identity)
-                        )),
+                        Some(cand_row) => diff_rows(field, base_row, cand_row, th, report)?,
+                        None => {
+                            // An unmatched row that *would* match with
+                            // `threads` struck from its identity was
+                            // measured at a different thread count —
+                            // refused like cross-cores, not skipped.
+                            let loose = identity_without_threads(&identity);
+                            let cross_threads = loose.len() < identity.len()
+                                && cand_rows
+                                    .iter()
+                                    .any(|r| identity_without_threads(&row_identity(r)) == loose);
+                            if cross_threads && !th.ignore_threads {
+                                return Err(format!(
+                                    "refusing cross-thread-count comparison: {field}[{}] only \
+                                     matches candidate rows at a different `threads` (pass \
+                                     --ignore-threads to skip such rows)",
+                                    identity_label(&identity)
+                                ));
+                            }
+                            report.skipped.push(format!(
+                                "{field}[{}] missing from candidate",
+                                identity_label(&identity)
+                            ));
+                        }
                     }
                 }
             }
@@ -323,6 +380,7 @@ fn diff_bench(base_root: &Json, cand_root: &Json, th: &Thresholds, report: &mut 
             }
         }
     }
+    Ok(())
 }
 
 fn diff_counters(
@@ -348,9 +406,11 @@ fn diff_counters(
 ///
 /// # Errors
 ///
-/// Mismatched input kinds, different `bench` names, or different
-/// `cores` (unless [`Thresholds::ignore_cores`]); these are usage
-/// errors, distinct from regressions.
+/// Mismatched input kinds, different `bench` names, different `cores`
+/// (envelope- or row-level, unless [`Thresholds::ignore_cores`]), or a
+/// baseline row whose only identity mismatch is its `threads` count
+/// (unless [`Thresholds::ignore_threads`]); these are usage errors,
+/// distinct from regressions.
 pub fn diff(
     baseline: &DiffInput,
     candidate: &DiffInput,
@@ -381,7 +441,7 @@ pub fn diff(
                      core(s), candidate on {cand_cores} (pass --ignore-cores to override)"
                 ));
             }
-            diff_bench(base_root, cand_root, th, &mut report);
+            diff_bench(base_root, cand_root, th, &mut report)?;
         }
         (
             DiffInput::Counters { counters: base, .. },
@@ -447,6 +507,51 @@ mod tests {
             ..Thresholds::default()
         };
         assert!(diff(&base, &cand, &th).expect("diff").is_clean());
+    }
+
+    const ONLINE: &str = r#"{"bench":"online","cores":1,"test_mode":false,"pipeline":[{"tm":"tl2","threads":2,"cores":1,"certified_ops_per_sec":4000000.0,"max_lag_epochs":6}]}"#;
+
+    #[test]
+    fn refuses_cross_cores_rows_unless_overridden() {
+        let base = DiffInput::load(ONLINE).expect("load");
+        // Row-level cores differ while the envelope agrees: still refused.
+        let other = ONLINE.replace("\"threads\":2,\"cores\":1", "\"threads\":2,\"cores\":8");
+        let cand = DiffInput::load(&other).expect("load");
+        let err = diff(&base, &cand, &Thresholds::default()).expect_err("must refuse");
+        assert!(err.contains("cross-cores"), "{err}");
+        // Overridden, the rows compare — but `cores` itself is context,
+        // never a count cell, so the 1 → 8 jump is not a regression.
+        let th = Thresholds {
+            ignore_cores: true,
+            ..Thresholds::default()
+        };
+        assert!(diff(&base, &cand, &th).expect("diff").is_clean());
+    }
+
+    #[test]
+    fn refuses_cross_thread_count_rows_unless_overridden() {
+        let base = DiffInput::load(ONLINE).expect("load");
+        // The candidate measured the same tm at a different thread
+        // count: contention changed, the numbers are incomparable.
+        let rethreaded = ONLINE.replace("\"threads\":2", "\"threads\":4");
+        let cand = DiffInput::load(&rethreaded).expect("load");
+        let err = diff(&base, &cand, &Thresholds::default()).expect_err("must refuse");
+        assert!(err.contains("cross-thread-count"), "{err}");
+        assert!(err.contains("--ignore-threads"), "{err}");
+        // With the override the unmatched row is skipped, not judged.
+        let th = Thresholds {
+            ignore_threads: true,
+            ..Thresholds::default()
+        };
+        let report = diff(&base, &cand, &th).expect("diff");
+        assert!(report.is_clean(), "{report:?}");
+        assert!(!report.skipped.is_empty());
+        // A row missing for any *other* reason stays a plain skip.
+        let renamed = ONLINE.replace("\"tm\":\"tl2\"", "\"tm\":\"norec\"");
+        let cand = DiffInput::load(&renamed).expect("load");
+        let report = diff(&base, &cand, &Thresholds::default()).expect("diff");
+        assert!(report.is_clean(), "{report:?}");
+        assert!(!report.skipped.is_empty());
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! tm-obs diff    [--against] BASELINE CANDIDATE
 //!                [--time-threshold PCT] [--ratio-threshold PCT]
 //!                [--count-threshold PCT] [--threshold COL=PCT]
-//!                [--ignore-cores]
+//!                [--ignore-cores] [--ignore-threads]
 //! ```
 //!
 //! Exit codes: 0 success, 1 gate failure (regression detected or an
@@ -224,6 +224,7 @@ fn cmd_diff(args: &[String]) -> ExitCode {
                 None => return fail("--threshold needs COLUMN=PCT"),
             },
             "--ignore-cores" => th.ignore_cores = true,
+            "--ignore-threads" => th.ignore_threads = true,
             other => paths.push(other.to_string()),
         }
     }

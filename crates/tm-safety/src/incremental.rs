@@ -388,6 +388,33 @@ impl IncrementalChecker {
         }
     }
 
+    /// Creates a certifier whose initial committed state is `frontier`
+    /// (sparse `(t-variable, value)` pairs; unlisted t-variables stay at
+    /// [`INITIAL_VALUE`]) — the entry point for *chunked* certification,
+    /// where a history suffix is checked independently against the
+    /// committed state its prefix left behind. The frontier occupies
+    /// state slot 0, so a transaction that opens inside the chunk can
+    /// never serialize before the pre-chunk commits it post-dates.
+    ///
+    /// ```
+    /// use tm_core::{Event, ProcessId, TVarId};
+    /// use tm_safety::{IncrementalChecker, Mode};
+    ///
+    /// let p = ProcessId(0);
+    /// let x = TVarId(0);
+    /// let mut checker = IncrementalChecker::with_frontier(Mode::Opacity, &[(x, 7)]);
+    /// checker.push(Event::read(p, x)).unwrap();
+    /// // Reading the frontier value is consistent; reading 0 would not be.
+    /// checker.push(Event::value(p, 7)).unwrap();
+    /// ```
+    pub fn with_frontier(mode: Mode, frontier: &[(TVarId, Value)]) -> Self {
+        let mut checker = Self::new(mode);
+        for &(x, v) in frontier {
+            Self::apply_write(&mut checker.states[0], x, v);
+        }
+        checker
+    }
+
     /// Largest process/t-variable id the dense tables accept. Real
     /// workloads use small dense ids; this bound turns a malformed or
     /// adversarial id (which would otherwise demand a huge allocation)
@@ -1225,6 +1252,28 @@ mod tests {
         c.push_all(h.iter().copied()).unwrap();
         assert_eq!(c.committed_value(X), 5);
         assert_eq!(c.commits(), 1);
+    }
+
+    #[test]
+    fn frontier_seeds_the_initial_state() {
+        // A chunk whose prefix committed X=5: reading 5 is consistent,
+        // reading the stale initial 0 is not.
+        let h = HistoryBuilder::new()
+            .read(P1, X, 5)
+            .commit(P1)
+            .build()
+            .unwrap();
+        let mut c = IncrementalChecker::with_frontier(Mode::Opacity, &[(X, 5)]);
+        assert!(c.push_all(h.iter().copied()).is_ok());
+        assert_eq!(c.committed_value(X), 5);
+
+        let stale = HistoryBuilder::new()
+            .read(P1, X, 0)
+            .commit(P1)
+            .build()
+            .unwrap();
+        let mut c = IncrementalChecker::with_frontier(Mode::Opacity, &[(X, 5)]);
+        assert!(c.push_all(stale.iter().copied()).is_err());
     }
 
     #[test]

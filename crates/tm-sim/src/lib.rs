@@ -28,6 +28,12 @@
 //! * [`Budget`] — graceful degradation: state/schedule/wall-clock caps
 //!   that stop the search and downgrade the result to an explicit
 //!   partial verdict instead of running unbounded;
+//! * [`online`] — streaming opacity certification at production
+//!   traffic: the consumer side of `tm_stm`'s sharded recorder, sealing
+//!   the merged event stream into epochs, cutting it into
+//!   independently certifiable chunks, and certifying them on a rayon
+//!   pool while worker threads keep committing
+//!   ([`certify_workload`]);
 //! * [`engine`] — the exploration kernel beneath both model checkers:
 //!   the shared stepper and [`engine::SearchSpace`] contract, TM
 //!   fork/refork pooling ([`tm_stm::TmPool`]), seen-set/interning
@@ -62,6 +68,7 @@ pub mod engine;
 pub mod explore;
 pub mod faults;
 pub mod livecheck;
+pub mod online;
 pub mod runner;
 pub mod scheduler;
 pub mod workload;
@@ -75,6 +82,10 @@ pub use faults::{parasitic_script, Fault, FaultConfig, FaultPlan, FaultState};
 pub use livecheck::{
     livecheck, FairProcessVerdicts, LassoFinding, LivecheckConfig, LivecheckReport,
     ProcessCycleVerdicts,
+};
+pub use online::{
+    certify_chunk, certify_workload, Chunk, Chunker, OnlineConfig, OnlinePipeline, OnlineReport,
+    OnlineViolation, OnlineWorkload,
 };
 pub use runner::{simulate, SimConfig, SimReport};
 pub use scheduler::{FixedSchedule, RandomScheduler, RoundRobin, Scheduler, WeightedScheduler};

@@ -1,0 +1,385 @@
+//! The chunker: cutting a merged history into independently
+//! certifiable pieces.
+//!
+//! Input is the sequence-ordered event stream a
+//! [`ShardedRecorder`](tm_stm::concurrent::ShardedRecorder) merges;
+//! output is [`Chunk`]s, each carrying its events (with their global
+//! sequence positions) and the sparse *frontier* committed-state its
+//! checker is seeded with. Two cuts are applied, both argued sound in
+//! the `tm_stm::concurrent` module docs:
+//!
+//! 1. **temporal cuts at quiescent points** — a segment is sealed only
+//!    when no transaction is live, so every attempt falls entirely
+//!    inside one segment and the committed state at the cut is
+//!    unambiguous;
+//! 2. **conflict-component splits** — within a segment, union-find over
+//!    transactions and the t-variables they touch (dbcop's
+//!    communication graph restricted to one segment) partitions the
+//!    events into groups that share no t-variable; each group is a
+//!    chunk certifiable without seeing the others.
+
+use tm_core::{Event, EventKind, Invocation, TVarId, Value, INITIAL_VALUE};
+
+/// One independently certifiable slice of the merged history.
+#[derive(Debug, Clone)]
+pub struct Chunk {
+    /// Committed values at the chunk's start for the t-variables it
+    /// touches (sparse; unlisted variables are untouched by the chunk).
+    pub frontier: Vec<(TVarId, Value)>,
+    /// The chunk's events with their global sequence positions, in
+    /// merged order.
+    pub events: Vec<(u64, Event)>,
+}
+
+/// Per-process state of the attempt currently being scanned.
+#[derive(Debug, Clone, Default)]
+struct LiveAttempt {
+    /// Index into the segment's attempt table.
+    attempt: usize,
+    /// Buffered writes, applied to the running committed state if the
+    /// attempt commits.
+    writes: Vec<(TVarId, Value)>,
+}
+
+/// Union-find node parents (attempts ∪ t-variables).
+#[derive(Debug, Default)]
+struct UnionFind {
+    parent: Vec<usize>,
+}
+
+impl UnionFind {
+    fn make(&mut self) -> usize {
+        let id = self.parent.len();
+        self.parent.push(id);
+        id
+    }
+
+    fn find(&mut self, mut a: usize) -> usize {
+        while self.parent[a] != a {
+            self.parent[a] = self.parent[self.parent[a]];
+            a = self.parent[a];
+        }
+        a
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra != rb {
+            self.parent[ra] = rb;
+        }
+    }
+}
+
+/// Streaming history chunker. Feed events in merged order with
+/// [`Chunker::push`]; sealed chunks accumulate into the caller's output
+/// vector. [`Chunker::finish`] flushes the trailing segment.
+#[derive(Debug)]
+pub struct Chunker {
+    /// Segments are only sealed at quiescent points once they hold at
+    /// least this many events (1 = maximum chunking granularity).
+    min_segment_events: usize,
+    /// Running committed state (dense), advanced as segments seal.
+    committed: Vec<Value>,
+    /// Live attempt per process (dense by process index).
+    live: Vec<Option<LiveAttempt>>,
+    live_count: usize,
+    /// Events of the open segment.
+    segment: Vec<(u64, Event)>,
+    /// Attempt index per segment event (parallel to `segment`).
+    event_attempt: Vec<usize>,
+    /// Per-attempt: (union-find node, touched t-variables).
+    attempts: Vec<(usize, Vec<TVarId>)>,
+    /// Union-find node per t-variable index, for the open segment.
+    var_node: Vec<Option<usize>>,
+    /// T-variables with a node in the open segment (to reset cheaply).
+    segment_vars: Vec<usize>,
+    /// Writes of the segment's committed attempts, in commit-event
+    /// order; applied to `committed` when the segment seals (frontiers
+    /// must reflect the state at the segment *start*).
+    pending_commits: Vec<(TVarId, Value)>,
+    nodes: UnionFind,
+}
+
+impl Chunker {
+    /// Creates a chunker that seals segments of at least
+    /// `min_segment_events` events (clamped to ≥ 1) at quiescent
+    /// points.
+    pub fn new(min_segment_events: usize) -> Self {
+        Chunker {
+            min_segment_events: min_segment_events.max(1),
+            committed: Vec::new(),
+            live: Vec::new(),
+            live_count: 0,
+            segment: Vec::new(),
+            event_attempt: Vec::new(),
+            attempts: Vec::new(),
+            var_node: Vec::new(),
+            segment_vars: Vec::new(),
+            pending_commits: Vec::new(),
+            nodes: UnionFind::default(),
+        }
+    }
+
+    /// The committed value of `x` as of the last sealed segment.
+    fn committed_value(&self, x: TVarId) -> Value {
+        self.committed
+            .get(x.index())
+            .copied()
+            .unwrap_or(INITIAL_VALUE)
+    }
+
+    fn var_node_for(&mut self, x: TVarId) -> usize {
+        let j = x.index();
+        if self.var_node.len() <= j {
+            self.var_node.resize(j + 1, None);
+        }
+        if let Some(node) = self.var_node[j] {
+            return node;
+        }
+        let node = self.nodes.make();
+        self.var_node[j] = Some(node);
+        self.segment_vars.push(j);
+        node
+    }
+
+    /// Feeds the next merged event; sealed chunks are appended to
+    /// `out`.
+    pub fn push(&mut self, seq: u64, event: Event, out: &mut Vec<Chunk>) {
+        let p = event.process.index();
+        if self.live.len() <= p {
+            self.live.resize_with(p + 1, || None);
+        }
+        // Open an attempt on the process's first event.
+        if self.live[p].is_none() {
+            let node = self.nodes.make();
+            let attempt = self.attempts.len();
+            self.attempts.push((node, Vec::new()));
+            self.live[p] = Some(LiveAttempt {
+                attempt,
+                writes: Vec::new(),
+            });
+            self.live_count += 1;
+        }
+        let attempt_idx = self.live[p].as_ref().expect("just opened").attempt;
+        self.segment.push((seq, event));
+        self.event_attempt.push(attempt_idx);
+
+        match event.kind {
+            EventKind::Invocation(inv) => {
+                if let Some(x) = inv.tvar() {
+                    let var = self.var_node_for(x);
+                    let (node, vars) = &mut self.attempts[attempt_idx];
+                    if !vars.contains(&x) {
+                        vars.push(x);
+                    }
+                    let node = *node;
+                    self.nodes.union(node, var);
+                }
+                if let Invocation::Write(x, v) = inv {
+                    self.live[p]
+                        .as_mut()
+                        .expect("live attempt")
+                        .writes
+                        .push((x, v));
+                }
+            }
+            EventKind::Response(resp) => {
+                if resp.is_terminal() {
+                    let attempt = self.live[p].take().expect("live attempt");
+                    self.live_count -= 1;
+                    if resp.is_commit() {
+                        self.pending_commits.extend(attempt.writes);
+                    }
+                }
+            }
+        }
+
+        if self.live_count == 0 && self.segment.len() >= self.min_segment_events {
+            self.seal_segment(out);
+        }
+    }
+
+    /// Seals whatever the open segment holds (the stream is over).
+    /// Quiescence is guaranteed by well-formed complete workloads; a
+    /// truncated stream still seals, leaving its live transactions to
+    /// the checker's open-transaction handling.
+    pub fn finish(&mut self, out: &mut Vec<Chunk>) {
+        if !self.segment.is_empty() {
+            self.seal_segment(out);
+        }
+    }
+
+    fn seal_segment(&mut self, out: &mut Vec<Chunk>) {
+        // Group attempts by union-find root, preserving first-seen
+        // order so chunk emission is deterministic in the merged order.
+        let mut roots: Vec<usize> = Vec::new();
+        let mut chunk_of_attempt: Vec<usize> = Vec::with_capacity(self.attempts.len());
+        for i in 0..self.attempts.len() {
+            let root = self.nodes.find(self.attempts[i].0);
+            let slot = roots.iter().position(|&r| r == root).unwrap_or_else(|| {
+                roots.push(root);
+                roots.len() - 1
+            });
+            chunk_of_attempt.push(slot);
+        }
+
+        // Frontier per chunk: the pre-segment committed value of every
+        // t-variable the chunk touches.
+        let mut chunks: Vec<Chunk> = roots
+            .iter()
+            .map(|_| Chunk {
+                frontier: Vec::new(),
+                events: Vec::new(),
+            })
+            .collect();
+        for (i, (_, vars)) in self.attempts.iter().enumerate() {
+            let chunk = &mut chunks[chunk_of_attempt[i]];
+            for &x in vars {
+                if !chunk.frontier.iter().any(|&(y, _)| y == x) {
+                    chunk.frontier.push((x, self.committed_value(x)));
+                }
+            }
+        }
+        for (event, &attempt) in self.segment.iter().zip(&self.event_attempt) {
+            chunks[chunk_of_attempt[attempt]].events.push(*event);
+        }
+        out.extend(chunks);
+
+        // Advance the committed state past the segment's commits.
+        for &(x, v) in &self.pending_commits {
+            let j = x.index();
+            if self.committed.len() <= j {
+                self.committed.resize(j + 1, INITIAL_VALUE);
+            }
+            self.committed[j] = v;
+        }
+        self.pending_commits.clear();
+
+        // Reset per-segment state (committed and live tables persist).
+        self.segment.clear();
+        self.event_attempt.clear();
+        self.attempts.clear();
+        for &j in &self.segment_vars {
+            self.var_node[j] = None;
+        }
+        self.segment_vars.clear();
+        self.nodes.parent.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tm_core::ProcessId;
+
+    const X: TVarId = TVarId(0);
+    const Y: TVarId = TVarId(1);
+
+    /// A committed `read x; write x v` transaction by `p`, pushed as six
+    /// stamped events starting at `*seq`.
+    fn push_rw(
+        chunker: &mut Chunker,
+        seq: &mut u64,
+        p: ProcessId,
+        x: TVarId,
+        read: Value,
+        write: Value,
+        out: &mut Vec<Chunk>,
+    ) {
+        for event in [
+            Event::read(p, x),
+            Event::value(p, read),
+            Event::write(p, x, write),
+            Event::ok(p),
+            Event::try_commit(p),
+            Event::committed(p),
+        ] {
+            chunker.push(*seq, event, out);
+            *seq += 1;
+        }
+    }
+
+    #[test]
+    fn disjoint_variables_split_into_components() {
+        let mut chunker = Chunker::new(1);
+        let mut out = Vec::new();
+        // Interleave two single-op transactions on disjoint variables:
+        // p0 opens, p1 opens, p0 closes, p1 closes — one segment, two
+        // conflict components.
+        let (p0, p1) = (ProcessId(0), ProcessId(1));
+        let script = [
+            Event::read(p0, X),
+            Event::read(p1, Y),
+            Event::value(p0, 0),
+            Event::value(p1, 0),
+            Event::try_commit(p0),
+            Event::try_commit(p1),
+            Event::committed(p0),
+            Event::committed(p1),
+        ];
+        for (seq, event) in script.into_iter().enumerate() {
+            chunker.push(seq as u64, event, &mut out);
+        }
+        assert_eq!(out.len(), 2, "disjoint vars must land in two chunks");
+        assert_eq!(out[0].events.len(), 4);
+        assert_eq!(out[1].events.len(), 4);
+        assert!(out[0].events.iter().all(|(_, e)| e.process == p0));
+        assert!(out[1].events.iter().all(|(_, e)| e.process == p1));
+        assert_eq!(out[0].frontier, vec![(X, INITIAL_VALUE)]);
+        assert_eq!(out[1].frontier, vec![(Y, INITIAL_VALUE)]);
+    }
+
+    #[test]
+    fn shared_variable_keeps_one_component() {
+        let mut chunker = Chunker::new(1);
+        let mut out = Vec::new();
+        let (p0, p1) = (ProcessId(0), ProcessId(1));
+        let script = [
+            Event::read(p0, X),
+            Event::read(p1, X),
+            Event::value(p0, 0),
+            Event::value(p1, 0),
+            Event::try_commit(p0),
+            Event::try_commit(p1),
+            Event::committed(p0),
+            Event::committed(p1),
+        ];
+        for (seq, event) in script.into_iter().enumerate() {
+            chunker.push(seq as u64, event, &mut out);
+        }
+        assert_eq!(out.len(), 1, "a shared var must join the transactions");
+        assert_eq!(out[0].events.len(), 8);
+    }
+
+    #[test]
+    fn later_segment_frontier_reflects_earlier_commits() {
+        let mut chunker = Chunker::new(1);
+        let mut out = Vec::new();
+        let mut seq = 0;
+        let p = ProcessId(0);
+        push_rw(&mut chunker, &mut seq, p, X, 0, 7, &mut out);
+        push_rw(&mut chunker, &mut seq, p, X, 7, 9, &mut out);
+        assert_eq!(out.len(), 2, "each quiescent point seals a segment");
+        assert_eq!(out[0].frontier, vec![(X, INITIAL_VALUE)]);
+        assert_eq!(out[1].frontier, vec![(X, 7)], "frontier carries the commit");
+        // Sequence stamps are preserved verbatim.
+        assert_eq!(out[0].events.first().unwrap().0, 0);
+        assert_eq!(out[1].events.first().unwrap().0, 6);
+    }
+
+    #[test]
+    fn min_segment_events_batches_quiescent_points() {
+        let mut chunker = Chunker::new(100);
+        let mut out = Vec::new();
+        let mut seq = 0;
+        let p = ProcessId(0);
+        for i in 0..5 {
+            push_rw(&mut chunker, &mut seq, p, X, i, i + 1, &mut out);
+        }
+        assert!(out.is_empty(), "below the floor nothing seals");
+        chunker.finish(&mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].events.len(), 30);
+    }
+}

@@ -53,8 +53,9 @@ impl Transaction for GlobalLockTx<'_> {
         Ok(())
     }
 
-    fn commit(mut self) -> Result<(), TxAbort> {
+    fn commit_at(mut self, point: &mut dyn FnMut()) -> Result<(), TxAbort> {
         self.undo.clear(); // keep the writes; dropping the guard releases the lock
+        point(); // serialization point: the guard is still held here
         Ok(())
     }
 }

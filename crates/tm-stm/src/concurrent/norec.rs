@@ -113,10 +113,20 @@ impl Transaction for NOrecTx<'_> {
         Ok(())
     }
 
-    fn commit(mut self) -> Result<(), TxAbort> {
+    fn commit_at(mut self, point: &mut dyn FnMut()) -> Result<(), TxAbort> {
         if self.writes.is_empty() {
-            // Read-only transactions were consistent at `snapshot`.
-            return Ok(());
+            // Read-only: stamp first, then value-validate. Success means
+            // the read values equal the committed values at the
+            // validation — and therefore at the stamp too: any writer
+            // that changed-and-restored a read value in between leaves
+            // the committed read-set values equal at both moments, and a
+            // writer that left a different value fails the validation.
+            // Stamping after a validation instead would let a writer
+            // commit entirely inside the validate-to-stamp window and
+            // record an inverted commit order; a failure after the stamp
+            // is charged to the abort by the recorder.
+            point();
+            return self.validate();
         }
         // Acquire the global sequence lock at our snapshot, revalidating
         // whenever the snapshot is stale.
@@ -134,6 +144,9 @@ impl Transaction for NOrecTx<'_> {
         for (&j, &v) in &self.writes {
             self.tm.vals[j].store(v, Ordering::Release);
         }
+        // Serialization point: values published, sequence lock still
+        // held, so no conflicting commit can slip in before the mark.
+        point();
         self.tm.seq.store(self.snapshot + 2, Ordering::Release);
         Ok(())
     }

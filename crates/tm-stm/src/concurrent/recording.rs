@@ -15,6 +15,7 @@
 use parking_lot::Mutex;
 
 use tm_core::{Event, History, ProcessId, TVarId, Value};
+use tm_telemetry::{Counter, Telemetry};
 
 use super::api::{ConcurrentTm, Transaction, TxAbort};
 
@@ -22,19 +23,40 @@ use super::api::{ConcurrentTm, Transaction, TxAbort};
 ///
 /// Threads identify themselves with a [`ProcessId`] when starting
 /// transactions via [`RecordingTm::begin_as`].
+///
+/// The global mutex serializes every event append, which caps recording
+/// throughput at one core regardless of the wrapped TM — fine for the
+/// bounded differential suites this type serves, wrong for sustained
+/// load. The production path is the sharded recorder
+/// ([`super::sharded::ShardedRecorder`]), which replaces the mutex with
+/// per-thread logs and atomic sequence stamps.
 #[derive(Debug)]
 pub struct RecordingTm<T> {
     inner: T,
     history: Mutex<History>,
+    telemetry: Telemetry,
 }
 
 impl<T: ConcurrentTm> RecordingTm<T> {
     /// Wraps a concurrent TM with an empty history.
     pub fn new(inner: T) -> Self {
+        Self::with_telemetry(inner, Telemetry::off())
+    }
+
+    /// Wraps a concurrent TM, tallying [`Counter::TxCommits`] /
+    /// [`Counter::TxAborts`] from [`atomically_recorded`] into
+    /// `telemetry`.
+    pub fn with_telemetry(inner: T, telemetry: Telemetry) -> Self {
         RecordingTm {
             inner,
             history: Mutex::new(History::new()),
+            telemetry,
         }
+    }
+
+    /// The counter handle the retry loop tallies into.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// The wrapped TM.
@@ -117,13 +139,45 @@ impl<'a, T: ConcurrentTm> RecordingTx<'a, T> {
     /// [`TxAbort`] when validation fails.
     pub fn commit(mut self) -> Result<(), TxAbort> {
         self.tm.log(Event::try_commit(self.process));
-        match self.inner.take().expect("live transaction").commit() {
+        // The commit event is appended from inside the TM's
+        // serialization point (write locks / sequence lock still held,
+        // or optimistically before a final validation), so the
+        // history's commit order equals the TM's serialization order
+        // and recorded histories stay certifiable by the commit-order
+        // checker — the same discipline as the sharded recorder. A TM
+        // that stamps optimistically and then fails validation gets its
+        // logged commit response amended to the abort response in
+        // place: the position still falls inside the tryC window, and
+        // aborted transactions impose no commit-order obligation.
+        let mut committed_at: Option<usize> = None;
+        let result = self
+            .inner
+            .take()
+            .expect("live transaction")
+            .commit_at(&mut || {
+                if committed_at.is_none() {
+                    let mut history = self.tm.history.lock();
+                    let index = history.len();
+                    history.push(Event::committed(self.process));
+                    committed_at = Some(index);
+                }
+            });
+        match result {
             Ok(()) => {
-                self.tm.log(Event::committed(self.process));
+                if committed_at.is_none() {
+                    self.tm.log(Event::committed(self.process));
+                }
                 Ok(())
             }
             Err(TxAbort) => {
-                self.tm.log(Event::aborted(self.process));
+                match committed_at {
+                    Some(index) => self
+                        .tm
+                        .history
+                        .lock()
+                        .amend(index, Event::aborted(self.process)),
+                    None => self.tm.log(Event::aborted(self.process)),
+                }
                 Err(TxAbort)
             }
         }
@@ -141,7 +195,9 @@ impl<'a, T: ConcurrentTm> RecordingTx<'a, T> {
 }
 
 /// Retry loop for recording transactions: runs `body` until commit,
-/// returning the number of aborted attempts.
+/// returning the number of aborted attempts. Commit/abort tallies flush
+/// through the TM's [`Telemetry`] handle (one [`Counter::TxCommits`]
+/// per call, one [`Counter::TxAborts`] per retry, added at loop exit).
 pub fn atomically_recorded<T, R, F>(
     tm: &RecordingTm<T>,
     process: ProcessId,
@@ -154,15 +210,21 @@ where
     let mut aborts = 0;
     loop {
         let mut tx = tm.begin_as(process);
-        match body(&mut tx) {
+        let committed = match body(&mut tx) {
             Ok(result) => match tx.commit() {
-                Ok(()) => return (result, aborts),
-                Err(TxAbort) => aborts += 1,
+                Ok(()) => Some(result),
+                Err(TxAbort) => None,
             },
-            Err(TxAbort) => {
-                aborts += 1;
-                // The abort event was recorded by the failing operation.
+            // The abort event was recorded by the failing operation.
+            Err(TxAbort) => None,
+        };
+        match committed {
+            Some(result) => {
+                tm.telemetry.add(Counter::TxCommits, 1);
+                tm.telemetry.add(Counter::TxAborts, aborts);
+                return (result, aborts);
             }
+            None => aborts += 1,
         }
     }
 }
@@ -232,6 +294,23 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
+    }
+
+    #[test]
+    fn recorded_retry_loop_tallies_through_counters() {
+        use tm_telemetry::Telemetry;
+        let telemetry = Telemetry::counters();
+        let tm = RecordingTm::with_telemetry(ConcurrentTl2::new(2), telemetry.clone());
+        for i in 0..4u64 {
+            atomically_recorded(&tm, ProcessId(0), |tx| {
+                let v = tx.read(X)?;
+                tx.write(Y, v + i)
+            });
+        }
+        let snapshot = tm.telemetry().snapshot();
+        assert_eq!(snapshot.get(Counter::TxCommits), 4);
+        // Single-threaded TL2 never aborts.
+        assert_eq!(snapshot.get(Counter::TxAborts), 0);
     }
 
     #[test]

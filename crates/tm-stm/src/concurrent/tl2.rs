@@ -99,9 +99,22 @@ impl Transaction for Tl2Tx<'_> {
         Ok(())
     }
 
-    fn commit(self) -> Result<(), TxAbort> {
+    fn commit_at(self, point: &mut dyn FnMut()) -> Result<(), TxAbort> {
         if self.writes.is_empty() {
-            // Read-only: reads were validated against rv at read time.
+            // Read-only: stamp first, then confirm every read version is
+            // still ≤ rv and unlocked. Versions are monotone, so success
+            // proves no conflicting commit landed up to the check — in
+            // particular none between the stamp and the check — and the
+            // stamp is a true serialization point. (Validating *before*
+            // stamping would leave a window for a conflicting writer to
+            // commit and stamp first, inverting the recorded order.)
+            point();
+            for &j in &self.reads {
+                let v = self.tm.slots[j].vlock.load(Ordering::Acquire);
+                if v & 1 == 1 || (v >> 1) > self.rv {
+                    return Err(TxAbort);
+                }
+            }
             return Ok(());
         }
         // Phase 1: lock the write set in canonical order (BTreeMap iterates
@@ -123,11 +136,22 @@ impl Transaction for Tl2Tx<'_> {
             }
             locked.push((j, cur));
         }
-        // Phase 2: increment the clock, validate the read set. Entries we
-        // hold the lock on are validated against their pre-lock version
-        // (another transaction may have committed them between our read
-        // and our lock acquisition).
+        // Phase 2: increment the clock, stamp the serialization point,
+        // then validate the read set. The stamp precedes validation
+        // deliberately: write-set variables are frozen by our locks, and
+        // for read-only read-set variables a passing validation (version
+        // ≤ rv, unlocked) proves no conflicting commit landed up to the
+        // validation load — so none landed between the stamp and the
+        // load either, making the stamp a true serialization point. A
+        // writer of one of our read variables that stamps *before* us
+        // necessarily still holds (lock observed) or has released (its
+        // version observed) that variable's lock at our validation, and
+        // fails it — stamping *after* validation instead would let such
+        // a writer complete entirely inside the validate-to-stamp window
+        // and record an inverted commit order. If validation fails after
+        // the stamp, the recorder charges the stamp to the abort.
         let wv = self.tm.clock.fetch_add(1, Ordering::AcqRel) + 1;
+        point();
         for &j in &self.reads {
             let valid = if let Some(&(_, pre_lock)) = locked.iter().find(|&&(lj, _)| lj == j) {
                 (pre_lock >> 1) <= self.rv
@@ -142,7 +166,10 @@ impl Transaction for Tl2Tx<'_> {
                 return Err(TxAbort);
             }
         }
-        // Phase 3: publish values, release locks at the new version.
+        // Phase 3: publish values, then release the locks at the new
+        // version. Publication after the stamp is invisible to others —
+        // any reader of a write-set variable sees the lock bit and
+        // aborts until the release below.
         for (&j, &v) in &self.writes {
             self.tm.slots[j].value.store(v, Ordering::Release);
         }

@@ -65,6 +65,17 @@
 //!   `n^depth` tree minus executed leaves, saturating) and
 //!   [`Counter::SleepSetBlocks`] (subtrees sleep sets skipped).
 //!
+//! **Exception — the online-pipeline counters.** The streaming
+//! certifier (`tm_sim::online`) runs real OS threads against real
+//! atomics, so its counters are properties of one physical execution,
+//! not of a deterministic search: [`Counter::TxCommits`] and
+//! [`Counter::OpsRecorded`] are workload-determined, but
+//! [`Counter::TxAborts`] (contention), [`Counter::EpochsSealed`],
+//! [`Counter::ChunksCertified`] (batching boundaries) and
+//! [`Counter::CheckerLagEpochs`] (a scheduling-dependent high-water
+//! mark recorded via [`Telemetry::record_max`]) legitimately vary
+//! across runs. Determinism suites must not snapshot-compare them.
+//!
 //! # The NDJSON event schema (version 1)
 //!
 //! With a stream destination configured, the sink emits **one JSON
@@ -80,14 +91,14 @@
 //!
 //! | `ev` | fields |
 //! |------|--------|
-//! | `run_start` | `engine` (`"explore"` \| `"livecheck"`), `tm`, `depth`, `processes` |
+//! | `run_start` | `engine` (`"explore"` \| `"livecheck"` \| `"online"`), `tm`, `depth`, `processes` |
 //! | `phase_start` | `engine`, `phase` |
 //! | `phase_end` | `engine`, `phase`, `dur_us` |
-//! | `heartbeat` | `engine` plus live gauges (e.g. `steps`, `steps_per_sec`, `states`, `frontier`, `dedup_hit_rate`) |
+//! | `heartbeat` | `engine` plus live gauges (e.g. `steps`, `steps_per_sec`, `states`, `frontier`, `dedup_hit_rate`; the online certifier streams `ops`, `ops_per_sec`, `epochs_sealed`, `lag_epochs`) |
 //! | `lasso_found` | `prefix_len`, `cycle_len`, `starving`, `parasitic` (process index arrays) |
 //! | `violation` | `engine`, `schedule` (process index array), `detail` |
 //! | `trace` | `engine`, `kind` (`"violation"` \| `"lasso"`), `idx` (witness index within the run), `schedule` (process index array), `cycle_start` (lasso only: step index where the repeated cycle begins), `steps` (per-step objects `{"p","op","resp","digest"}`: process, operation, TM response — `null` while withheld — and the canonical state fingerprint after the step, present when the TM implements `state_digest`) |
-//! | `verdict` | `engine`, `tm`, plus the engine's headline result (`all_opaque` + `schedules`, or `starvation_free` + `states`/`edges`/`lassos`) — or, for a budget-exhausted/partial run, `partial: true` + `reason` and **no** boolean headline |
+//! | `verdict` | `engine`, `tm`, plus the engine's headline result (`all_opaque` + `schedules`, or `starvation_free` + `states`/`edges`/`lassos`; the online certifier reuses `all_opaque` + `ops`/`epochs`/`chunks`/`max_lag_epochs`) — or, for a budget-exhausted/partial run, `partial: true` + `reason` and **no** boolean headline |
 //! | `counter_snapshot` | `label`, `counters` (object of non-zero counters), `timers` (object of log2 bucket arrays, only with timing) |
 //! | `fault_injected` | `engine`, `kind` (`"crash"` \| `"parasite"`), `process` — one event per distinct fault transition the fault-aware search exercised |
 //! | `budget_exhausted` | `engine`, `reason` (which cap tripped) — the run degrades to a partial report; its `verdict` carries `partial: true` |
@@ -226,11 +237,30 @@ pub enum Counter {
     /// Fault transitions (`crash(p)` / `parasite(p)`) the fault-aware
     /// search executed as scheduler-level branches.
     FaultsInjected,
+    /// Transactions committed by an `atomically*` retry loop (one per
+    /// successful loop exit; workload-determined).
+    TxCommits,
+    /// Attempts aborted by an `atomically*` retry loop (one per retry;
+    /// contention-dependent — see the online-counter exception in the
+    /// module docs).
+    TxAborts,
+    /// Operations (read / write / commit attempts) stamped by the
+    /// sharded online recorder.
+    OpsRecorded,
+    /// Epochs the online pipeline's sealer closed and handed to the
+    /// certifier.
+    EpochsSealed,
+    /// History chunks the online certifier checked to completion.
+    ChunksCertified,
+    /// High-water mark of the online checker's lag (epochs sealed but
+    /// not yet certified), recorded via [`Telemetry::record_max`] —
+    /// scheduling-dependent, never snapshot-compared.
+    CheckerLagEpochs,
 }
 
 impl Counter {
     /// Number of counters (the snapshot array length).
-    pub const COUNT: usize = 24;
+    pub const COUNT: usize = 30;
 
     /// Every counter, in snapshot order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -258,6 +288,12 @@ impl Counter {
         Counter::WakeupRedundant,
         Counter::SleepBlockedExecutions,
         Counter::FaultsInjected,
+        Counter::TxCommits,
+        Counter::TxAborts,
+        Counter::OpsRecorded,
+        Counter::EpochsSealed,
+        Counter::ChunksCertified,
+        Counter::CheckerLagEpochs,
     ];
 
     /// The counter's stable snake_case name (the `counter_snapshot`
@@ -288,6 +324,12 @@ impl Counter {
             Counter::WakeupRedundant => "wakeup_redundant",
             Counter::SleepBlockedExecutions => "sleep_blocked_executions",
             Counter::FaultsInjected => "faults_injected",
+            Counter::TxCommits => "tx_commits",
+            Counter::TxAborts => "tx_aborts",
+            Counter::OpsRecorded => "ops_recorded",
+            Counter::EpochsSealed => "epochs_sealed",
+            Counter::ChunksCertified => "chunks_certified",
+            Counter::CheckerLagEpochs => "checker_lag_epochs",
         }
     }
 }
@@ -551,6 +593,16 @@ impl Telemetry {
             if n != 0 {
                 inner.counters[counter as usize].fetch_add(n, Relaxed);
             }
+        }
+    }
+
+    /// Raises a counter to `v` if `v` exceeds its current value — the
+    /// high-water-mark discipline for gauge-like counters such as
+    /// [`Counter::CheckerLagEpochs`] (relaxed atomic; a no-op when off).
+    #[inline]
+    pub fn record_max(&self, counter: Counter, v: u64) {
+        if let Some(inner) = &self.inner {
+            inner.counters[counter as usize].fetch_max(v, Relaxed);
         }
     }
 

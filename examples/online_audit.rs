@@ -1,0 +1,88 @@
+//! Streaming opacity certification, live: the sharded recorder feeds
+//! the chunked online certifier *while* worker threads hammer the TM,
+//! and the verdict is in hand the moment the workload drains.
+//!
+//! Three correct TMs (TL2, NOrec, global-lock) must certify opaque; the
+//! seeded lost-update TM must be flagged, with the violation located by
+//! global sequence number.
+//!
+//! Run with: `cargo run --example online_audit`
+//!
+//! Set `TM_TELEMETRY=stderr` (or a file path) to stream the NDJSON
+//! heartbeats — sustained ops/sec and checker lag — and watch the run
+//! in `tm-obs tail`. This doubles as the CI smoke for the pipeline.
+
+use tm_liveness_repro::prelude::*;
+
+fn main() {
+    let telemetry = Telemetry::from_env();
+    let workload = OnlineWorkload {
+        threads: 2,
+        accounts: 8,
+        txs_per_thread: 5_000,
+        seed: 0xa0d1_70c4,
+    };
+    let config = || OnlineConfig {
+        telemetry: telemetry.clone(),
+        ..OnlineConfig::default()
+    };
+
+    println!(
+        "online audit: {} threads x {} txs over {} accounts\n",
+        workload.threads, workload.txs_per_thread, workload.accounts
+    );
+
+    let runs: Vec<(&str, OnlineReport)> = vec![
+        (
+            "tl2",
+            certify_workload(ConcurrentTl2::new(workload.accounts), &workload, config()),
+        ),
+        (
+            "norec",
+            certify_workload(ConcurrentNOrec::new(workload.accounts), &workload, config()),
+        ),
+        (
+            "global-lock",
+            certify_workload(
+                ConcurrentGlobalLock::new(workload.accounts),
+                &workload,
+                config(),
+            ),
+        ),
+    ];
+    for (name, report) in &runs {
+        println!(
+            "{name:12} {:>7} events  {:>3} epochs  {:>5} chunks  lag<= {}  -> {}",
+            report.events,
+            report.epochs_sealed,
+            report.chunks_certified,
+            report.max_lag_epochs,
+            if report.certified_opaque() {
+                "certified opaque"
+            } else {
+                "VIOLATION"
+            }
+        );
+        assert!(
+            report.certified_opaque(),
+            "{name} must certify opaque, got {:?}",
+            report.violation
+        );
+    }
+
+    // The canary: a global-lock TM that silently discards the writes of
+    // one seeded commit. The pipeline must catch it.
+    let buggy = ConcurrentBuggy::new(workload.accounts, 40);
+    let report = certify_workload(buggy, &workload, config());
+    let violation = report
+        .violation
+        .as_ref()
+        .expect("the seeded lost update must be flagged");
+    println!(
+        "\nbuggy-lost-update flagged at seq {}: {}",
+        violation.seq, violation.detail
+    );
+
+    println!("\nConclusion: certification kept pace with recording, and only");
+    println!("the seeded defect was flagged.");
+}

@@ -77,12 +77,15 @@ pub mod prelude {
         is_strictly_serializable, IncrementalChecker, Mode, SafetyProperty,
     };
     pub use tm_sim::{
-        explore_schedules, explore_with, livecheck, simulate, Budget, Client, ClientScript,
-        ExploreConfig, FairProcessVerdicts, FaultConfig, FaultPlan, LassoFinding, LivecheckConfig,
-        LivecheckReport, RandomScheduler, RoundRobin, Scheduler, SimConfig,
+        certify_workload, explore_schedules, explore_with, livecheck, simulate, Budget, Client,
+        ClientScript, ExploreConfig, FairProcessVerdicts, FaultConfig, FaultPlan, LassoFinding,
+        LivecheckConfig, LivecheckReport, OnlineConfig, OnlinePipeline, OnlineReport,
+        OnlineWorkload, RandomScheduler, RoundRobin, Scheduler, SimConfig,
     };
     pub use tm_stm::{
-        concurrent::{atomically, ConcurrentGlobalLock, ConcurrentNOrec, ConcurrentTl2},
+        concurrent::{
+            atomically, ConcurrentBuggy, ConcurrentGlobalLock, ConcurrentNOrec, ConcurrentTl2,
+        },
         full_catalog, nonblocking_catalog, Dstm, FgpTm, GlobalLock, NOrec, Ostm, Outcome, Recorded,
         SteppedTm, TinyStm, Tl2,
     };
